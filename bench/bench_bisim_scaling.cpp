@@ -1,0 +1,57 @@
+// Timing bench: partition-refinement bisimulation — the engine behind
+// every separation result — as a function of graph size, Kripke variant
+// and gradedness.
+#include <benchmark/benchmark.h>
+
+#include "bisim/bisimulation.hpp"
+#include "graph/generators.hpp"
+#include "port/port_numbering.hpp"
+
+namespace {
+
+using namespace wm;
+
+void BM_CoarsestBisimulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto variant = static_cast<Variant>(state.range(1));
+  Rng rng(1);
+  const Graph g = random_connected_graph(n, 4, n / 2, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  const KripkeModel k = kripke_from_graph(p, variant);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsest_bisimulation(k));
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_CoarsestGradedBisimulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const Graph g = random_connected_graph(n, 4, n / 2, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  const KripkeModel k = kripke_from_graph(p, Variant::MinusMinus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsest_graded_bisimulation(k));
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_SymmetricNumberingLemma15(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Graph g = random_regular_graph(n, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PortNumbering::symmetric_regular(g));
+  }
+  state.SetComplexityN(n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_CoarsestBisimulation)
+    ->ArgsProduct({{16, 64, 256},
+                   {static_cast<int>(Variant::PlusPlus),
+                    static_cast<int>(Variant::MinusMinus)}});
+BENCHMARK(BM_CoarsestGradedBisimulation)->Arg(16)->Arg(64)->Arg(256)->Arg(512)
+    ->Complexity();
+BENCHMARK(BM_SymmetricNumberingLemma15)->Arg(16)->Arg(64)->Arg(256);

@@ -1,0 +1,69 @@
+// Timing bench for the Figure 8 / Lemma 15 machinery: bipartite double
+// cover, 1-factorisation (repeated Hopcroft-Karp), blossom matching (the
+// class-G membership test of Lemma 16 / Theorem 17), and exact minimum
+// vertex cover (ground truth for the Section 3.3 bench).
+#include <benchmark/benchmark.h>
+
+#include "graph/double_cover.hpp"
+#include "graph/exact.hpp"
+#include "graph/generators.hpp"
+#include "graph/matching.hpp"
+
+namespace {
+
+using namespace wm;
+
+void BM_DoubleCover(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Graph g = random_regular_graph(n, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bipartite_double_cover(g));
+  }
+}
+
+void BM_OneFactorise(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  Rng rng(2);
+  const Graph g = random_regular_graph(n, k, rng);
+  const DoubleCover dc = bipartite_double_cover(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_factorise_bipartite(dc.graph, dc.side));
+  }
+}
+
+void BM_BlossomMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Graph g = random_regular_graph(n, 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blossom_maximum_matching(g));
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_ClassGTest(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Graph g = class_g_graph(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(has_one_factor(g));
+  }
+}
+
+void BM_ExactVertexCover(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Graph g = random_connected_graph(n, 4, n / 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minimum_vertex_cover_size(g));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DoubleCover)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_OneFactorise)->ArgsProduct({{16, 64, 256}, {3, 5}});
+BENCHMARK(BM_BlossomMatching)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+BENCHMARK(BM_ClassGTest)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+BENCHMARK(BM_ExactVertexCover)->Arg(12)->Arg(18)->Arg(24);

@@ -1,0 +1,62 @@
+// Timing bench: model checking (||phi||_K) and formula compilation as
+// functions of graph size and modal depth, plus compiled-machine
+// execution (whose round count is md + 1 by Theorem 2).
+#include <benchmark/benchmark.h>
+
+#include "compile/formula_compiler.hpp"
+#include "graph/generators.hpp"
+#include "logic/model_checker.hpp"
+#include "logic/random_formula.hpp"
+#include "port/port_numbering.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace wm;
+
+Formula deep_formula(int depth) {
+  // (<*,*>)^depth (q1 | <*,*>_{>=2} q2) — a fixed graded pattern.
+  Formula f = Formula::disj(Formula::prop(1),
+                            Formula::diamond({0, 0}, Formula::prop(2), 2));
+  for (int i = 0; i < depth; ++i) f = Formula::diamond({0, 0}, f);
+  return f;
+}
+
+void BM_ModelCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const Graph g = random_connected_graph(n, 4, n, rng);
+  const KripkeModel k =
+      kripke_from_graph(PortNumbering::random(g, rng), Variant::MinusMinus);
+  const Formula f = deep_formula(depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model_check(k, f));
+  }
+}
+
+void BM_CompileFormula(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const Formula f = deep_formula(depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile_formula(f, Variant::MinusMinus, 4));
+  }
+}
+
+void BM_ExecuteCompiled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  Rng rng(2);
+  const Graph g = random_connected_graph(n, 4, n, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  const auto m = compile_formula(deep_formula(depth), Variant::MinusMinus, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(execute(*m, p));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ModelCheck)->ArgsProduct({{32, 128, 512}, {1, 4, 8}});
+BENCHMARK(BM_CompileFormula)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_ExecuteCompiled)->ArgsProduct({{32, 128}, {1, 4, 8}});

@@ -1,0 +1,61 @@
+// Minimisation report: how far do the four Kripke views of classic
+// graphs compress under bisimulation quotienting? The block counts ARE
+// the per-class distinguishable-state counts — the quantity every
+// separation and every locality bound in this library reduces to.
+#include <cstdio>
+
+#include "bisim/quotient.hpp"
+#include "graph/generators.hpp"
+#include "port/port_numbering.hpp"
+
+namespace {
+
+using namespace wm;
+
+void row(const char* name, const PortNumbering& p) {
+  const Graph& g = p.graph();
+  std::printf("%-26s %-4d", name, g.num_nodes());
+  for (const Variant variant : {Variant::PlusPlus, Variant::MinusPlus,
+                                Variant::PlusMinus, Variant::MinusMinus}) {
+    const KripkeModel k = kripke_from_graph(p, variant);
+    const KripkeModel q = minimise(k);
+    const KripkeModel qg = minimise_graded(k);
+    std::printf("   %3d/%-3d", q.num_states(), qg.num_states());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Bisimulation quotients (minimal models) ===\n\n");
+  std::printf("columns: states of K/~ (ungraded / graded) per view\n\n");
+  std::printf("%-26s %-4s   %-7s   %-7s   %-7s   %-7s\n",
+              "graph (numbering)", "n", "K++", "K-+", "K+-", "K--");
+  Rng rng(3);
+  row("path-8 (identity)", PortNumbering::identity(path_graph(8)));
+  row("cycle-8 (identity)", PortNumbering::identity(cycle_graph(8)));
+  row("cycle-8 (symmetric)",
+      PortNumbering::symmetric_regular(cycle_graph(8)));
+  row("star-6 (identity)", PortNumbering::identity(star_graph(6)));
+  row("petersen (symmetric)",
+      PortNumbering::symmetric_regular(petersen_graph()));
+  row("fig9a (symmetric)", PortNumbering::symmetric_regular(fig9a_graph()));
+  {
+    Rng crng(9);
+    const Graph g = fig9a_graph();
+    row("fig9a (consistent)", PortNumbering::random_consistent(g, crng));
+  }
+  {
+    const Graph g = random_connected_graph(14, 3, 6, rng);
+    row("random-14 (random)", PortNumbering::random(g, rng));
+  }
+  row("grid-4x4 (identity)", PortNumbering::identity(grid_graph(4, 4)));
+
+  std::printf("\nShape checks: symmetric numberings compress every view to\n");
+  std::printf("a single state (no algorithm distinguishes anything — the\n");
+  std::printf("Theorem 17 situation); broadcast views (right columns) are\n");
+  std::printf("never finer than the ported ones; graded counts exceed\n");
+  std::printf("ungraded exactly where multiplicities matter (MB vs SB).\n");
+  return 0;
+}

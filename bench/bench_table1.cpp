@@ -1,0 +1,91 @@
+// Regenerates Tables 1 and 2: the prior-work terminology mapped onto
+// this library's classes, with the beeping row (Afek et al. /
+// Cornejo–Kuhn ≈ SB) backed by a measured simulation: an SB machine run
+// natively vs through the single-bit beeping transformation.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "port/port_numbering.hpp"
+#include "runtime/engine.hpp"
+#include "transform/beeping.hpp"
+
+namespace {
+
+using namespace wm;
+
+LambdaMachine parity_diversity_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int d) {
+    return Value::pair(Value::str("p"), Value::integer(d % 2));
+  };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) { return s.at(1); };
+  m.transition_fn = [](const Value&, const Value& inbox, int) {
+    return Value::integer(inbox.contains(Value::integer(0)) &&
+                                  inbox.contains(Value::integer(1))
+                              ? 1
+                              : 0);
+  };
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: prior-work terminology vs this classification "
+              "===\n\n");
+  std::printf("  %-22s %-34s\n", "class here", "terms in prior work");
+  std::printf("  %-22s %-34s\n", "Vector / VVc",
+              "port numbering; local edge labelling; local orientation;");
+  std::printf("  %-22s %-34s\n", "",
+              "complete port awareness; port-to-port");
+  std::printf("  %-22s %-34s\n", "Vector / VV", "input/output port awareness");
+  std::printf("  %-22s %-34s\n", "Multiset / MV",
+              "output port awareness; wireless in input; mailbox;");
+  std::printf("  %-22s %-34s\n", "", "port-to-mailbox");
+  std::printf("  %-22s %-34s\n", "Set / SV", "(new in the paper)");
+  std::printf("  %-22s %-34s\n", "Broadcast / VB",
+              "input port awareness; wireless in output; broadcast-to-port");
+  std::printf("  %-22s %-34s\n", "Multiset∩Broadcast / MB",
+              "totalistic; wireless; broadcast-to-mailbox;");
+  std::printf("  %-22s %-34s\n", "", "mailbox-to-mailbox; network w/o colours");
+  std::printf("  %-22s %-34s\n", "Set∩Broadcast / SB", "beeping");
+
+  std::printf("\n=== The beeping row, measured ===\n");
+  std::printf("An SB machine (alphabet {0,1}) run natively vs through the\n");
+  std::printf("single-bit beeping simulation (1 source round -> |M| beep "
+              "slots):\n\n");
+  std::printf("%-16s %-8s %-12s %-14s %-12s %-12s\n", "graph", "agree",
+              "rounds(SB)", "rounds(beep)", "maxmsg(SB)", "maxmsg(beep)");
+  auto sb = std::make_shared<LambdaMachine>(parity_diversity_machine());
+  const auto beeping =
+      to_beeping_machine(sb, {Value::integer(0), Value::integer(1)});
+  Rng rng(11);
+  for (const char* name : {"cycle-9", "star-6", "petersen", "grid-3x4",
+                           "random-10"}) {
+    Graph g;
+    if (std::string(name) == "cycle-9") g = cycle_graph(9);
+    else if (std::string(name) == "star-6") g = star_graph(6);
+    else if (std::string(name) == "petersen") g = petersen_graph();
+    else if (std::string(name) == "grid-3x4") g = grid_graph(3, 4);
+    else g = random_connected_graph(10, 4, 5, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto ra = execute(*sb, p);
+    const auto rb = execute(*beeping, p);
+    std::printf("%-16s %-8s %-12d %-14d %-12zu %-12zu\n", name,
+                ra.final_states == rb.final_states ? "yes" : "NO", ra.rounds,
+                rb.rounds, ra.stats.max_size, rb.stats.max_size);
+  }
+  std::printf("\nShape check: outputs identical; beeping rounds = |M| x SB\n");
+  std::printf("rounds; beeping messages are a single bit.\n");
+
+  std::printf("\n=== Table 2 (summary): how this build differs from prior "
+              "work ===\n");
+  std::printf(" - no global knowledge: collapses proven with constant\n");
+  std::printf("   simulation overhead (bench_thm4/thm8), not |V|-dependent;\n");
+  std::printf(" - graph problems, not input-output functions;\n");
+  std::printf(" - class-vs-class separations, not individual problems;\n");
+  std::printf(" - deterministic synchronous model throughout.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The beeping model (Table 1's wireless end of the spectrum): single-bit
+// anonymous communication.
+//
+//  - a native beeping algorithm (BFS wave from the high-degree sources),
+//  - the SB -> beeping simulation: any Set∩Broadcast machine with a
+//    finite message alphabet runs over a one-bit channel with an
+//    |alphabet|-fold slowdown.
+//
+//   ./beeping_demo
+#include <cstdio>
+
+#include "algorithms/machines.hpp"
+#include "graph/generators.hpp"
+#include "port/port_numbering.hpp"
+#include "runtime/engine.hpp"
+#include "transform/beeping.hpp"
+
+int main() {
+  using namespace wm;
+
+  std::printf("=== Beep-wave BFS on a 4x5 grid ===\n");
+  const Graph g = grid_graph(4, 5);
+  // Interior nodes have degree 4: they are the wave sources.
+  const auto wave = as_state_machine(beep_wave_machine(4, 8));
+  const auto r = execute(*wave, PortNumbering::identity(g));
+  std::printf("distance-to-nearest-interior map (row-major):\n");
+  const auto out = r.outputs_as_ints();
+  for (int row = 0; row < 4; ++row) {
+    std::printf("  ");
+    for (int col = 0; col < 5; ++col) std::printf("%d ", out[row * 5 + col]);
+    std::printf("\n");
+  }
+  std::printf("(0 = source, k = heard the wave in round k)\n\n");
+
+  std::printf("=== SB over a one-bit channel ===\n");
+  const auto detector = isolated_detector_machine();
+  const auto beeping = to_beeping_machine(detector, {Value::integer(0)});
+  Graph h(5);
+  h.add_edge(0, 1);
+  h.add_edge(1, 2);
+  h.add_edge(2, 3);  // node 4 is isolated
+  const PortNumbering p = PortNumbering::identity(h);
+  const auto ra = execute(*detector, p);
+  const auto rb = execute(*beeping, p);
+  std::printf("isolated-node detector, native SB: ");
+  for (int v : ra.outputs_as_ints()) std::printf("%d", v);
+  std::printf("  (%d round)\n", ra.rounds);
+  std::printf("same machine over beeps:           ");
+  for (int v : rb.outputs_as_ints()) std::printf("%d", v);
+  std::printf("  (%d round, max message %zu node)\n", rb.rounds,
+              rb.stats.max_size);
+  std::printf("\nThe wireless motivation of Section 3.3: broadcast/set\n");
+  std::printf("models arise naturally where receivers cannot tell\n");
+  std::printf("transmitters apart — beeping is the extreme point, and it\n");
+  std::printf("still implements every finite-alphabet SB algorithm.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// run_machine — execute any catalogue algorithm on any graph.
+//
+//   ./run_machine <machine> <graph-spec> [numbering] [--trace]
+//
+// machines: odd-odd | leaf-picker | local-type | isolated | parity |
+//           even-degree | port-one-parity | vertex-cover (MB via Thm 9) |
+//           vertex-cover-vb | beep-wave
+// graph-spec: path:N | cycle:N | star:K | complete:N | grid:AxB |
+//             petersen | hypercube:D | fig9a | classg:K | file:PATH | -
+// numbering: identity (default) | random[:seed] | symmetric
+//
+// Prints the class, the round count, message statistics and the output
+// vector; --trace additionally dumps every intermediate state.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "algorithms/machines.hpp"
+#include "graph/generators.hpp"
+#include "port/port_numbering.hpp"
+#include "runtime/engine.hpp"
+#include "transform/beeping.hpp"
+#include "transform/simulations.hpp"
+
+namespace {
+
+using namespace wm;
+
+Graph parse_graph(const std::string& spec) {
+  auto num_after = [&](std::size_t pos) {
+    return std::stoi(spec.substr(pos));
+  };
+  if (spec.rfind("path:", 0) == 0) return path_graph(num_after(5));
+  if (spec.rfind("cycle:", 0) == 0) return cycle_graph(num_after(6));
+  if (spec.rfind("star:", 0) == 0) return star_graph(num_after(5));
+  if (spec.rfind("complete:", 0) == 0) return complete_graph(num_after(9));
+  if (spec.rfind("hypercube:", 0) == 0) return hypercube(num_after(10));
+  if (spec.rfind("classg:", 0) == 0) return class_g_graph(num_after(7));
+  if (spec == "petersen") return petersen_graph();
+  if (spec == "fig9a") return fig9a_graph();
+  if (spec.rfind("grid:", 0) == 0) {
+    const auto x = spec.find('x', 5);
+    return grid_graph(std::stoi(spec.substr(5, x - 5)),
+                      std::stoi(spec.substr(x + 1)));
+  }
+  if (spec.rfind("file:", 0) == 0 || spec == "-") {
+    std::vector<Edge> edges;
+    int n = 0;
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (spec != "-") {
+      file.open(spec.substr(5));
+      if (!file) throw std::runtime_error("cannot open " + spec.substr(5));
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      std::istringstream ls(line);
+      int u, v;
+      if (ls >> u >> v) {
+        edges.push_back({std::min(u, v), std::max(u, v)});
+        n = std::max(n, std::max(u, v) + 1);
+      }
+    }
+    return Graph::from_edges(n, edges);
+  }
+  throw std::runtime_error("unknown graph spec '" + spec + "'");
+}
+
+std::shared_ptr<const StateMachine> pick_machine(const std::string& name,
+                                                 const Graph& g) {
+  if (name == "odd-odd") return odd_odd_machine();
+  if (name == "leaf-picker") return leaf_picker_machine();
+  if (name == "local-type") return local_type_maximum_machine(g.max_degree());
+  if (name == "isolated") return isolated_detector_machine();
+  if (name == "parity") return degree_parity_machine();
+  if (name == "even-degree") return even_degree_machine();
+  if (name == "port-one-parity") return port_one_parity_machine();
+  if (name == "vertex-cover") {
+    return to_multiset_machine(vertex_cover_packing_vb_machine());
+  }
+  if (name == "vertex-cover-vb") return vertex_cover_packing_vb_machine();
+  if (name == "beep-wave") {
+    return as_state_machine(beep_wave_machine(g.max_degree(), g.num_nodes()));
+  }
+  throw std::runtime_error("unknown machine '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wm;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <machine> <graph-spec> [identity|random[:seed]|"
+                 "symmetric] [--trace]\n",
+                 argv[0]);
+    return 1;
+  }
+  try {
+    const Graph g = parse_graph(argv[2]);
+    const std::string mode = argc > 3 && argv[3][0] != '-' ? argv[3] : "identity";
+    bool trace = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    }
+    PortNumbering p;
+    if (mode == "identity") {
+      p = PortNumbering::identity(g);
+    } else if (mode.rfind("random", 0) == 0) {
+      const std::uint64_t seed =
+          mode.size() > 7 ? std::stoull(mode.substr(7)) : 1;
+      Rng rng(seed);
+      p = PortNumbering::random(g, rng);
+    } else if (mode == "symmetric") {
+      p = PortNumbering::symmetric_regular(g);
+    } else {
+      throw std::runtime_error("unknown numbering '" + mode + "'");
+    }
+
+    const auto machine = pick_machine(argv[1], g);
+    ExecutionOptions opts;
+    opts.record_trace = trace;
+    const ExecutionResult r = execute(*machine, p, opts);
+
+    std::printf("machine : %s (class %s)\n", argv[1],
+                machine->algebraic_class().name().c_str());
+    std::printf("graph   : n=%d m=%d Delta=%d, %s numbering\n", g.num_nodes(),
+                g.num_edges(), g.max_degree(), mode.c_str());
+    std::printf("stopped : %s after %d round(s)\n", r.stopped ? "yes" : "NO",
+                r.rounds);
+    std::printf("messages: %zu sent, total size %zu, max size %zu\n",
+                r.stats.messages_sent, r.stats.total_size, r.stats.max_size);
+    std::printf("output  :");
+    for (const Value& s : r.final_states) {
+      std::cout << ' ' << s;
+    }
+    std::printf("\n");
+    if (trace) {
+      for (std::size_t t = 0; t < r.trace.size(); ++t) {
+        std::printf("x_%zu:", t);
+        for (const Value& s : r.trace[t]) std::cout << "  " << s;
+        std::printf("\n");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Symmetry and port numberings (Lemmas 15 and 16, Figures 8 and 9):
+//  - build the bipartite double cover of a regular graph,
+//  - 1-factorise it and derive the symmetric port numbering,
+//  - show that ALL nodes become bisimilar in K_{+,+} (so no anonymous
+//    algorithm can break symmetry, Theorem 17's negative side),
+//  - contrast with consistent numberings, where local types split the
+//    graph (the VVc(1) algorithm's foothold).
+//
+//   ./symmetry [k]   (k odd >= 3; default 3 gives the Figure 9a graph)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "bisim/bisimulation.hpp"
+#include "graph/double_cover.hpp"
+#include "graph/generators.hpp"
+#include "graph/matching.hpp"
+#include "logic/kripke.hpp"
+#include "port/port_numbering.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wm;
+  const int k = argc > 1 ? std::atoi(argv[1]) : 3;
+  const Graph g = class_g_graph(k);
+  std::printf("class-G graph: k=%d, n=%d, m=%d\n", k, g.num_nodes(),
+              g.num_edges());
+  std::printf("has 1-factor: %s (class G requires none)\n",
+              has_one_factor(g) ? "yes" : "no");
+
+  const DoubleCover dc = bipartite_double_cover(g);
+  std::printf("double cover: n=%d, m=%d, bipartite %d-regular\n",
+              dc.graph.num_nodes(), dc.graph.num_edges(), k);
+  const auto factors = one_factorise_bipartite(dc.graph, dc.side);
+  std::printf("1-factorisation: %zu disjoint perfect matchings of %zu edges "
+              "each (König)\n",
+              factors.size(), factors[0].size());
+
+  const PortNumbering sym = PortNumbering::symmetric_regular(g);
+  std::printf("\nLemma 15 symmetric numbering: consistent = %s "
+              "(Lemma 16 predicts inconsistent)\n",
+              sym.is_consistent() ? "yes" : "no");
+  {
+    const KripkeModel kr = kripke_from_graph(sym, Variant::PlusPlus);
+    const Partition p = coarsest_bisimulation(kr);
+    std::printf("bisimulation blocks in K_{+,+} under it: %d "
+                "(1 = perfectly symmetric)\n",
+                p.num_blocks);
+  }
+
+  Rng rng(1);
+  const PortNumbering cons = PortNumbering::random_consistent(g, rng);
+  {
+    const KripkeModel kr = kripke_from_graph(cons, Variant::PlusPlus);
+    const Partition p = coarsest_bisimulation(kr);
+    std::printf("\nrandom consistent numbering: %d bisimulation blocks\n",
+                p.num_blocks);
+    std::map<std::vector<int>, int> type_counts;
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      ++type_counts[cons.local_type(v, k)];
+    }
+    std::printf("distinct local types t(v): %zu\n", type_counts.size());
+    std::printf("type histogram:");
+    for (const auto& [t, c] : type_counts) {
+      std::printf(" (");
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        std::printf("%s%d", i ? "," : "", t[i]);
+      }
+      std::printf(")x%d", c);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nConclusion (Theorem 17): with consistency the type maximum\n"
+              "breaks symmetry; without it the graph is perfectly symmetric\n"
+              "and non-constant output is impossible — VV != VVc.\n");
+  return 0;
+}

@@ -1,0 +1,256 @@
+#include "algorithms/machines.hpp"
+
+#include <stdexcept>
+
+#include "util/rational.hpp"
+
+namespace wm {
+
+namespace {
+
+Value tag(const char* t) { return Value::str(t); }
+
+[[noreturn]] void never_called() {
+  throw std::logic_error("machine hook called on a stopping state");
+}
+
+// --- Theorem 11: leaf picker (class Set) -----------------------------------
+class LeafPicker final : public StateMachine {
+ public:
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::set();
+  }
+  Value init(int degree) const override {
+    return Value::pair(tag("L"), Value::integer(degree));
+  }
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+  Value message(const Value&, int port) const override {
+    return Value::integer(port);
+  }
+  Value transition(const Value& s, const Value& inbox, int) const override {
+    const bool leaf = s.at(1).as_int() == 1;
+    const bool from_port_one = inbox == Value::set({Value::integer(1)});
+    return Value::integer(leaf && from_port_one ? 1 : 0);
+  }
+};
+
+// --- Theorem 13: odd-odd neighbours (class Multiset ∩ Broadcast) -----------
+class OddOdd final : public StateMachine {
+ public:
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::multiset_broadcast();
+  }
+  Value init(int degree) const override {
+    return Value::pair(tag("O"), Value::integer(degree % 2));
+  }
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+  Value message(const Value& s, int) const override { return s.at(1); }
+  Value transition(const Value&, const Value& inbox, int) const override {
+    int odd = 0;
+    for (const Value& m : inbox.items()) {
+      if (m.is_int() && m.as_int() == 1) ++odd;
+    }
+    return Value::integer(odd % 2);
+  }
+};
+
+// --- Theorem 17: local-type maximum (class Vector, needs consistency) ------
+class LocalTypeMaximum final : public StateMachine {
+ public:
+  explicit LocalTypeMaximum(int delta) : delta_(delta) {}
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::vector();
+  }
+  Value init(int degree) const override {
+    return Value::pair(tag("T1"), Value::integer(degree));
+  }
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+  Value message(const Value& s, int port) const override {
+    if (s.at(0).as_str() == "T1") return Value::integer(port);
+    return s.at(1);  // phase 2: send own local type
+  }
+  Value transition(const Value& s, const Value& inbox, int) const override {
+    if (s.at(0).as_str() == "T1") {
+      // With a consistent port numbering, the value received at in-port i
+      // is exactly j_i, the partner port of (v, i). Pad to Delta with 0.
+      ValueVec type;
+      type.reserve(static_cast<std::size_t>(delta_));
+      for (const Value& m : inbox.items()) type.push_back(m);
+      while (static_cast<int>(type.size()) < delta_) {
+        type.push_back(Value::integer(0));
+      }
+      return Value::pair(tag("T2"), Value::tuple(std::move(type)));
+    }
+    const Value& own = s.at(1);
+    for (const Value& t : inbox.items()) {
+      if (t > own) return Value::integer(0);
+    }
+    return Value::integer(1);
+  }
+
+ private:
+  int delta_;
+};
+
+// --- Remark 2: degree-oblivious isolated-node detector (SBo) ---------------
+class IsolatedDetector final : public StateMachine {
+ public:
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::set_broadcast();
+  }
+  Value init(int) const override { return tag("I"); }  // ignores the degree
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+  Value message(const Value&, int) const override { return Value::integer(0); }
+  Value transition(const Value&, const Value& inbox, int) const override {
+    return Value::integer(inbox.size() == 0 ? 1 : 0);
+  }
+};
+
+// --- Time-0 machines --------------------------------------------------------
+class DegreeFunction final : public StateMachine {
+ public:
+  explicit DegreeFunction(bool even_indicator) : even_(even_indicator) {}
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::set_broadcast();
+  }
+  Value init(int degree) const override {
+    const int parity = degree % 2;
+    return Value::integer(even_ ? 1 - parity : parity);
+  }
+  bool is_stopping(const Value&) const override { return true; }
+  Value message(const Value&, int) const override { never_called(); }
+  Value transition(const Value&, const Value&, int) const override {
+    never_called();
+  }
+
+ private:
+  bool even_;
+};
+
+// --- Section 3.3: 2-approx vertex cover by fractional edge packing ---------
+//
+// Phase = two broadcast rounds.
+//   Round A: unsaturated nodes broadcast ("a", r); everyone counts its
+//            unsaturated neighbours k.
+//   Round B: unsaturated nodes broadcast ("b", r, k); each edge {u, v}
+//            between unsaturated nodes gains y += min(r_u/k_u, r_v/k_v),
+//            which both endpoints compute identically from the inbox.
+// A node whose packing constraint becomes tight (r = 0) stops with output
+// 1; a node with no unsaturated neighbours left stops with output 0.
+// The node with the globally minimal offer r/k saturates every phase, so
+// the algorithm stops within 2(n+1) rounds; the saturated nodes are a
+// vertex cover of size <= 2 * sum(y) <= 2 * OPT.
+class VertexCoverPacking final : public StateMachine {
+ public:
+  explicit VertexCoverPacking(ReceiveMode receive) : receive_(receive) {}
+
+  AlgebraicClass algebraic_class() const override {
+    return {receive_, SendMode::Broadcast};
+  }
+  Value init(int) const override {
+    return Value::pair(tag("VA"), encode(Rational(1)));
+  }
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+
+  Value message(const Value& s, int) const override {
+    if (s.at(0).as_str() == "VA") {
+      return Value::pair(tag("a"), s.at(1));
+    }
+    return Value::triple(tag("b"), s.at(1), s.at(2));
+  }
+
+  Value transition(const Value& s, const Value& inbox, int) const override {
+    if (s.at(0).as_str() == "VA") {
+      int k = 0;
+      for (const Value& m : inbox.items()) {
+        if (!m.is_unit()) ++k;
+      }
+      if (k == 0) return Value::integer(0);  // all neighbours saturated
+      return Value::triple(tag("VB"), s.at(1), Value::integer(k));
+    }
+    const Rational r = decode(s.at(1));
+    const int k = static_cast<int>(s.at(2).as_int());
+    const Rational own_offer = r / Rational(k);
+    Rational total(0);
+    for (const Value& m : inbox.items()) {
+      if (m.is_unit()) continue;
+      const Rational rv = decode(m.at(1));
+      const Rational kv(m.at(2).as_int());
+      total += Rational::min(own_offer, rv / kv);
+    }
+    const Rational next = r - total;
+    if (next.is_zero()) return Value::integer(1);  // saturated: join cover
+    if (next.is_negative()) {
+      throw std::logic_error("vertex_cover_packing: packing safety violated");
+    }
+    return Value::pair(tag("VA"), encode(next));
+  }
+
+ private:
+  static Value encode(const Rational& r) {
+    return Value::pair(Value::integer(r.num()), Value::integer(r.den()));
+  }
+  static Rational decode(const Value& v) {
+    return Rational(v.at(0).as_int(), v.at(1).as_int());
+  }
+
+  ReceiveMode receive_;
+};
+
+// --- A genuinely-VB machine (in-port sensitive, broadcast send) ------------
+class PortOneParity final : public StateMachine {
+ public:
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::vector_broadcast();
+  }
+  Value init(int degree) const override {
+    return Value::pair(tag("P"), Value::integer(degree % 2));
+  }
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+  Value message(const Value& s, int) const override { return s.at(1); }
+  Value transition(const Value&, const Value& inbox, int degree) const override {
+    if (degree == 0) return Value::integer(0);
+    const Value& first = inbox.at(0);
+    return Value::integer(first.is_int() && first.as_int() == 1 ? 1 : 0);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const StateMachine> port_one_parity_machine() {
+  return std::make_shared<PortOneParity>();
+}
+
+std::shared_ptr<const StateMachine> leaf_picker_machine() {
+  return std::make_shared<LeafPicker>();
+}
+
+std::shared_ptr<const StateMachine> odd_odd_machine() {
+  return std::make_shared<OddOdd>();
+}
+
+std::shared_ptr<const StateMachine> local_type_maximum_machine(int delta) {
+  return std::make_shared<LocalTypeMaximum>(delta);
+}
+
+std::shared_ptr<const StateMachine> isolated_detector_machine() {
+  return std::make_shared<IsolatedDetector>();
+}
+
+std::shared_ptr<const StateMachine> degree_parity_machine() {
+  return std::make_shared<DegreeFunction>(false);
+}
+
+std::shared_ptr<const StateMachine> even_degree_machine() {
+  return std::make_shared<DegreeFunction>(true);
+}
+
+std::shared_ptr<const StateMachine> vertex_cover_packing_machine() {
+  return std::make_shared<VertexCoverPacking>(ReceiveMode::Multiset);
+}
+
+std::shared_ptr<const StateMachine> vertex_cover_packing_vb_machine() {
+  return std::make_shared<VertexCoverPacking>(ReceiveMode::Vector);
+}
+
+}  // namespace wm

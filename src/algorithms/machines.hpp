@@ -1,0 +1,65 @@
+// Concrete distributed state machines for the problem catalogue —
+// executable versions of every algorithm the paper sketches.
+#pragma once
+
+#include <memory>
+
+#include "runtime/state_machine.hpp"
+
+namespace wm {
+
+/// Theorem 11's SV(1) algorithm for leaf-in-star: every node sends i to
+/// port i; a node outputs 1 iff deg = 1 and the received *set* is {1}.
+/// Class Set (receive Set, send Ported). Runs in 1 round.
+std::shared_ptr<const StateMachine> leaf_picker_machine();
+
+/// Theorem 13's MB(1) algorithm for odd-odd-neighbours: broadcast the
+/// degree parity; output 1 iff an odd number of received messages say
+/// "odd". Class Multiset∩Broadcast. Runs in 1 round.
+std::shared_ptr<const StateMachine> odd_odd_machine();
+
+/// Theorem 17's VVc(1) algorithm for symmetry breaking in class G:
+/// round 1 learns the local type t(v) (requires a *consistent* port
+/// numbering), round 2 compares with the neighbours' types; output 1 iff
+/// t(v) is maximal in the closed neighbourhood. Class Vector. 2 rounds.
+/// `delta` pads the type tuples as in the paper.
+std::shared_ptr<const StateMachine> local_type_maximum_machine(int delta);
+
+/// Remark 2's degree-oblivious SBo algorithm: broadcast a token; output 1
+/// iff the received set is empty (isolated node). Class Set∩Broadcast,
+/// init ignores the degree. 1 round.
+std::shared_ptr<const StateMachine> isolated_detector_machine();
+
+/// Degree parity, output at time 0 (no communication). Class
+/// Set∩Broadcast. Demonstrates stopping at initialisation.
+std::shared_ptr<const StateMachine> degree_parity_machine();
+
+/// Section 3.3's non-trivial Multiset∩Broadcast problem: 2-approximate
+/// vertex cover by maximal fractional edge packing with exact rational
+/// arithmetic. Each phase is two broadcast rounds (residuals, then
+/// residual/degree offers); a node saturating its packing constraint
+/// joins the cover; a node all of whose neighbours are saturated retires.
+/// Terminates in at most 2(n+1) rounds (at least one node saturates per
+/// phase). Output: Int 1 = in cover.
+std::shared_ptr<const StateMachine> vertex_cover_packing_machine();
+
+/// The same algorithm expressed as a Broadcast (VB) machine — Vector
+/// receive, Broadcast send; used with Theorem 9 (to_multiset_machine) to
+/// reproduce the paper's "MB(1) = VB(1) ingredient" story.
+std::shared_ptr<const StateMachine> vertex_cover_packing_vb_machine();
+
+/// An Eulerian-related local decision: output 1 iff own degree is even
+/// (the local test whose conjunction over nodes decides "all degrees
+/// even"; full Eulerian decision also needs connectivity, which no
+/// anonymous constant-time algorithm can decide — see tests). Class
+/// Set∩Broadcast, time 0.
+std::shared_ptr<const StateMachine> even_degree_machine();
+
+/// A genuinely-VB machine (Broadcast send but Vector receive): broadcast
+/// the degree parity; output 1 iff the message arriving at *in-port 1*
+/// says odd. Uses the incoming port numbering, so it is in VB but not in
+/// MB as written — the class whose collapse MB = VB Theorem 9 proves.
+/// 1 round; isolated nodes output 0.
+std::shared_ptr<const StateMachine> port_one_parity_machine();
+
+}  // namespace wm

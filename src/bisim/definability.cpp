@@ -1,0 +1,117 @@
+#include "bisim/definability.hpp"
+
+namespace wm {
+
+namespace {
+
+using Family = std::set<std::vector<bool>>;
+
+void guard(const Family& family, std::size_t max_sets) {
+  if (family.size() > max_sets) {
+    throw DefinabilityBudgetError("definable_sets: family exceeds the budget");
+  }
+}
+
+/// Closes the family under complement and pairwise intersection (hence,
+/// with De Morgan, under all Boolean combinations).
+void boolean_closure(Family& family, std::size_t max_sets) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::vector<bool>> snapshot(family.begin(), family.end());
+    for (const auto& s : snapshot) {
+      std::vector<bool> neg(s.size());
+      for (std::size_t i = 0; i < s.size(); ++i) neg[i] = !s[i];
+      changed |= family.insert(std::move(neg)).second;
+    }
+    guard(family, max_sets);
+    snapshot.assign(family.begin(), family.end());
+    for (std::size_t a = 0; a < snapshot.size(); ++a) {
+      for (std::size_t b = a + 1; b < snapshot.size(); ++b) {
+        std::vector<bool> inter(snapshot[a].size());
+        for (std::size_t i = 0; i < inter.size(); ++i) {
+          inter[i] = snapshot[a][i] && snapshot[b][i];
+        }
+        changed |= family.insert(std::move(inter)).second;
+      }
+      guard(family, max_sets);
+    }
+  }
+}
+
+/// ||<alpha>_{>=g} S||: states with at least g alpha-successors in S.
+std::vector<bool> diamond_preimage(const KripkeModel& k, const Modality& alpha,
+                                   const std::vector<bool>& s, int grade) {
+  std::vector<bool> out(s.size(), false);
+  for (int v = 0; v < k.num_states(); ++v) {
+    int count = 0;
+    for (int w : k.successors(alpha, v)) {
+      if (s[w] && ++count >= grade) break;
+    }
+    out[v] = count >= grade;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::set<std::vector<bool>> definable_sets(const KripkeModel& k, int depth,
+                                           bool graded, std::size_t max_sets) {
+  const int n = k.num_states();
+  Family family;
+  family.insert(std::vector<bool>(static_cast<std::size_t>(n), true));   // T
+  family.insert(std::vector<bool>(static_cast<std::size_t>(n), false));  // F
+  for (int q = 1; q <= k.num_props(); ++q) {
+    std::vector<bool> atom(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) atom[v] = k.prop_holds(q, v);
+    family.insert(std::move(atom));
+  }
+  boolean_closure(family, max_sets);
+
+  // Max useful grade per modality: the largest out-degree.
+  const auto modalities = k.modalities();
+  std::vector<int> max_grade(modalities.size(), 1);
+  for (std::size_t a = 0; a < modalities.size(); ++a) {
+    for (int v = 0; v < n; ++v) {
+      max_grade[a] = std::max(
+          max_grade[a],
+          static_cast<int>(k.successors(modalities[a], v).size()));
+    }
+  }
+
+  for (int t = 0; depth < 0 || t < depth; ++t) {
+    Family next = family;
+    for (const auto& s : family) {
+      for (std::size_t a = 0; a < modalities.size(); ++a) {
+        const int top = graded ? max_grade[a] : 1;
+        for (int g = 1; g <= top; ++g) {
+          next.insert(diamond_preimage(k, modalities[a], s, g));
+        }
+      }
+      guard(next, max_sets);
+    }
+    boolean_closure(next, max_sets);
+    if (next == family) break;  // fixpoint
+    family = std::move(next);
+  }
+  return family;
+}
+
+std::set<std::vector<bool>> unions_of_blocks(const Partition& p, int num_states,
+                                             std::size_t max_sets) {
+  if (p.num_blocks > 30 ||
+      (1ull << p.num_blocks) > max_sets) {
+    throw DefinabilityBudgetError("unions_of_blocks: too many blocks");
+  }
+  Family family;
+  for (std::uint64_t mask = 0; mask < (1ull << p.num_blocks); ++mask) {
+    std::vector<bool> s(static_cast<std::size_t>(num_states));
+    for (int v = 0; v < num_states; ++v) {
+      s[v] = (mask >> p.block[v]) & 1;
+    }
+    family.insert(std::move(s));
+  }
+  return family;
+}
+
+}  // namespace wm

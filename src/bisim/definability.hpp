@@ -1,0 +1,41 @@
+// Definability: which subsets of a Kripke model's state space can a
+// modal formula carve out?
+//
+// Computed semantically: the family of truth-vectors of depth-<=t
+// formulas is the Boolean closure of the atoms, iterated t times with
+// (graded) diamond pre-images. The expressive-completeness theorem
+// behind Section 4 — a set is definable at depth t iff it is a union of
+// t-step (g-)bisimilarity classes — becomes an executable identity,
+// property-tested against the partition refinement in
+// tests/test_definability.cpp.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "bisim/bisimulation.hpp"
+#include "logic/kripke.hpp"
+
+namespace wm {
+
+class DefinabilityBudgetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// All truth-vectors (one bool per state) realised by formulas of modal
+/// depth <= depth in the logic over k's signature (graded: GML/GMML,
+/// otherwise ML/MML). depth < 0 iterates to the fixpoint. Throws
+/// DefinabilityBudgetError if the family exceeds max_sets.
+std::set<std::vector<bool>> definable_sets(const KripkeModel& k, int depth,
+                                           bool graded,
+                                           std::size_t max_sets = 1u << 20);
+
+/// The reference family: all unions of blocks of the given partition.
+/// Throws DefinabilityBudgetError if 2^num_blocks exceeds max_sets.
+std::set<std::vector<bool>> unions_of_blocks(const Partition& p, int num_states,
+                                             std::size_t max_sets = 1u << 20);
+
+}  // namespace wm

@@ -1,0 +1,147 @@
+#include "bisim/distinguish.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace wm {
+
+namespace {
+
+/// One refinement layer: block ids and the characteristic formula of
+/// every block.
+struct Layer {
+  std::vector<int> block;
+  int num_blocks = 0;
+  std::vector<Formula> chi;  // per block id
+};
+
+Layer initial_layer(const KripkeModel& k) {
+  Layer layer;
+  const int n = k.num_states();
+  layer.block.assign(static_cast<std::size_t>(n), 0);
+  std::map<std::vector<bool>, int> dict;
+  for (int v = 0; v < n; ++v) {
+    std::vector<bool> profile(static_cast<std::size_t>(k.num_props()));
+    for (int q = 1; q <= k.num_props(); ++q) profile[q - 1] = k.prop_holds(q, v);
+    auto [it, fresh] = dict.try_emplace(profile, static_cast<int>(dict.size()));
+    layer.block[v] = it->second;
+    if (fresh) {
+      FormulaVec conj;
+      for (int q = 1; q <= k.num_props(); ++q) {
+        conj.push_back(profile[q - 1] ? Formula::prop(q)
+                                      : Formula::negate(Formula::prop(q)));
+      }
+      layer.chi.push_back(Formula::conj_all(std::move(conj)));
+    }
+  }
+  layer.num_blocks = static_cast<int>(dict.size());
+  return layer;
+}
+
+/// Successor counts of `state` into each block of `prev`, per modality.
+std::vector<std::vector<int>> successor_counts(const KripkeModel& k,
+                                               const Layer& prev, int state,
+                                               const std::vector<Modality>& mods) {
+  std::vector<std::vector<int>> counts(
+      mods.size(), std::vector<int>(static_cast<std::size_t>(prev.num_blocks), 0));
+  for (std::size_t a = 0; a < mods.size(); ++a) {
+    for (int w : k.successors(mods[a], state)) {
+      ++counts[a][prev.block[w]];
+    }
+  }
+  return counts;
+}
+
+Layer refine_layer(const KripkeModel& k, const Layer& prev, bool graded) {
+  const int n = k.num_states();
+  const auto mods = k.modalities();
+  Layer next;
+  next.block.assign(static_cast<std::size_t>(n), 0);
+
+  // Signature: previous block + per-modality per-block counts (graded)
+  // or presence bits (ungraded).
+  using Sig = std::pair<int, std::vector<std::vector<int>>>;
+  std::map<Sig, int> dict;
+  std::vector<int> rep;  // representative state per new block
+  for (int v = 0; v < n; ++v) {
+    auto counts = successor_counts(k, prev, v, mods);
+    if (!graded) {
+      for (auto& row : counts) {
+        for (int& c : row) c = c > 0 ? 1 : 0;
+      }
+    }
+    Sig sig{prev.block[v], std::move(counts)};
+    auto [it, fresh] = dict.try_emplace(std::move(sig), static_cast<int>(dict.size()));
+    next.block[v] = it->second;
+    if (fresh) rep.push_back(v);
+  }
+  next.num_blocks = static_cast<int>(dict.size());
+
+  // Characteristic formulas from each block's representative.
+  next.chi.reserve(rep.size());
+  for (int b = 0; b < next.num_blocks; ++b) {
+    const int s = rep[b];
+    FormulaVec conj{prev.chi[prev.block[s]]};
+    const auto counts = successor_counts(k, prev, s, mods);
+    for (std::size_t a = 0; a < mods.size(); ++a) {
+      for (int c = 0; c < prev.num_blocks; ++c) {
+        const int cnt = counts[a][c];
+        if (graded) {
+          if (cnt > 0) {
+            conj.push_back(Formula::diamond(mods[a], prev.chi[c], cnt));
+          }
+          conj.push_back(Formula::negate(
+              Formula::diamond(mods[a], prev.chi[c], cnt + 1)));
+        } else {
+          const Formula d = Formula::diamond(mods[a], prev.chi[c], 1);
+          conj.push_back(cnt > 0 ? d : Formula::negate(d));
+        }
+      }
+    }
+    next.chi.push_back(Formula::conj_all(std::move(conj)));
+  }
+  return next;
+}
+
+}  // namespace
+
+Formula characteristic_formula(const KripkeModel& k, int state, bool graded) {
+  Layer layer = initial_layer(k);
+  for (;;) {
+    Layer next = refine_layer(k, layer, graded);
+    if (next.num_blocks == layer.num_blocks) {
+      return layer.chi[layer.block[state]];
+    }
+    layer = std::move(next);
+  }
+}
+
+std::vector<Formula> characteristic_formulas(const KripkeModel& k, int rounds,
+                                             bool graded) {
+  Layer layer = initial_layer(k);
+  for (int t = 0; rounds < 0 || t < rounds; ++t) {
+    Layer next = refine_layer(k, layer, graded);
+    if (next.num_blocks == layer.num_blocks && rounds < 0) break;
+    layer = std::move(next);
+  }
+  std::vector<Formula> out(static_cast<std::size_t>(k.num_states()));
+  for (int v = 0; v < k.num_states(); ++v) {
+    out[v] = layer.chi[layer.block[v]];
+  }
+  return out;
+}
+
+std::optional<Formula> distinguishing_formula(const KripkeModel& k, int u,
+                                              int v, bool graded) {
+  Layer layer = initial_layer(k);
+  for (;;) {
+    if (layer.block[u] != layer.block[v]) {
+      return layer.chi[layer.block[u]];
+    }
+    Layer next = refine_layer(k, layer, graded);
+    if (next.num_blocks == layer.num_blocks) return std::nullopt;
+    layer = std::move(next);
+  }
+}
+
+}  // namespace wm

@@ -1,0 +1,48 @@
+// Distinguishing and characteristic formulas.
+//
+// Bisimulation (Fact 1) says bisimilar states agree on all formulas; the
+// converse direction, on finite models, is witnessed constructively:
+// whenever u and v are NOT (g-)bisimilar there is a formula true at u
+// and false at v. This module extracts such formulas from the partition
+// refinement history — turning every separation in this library into a
+// concrete modal-logic certificate, and (via the Theorem 2 compiler)
+// into a concrete distributed algorithm that tells u from v.
+//
+// Construction: characteristic formulas per refinement round,
+//   chi^0_B  = atomic profile of block B,
+//   chi^{r+1}_B = chi^r_{parent(B)} ∧
+//       for each modality alpha and each round-r block C:
+//         ungraded: <alpha> chi^r_C or ~<alpha> chi^r_C, per whether B's
+//                   members have an alpha-successor in C;
+//         graded:   "exactly c_{alpha,C}" via <alpha>_{>=c} ∧ ~<alpha>_{>=c+1}.
+// Formulas share subterms structurally; their printed size can be
+// exponential but their DAG size is polynomial.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bisim/bisimulation.hpp"
+#include "logic/formula.hpp"
+
+namespace wm {
+
+/// Characteristic formula of `state`'s block at the refinement fixpoint:
+/// true exactly on the states (g-)bisimilar to `state`.
+Formula characteristic_formula(const KripkeModel& k, int state,
+                               bool graded = false);
+
+/// A formula true at u and false at v, or nullopt if u and v are
+/// (g-)bisimilar. Modal depth is at most the number of refinement
+/// rounds needed to split them.
+std::optional<Formula> distinguishing_formula(const KripkeModel& k, int u,
+                                              int v, bool graded = false);
+
+/// Characteristic formulas of every state's block after exactly `rounds`
+/// refinement steps (rounds < 0: the fixpoint): result[v] is true at w
+/// iff v and w are `rounds`-step (g-)bisimilar. md(result[v]) <= rounds.
+/// Used by the synthesis pipeline (core/synthesis.hpp).
+std::vector<Formula> characteristic_formulas(const KripkeModel& k, int rounds,
+                                             bool graded = false);
+
+}  // namespace wm

@@ -1,0 +1,63 @@
+#include "bisim/quotient.hpp"
+
+#include <set>
+
+namespace wm {
+
+KripkeModel quotient_model(const KripkeModel& k, const Partition& p) {
+  KripkeModel q(p.num_blocks, k.num_props());
+  const auto blocks = p.blocks();
+  for (const Modality& alpha : k.modalities()) {
+    q.ensure_relation(alpha);
+    std::set<std::pair<int, int>> added;
+    for (int v = 0; v < k.num_states(); ++v) {
+      for (int w : k.successors(alpha, v)) {
+        const std::pair<int, int> e{p.block[v], p.block[w]};
+        if (added.insert(e).second) q.add_edge(alpha, e.first, e.second);
+      }
+    }
+  }
+  for (int b = 0; b < p.num_blocks; ++b) {
+    if (blocks[b].empty()) continue;
+    const int rep = blocks[b][0];
+    for (int prop = 1; prop <= k.num_props(); ++prop) {
+      if (k.prop_holds(prop, rep)) q.set_prop(prop, b);
+    }
+  }
+  return q;
+}
+
+KripkeModel minimise(const KripkeModel& k) {
+  return quotient_model(k, coarsest_bisimulation(k));
+}
+
+KripkeModel graded_quotient_model(const KripkeModel& k, const Partition& p) {
+  KripkeModel q(p.num_blocks, k.num_props());
+  const auto blocks = p.blocks();
+  for (const Modality& alpha : k.modalities()) {
+    q.ensure_relation(alpha);
+    for (int b = 0; b < p.num_blocks; ++b) {
+      if (blocks[b].empty()) continue;
+      const int rep = blocks[b][0];
+      std::vector<int> count(static_cast<std::size_t>(p.num_blocks), 0);
+      for (int w : k.successors(alpha, rep)) ++count[p.block[w]];
+      for (int c = 0; c < p.num_blocks; ++c) {
+        for (int i = 0; i < count[c]; ++i) q.add_edge(alpha, b, c);
+      }
+    }
+  }
+  for (int b = 0; b < p.num_blocks; ++b) {
+    if (blocks[b].empty()) continue;
+    const int rep = blocks[b][0];
+    for (int prop = 1; prop <= k.num_props(); ++prop) {
+      if (k.prop_holds(prop, rep)) q.set_prop(prop, b);
+    }
+  }
+  return q;
+}
+
+KripkeModel minimise_graded(const KripkeModel& k) {
+  return graded_quotient_model(k, coarsest_graded_bisimulation(k));
+}
+
+}  // namespace wm

@@ -1,0 +1,38 @@
+// Quotients of Kripke models by bisimulation equivalences — canonical
+// minimal models.
+//
+// For an (ungraded) bisimulation partition P of K, the quotient K/P has
+// the blocks as states, a block satisfying q iff its members do (B1
+// guarantees uniformity) and an alpha-edge B -> C iff some member of B
+// has an alpha-successor in C (by B2/B3 then every member does, up to
+// the block). Every ML/MML formula has the same truth value at v in K
+// and at [v] in K/P — property-tested against the model checker.
+//
+// (The graded analogue needs multiplicity-annotated edges and is not
+// provided; graded queries should be evaluated on the original model.)
+#pragma once
+
+#include "bisim/bisimulation.hpp"
+#include "logic/kripke.hpp"
+
+namespace wm {
+
+/// The quotient K / p. Precondition: p is a bisimulation partition of k
+/// (e.g. from coarsest_bisimulation) — verified with
+/// verify_bisimulation_partition in debug contexts by the caller.
+KripkeModel quotient_model(const KripkeModel& k, const Partition& p);
+
+/// Convenience: quotient by the coarsest bisimulation.
+KripkeModel minimise(const KripkeModel& k);
+
+/// Graded quotient: like quotient_model, but the alpha-edge B -> C is
+/// added with multiplicity = |alpha-successors in C| of any member of B
+/// (uniform when p is a GRADED bisimulation partition). Parallel edges
+/// make the graded model checker count correctly, so GML/GMML formulas
+/// survive the quotient — property-tested.
+KripkeModel graded_quotient_model(const KripkeModel& k, const Partition& p);
+
+/// Convenience: graded quotient by the coarsest graded bisimulation.
+KripkeModel minimise_graded(const KripkeModel& k);
+
+}  // namespace wm

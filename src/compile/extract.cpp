@@ -1,0 +1,357 @@
+#include "compile/extract.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace wm {
+
+Variant variant_for_class(const AlgebraicClass& cls) {
+  if (cls.send == SendMode::Broadcast) {
+    return cls.receive == ReceiveMode::Vector ? Variant::PlusMinus
+                                              : Variant::MinusMinus;
+  }
+  return cls.receive == ReceiveMode::Vector ? Variant::PlusPlus
+                                            : Variant::MinusPlus;
+}
+
+namespace {
+
+using Config = std::pair<Value, int>;         // (abstract state, degree)
+using PhiMap = std::map<Config, FormulaVec>;  // disjuncts of phi_{(z,d),t}
+
+/// "deg(v) = d" as a formula: q_d for d >= 1, and "no q_i" for d = 0.
+Formula degree_formula(int d, int delta) {
+  if (d >= 1) return Formula::prop(d);
+  FormulaVec none;
+  for (int i = 1; i <= delta; ++i) {
+    none.push_back(Formula::negate(Formula::prop(i)));
+  }
+  return Formula::conj_all(std::move(none));
+}
+
+struct Budget {
+  std::size_t remaining;
+  void spend(std::size_t n = 1) {
+    if (n > remaining) {
+      throw ExtractionLimitError(
+          "extract_formula: abstract inbox enumeration exceeded the cap");
+    }
+    remaining -= n;
+  }
+};
+
+/// "exactly c successors via alpha satisfy theta":
+/// <alpha>_{>=c} theta & ~<alpha>_{>=c+1} theta  (just the negation if c=0).
+Formula exactly(const Modality& alpha, int c, const Formula& theta) {
+  const Formula no_more =
+      Formula::negate(Formula::diamond(alpha, theta, c + 1));
+  if (c == 0) return no_more;
+  return Formula::conj(Formula::diamond(alpha, theta, c), no_more);
+}
+
+/// Enumerates all ways to write d as an ordered sum over `cells` slots;
+/// calls fn(counts).
+void compositions(int d, std::size_t cells, std::vector<int>& counts,
+                  std::size_t i, Budget& budget,
+                  const std::function<void(const std::vector<int>&)>& fn) {
+  if (i + 1 == cells) {
+    counts[i] = d;
+    budget.spend();
+    fn(counts);
+    return;
+  }
+  for (int c = 0; c <= d; ++c) {
+    counts[i] = c;
+    compositions(d - c, cells, counts, i + 1, budget, fn);
+  }
+}
+
+class Extractor {
+ public:
+  Extractor(const StateMachine& m, const ExtractionOptions& opts)
+      : m_(m), opts_(opts), cls_(m.algebraic_class()),
+        variant_(variant_for_class(cls_)),
+        budget_{opts.max_inbox_combos} {}
+
+  Formula run() {
+    PhiMap phi;
+    // R_0: phi_{(z0(d), d), 0} = degree_formula(d).
+    for (int d = 0; d <= opts_.delta; ++d) {
+      phi[{m_.init(d), d}].push_back(degree_formula(d, opts_.delta));
+    }
+    for (int t = 1; t <= opts_.rounds; ++t) {
+      phi = step(collapse(phi));
+      if (phi.size() > opts_.max_abstract_states) {
+        throw ExtractionLimitError(
+            "extract_formula: abstract state space exceeded the cap");
+      }
+    }
+    // psi = disjunction of phi_{(z,d),T} over stopping states with output 1.
+    FormulaVec out;
+    for (auto& [config, disjuncts] : phi) {
+      const auto& [z, d] = config;
+      if (m_.is_stopping(z) && z.is_int() && z.as_int() == 1) {
+        out.push_back(Formula::disj_all(disjuncts));
+      }
+    }
+    return Formula::disj_all(std::move(out));
+  }
+
+ private:
+  std::map<Config, Formula> collapse(const PhiMap& phi) {
+    std::map<Config, Formula> out;
+    for (const auto& [config, disjuncts] : phi) {
+      out.emplace(config, Formula::disj_all(disjuncts));
+    }
+    return out;
+  }
+
+  /// One round of Table 5: from phi_{.,t-1} to phi_{.,t}.
+  PhiMap step(const std::map<Config, Formula>& prev) {
+    // Message alphabet with sender formulas theta.
+    // Ported: theta_by_port[j-1][m] = theta_{m,j,t}.
+    // Broadcast: theta_bcast[m] = theta_{m,t}.
+    std::vector<std::map<Value, FormulaVec>> theta_by_port(
+        static_cast<std::size_t>(opts_.delta));
+    std::map<Value, FormulaVec> theta_bcast;
+    const Value m0 = Value::unit();
+    for (const auto& [config, f] : prev) {
+      const auto& [z, d] = config;
+      if (d == 0) continue;  // isolated nodes never send
+      if (cls_.send == SendMode::Broadcast) {
+        const Value msg = m_.is_stopping(z) ? m0 : m_.message(z, 1);
+        theta_bcast[msg].push_back(f);
+      } else {
+        for (int j = 1; j <= d; ++j) {
+          const Value msg = m_.is_stopping(z) ? m0 : m_.message(z, j);
+          theta_by_port[j - 1][msg].push_back(f);
+        }
+      }
+    }
+    std::vector<std::map<Value, Formula>> theta_j(
+        static_cast<std::size_t>(opts_.delta));
+    std::map<Value, Formula> theta_b;
+    std::vector<Value> alphabet;  // all distinct messages this round
+    {
+      std::map<Value, bool> seen;
+      for (int j = 0; j < opts_.delta; ++j) {
+        for (auto& [msg, fs] : theta_by_port[j]) {
+          theta_j[j].emplace(msg, Formula::disj_all(fs));
+          seen[msg] = true;
+        }
+      }
+      for (auto& [msg, fs] : theta_bcast) {
+        theta_b.emplace(msg, Formula::disj_all(fs));
+        seen[msg] = true;
+      }
+      for (auto& [msg, _] : seen) alphabet.push_back(msg);
+    }
+
+    PhiMap next;
+    for (const auto& [config, fx] : prev) {
+      const auto& [x, d] = config;
+      if (m_.is_stopping(x)) {
+        next[config].push_back(fx);  // absorbing
+        continue;
+      }
+      switch (cls_.receive) {
+        case ReceiveMode::Vector:
+          enumerate_vectors(x, d, fx, alphabet, theta_j, theta_b, next);
+          break;
+        case ReceiveMode::Multiset:
+          enumerate_multisets(x, d, fx, alphabet, theta_j, theta_b, next);
+          break;
+        case ReceiveMode::Set:
+          enumerate_sets(x, d, fx, alphabet, theta_j, theta_b, next);
+          break;
+      }
+    }
+    return next;
+  }
+
+  void emit(PhiMap& next, const Value& x, int d, const Value& inbox,
+            Formula fla) {
+    const Value z = m_.transition(x, inbox, d);
+    next[{z, d}].push_back(std::move(fla));
+  }
+
+  // --- Vector receive: Parts 3 and 4(e). Inbox = ordered vector. -----------
+  void enumerate_vectors(const Value& x, int d, const Formula& fx,
+                         const std::vector<Value>& alphabet,
+                         const std::vector<std::map<Value, Formula>>& theta_j,
+                         const std::map<Value, Formula>& theta_b, PhiMap& next) {
+    ValueVec vec(static_cast<std::size_t>(d));
+    FormulaVec entries(static_cast<std::size_t>(d));
+    std::function<void(int)> rec = [&](int i) {
+      if (i == d) {
+        budget_.spend();
+        FormulaVec conj{fx};
+        conj.insert(conj.end(), entries.begin(), entries.begin() + d);
+        emit(next, x, d, Value::tuple(vec), Formula::conj_all(conj));
+        return;
+      }
+      for (const Value& msg : alphabet) {
+        Formula entry;
+        bool possible = false;
+        if (variant_ == Variant::PlusPlus) {
+          // entry i = m  <=>  some j with <(i+1, j)> theta_{m,j,t}.
+          FormulaVec options;
+          for (int j = 1; j <= opts_.delta; ++j) {
+            auto it = theta_j[j - 1].find(msg);
+            if (it != theta_j[j - 1].end()) {
+              options.push_back(
+                  Formula::diamond({i + 1, j}, it->second, 1));
+            }
+          }
+          if (!options.empty()) {
+            possible = true;
+            entry = Formula::disj_all(std::move(options));
+          }
+        } else {  // PlusMinus: broadcast senders
+          auto it = theta_b.find(msg);
+          if (it != theta_b.end()) {
+            possible = true;
+            entry = Formula::diamond({i + 1, 0}, it->second, 1);
+          }
+        }
+        if (!possible) continue;
+        vec[i] = msg;
+        entries[i] = entry;
+        rec(i + 1);
+      }
+    };
+    rec(0);
+  }
+
+  // --- Multiset receive: Parts 4(c) MV and 4(f) MB. ------------------------
+  void enumerate_multisets(const Value& x, int d, const Formula& fx,
+                           const std::vector<Value>& alphabet,
+                           const std::vector<std::map<Value, Formula>>& theta_j,
+                           const std::map<Value, Formula>& theta_b,
+                           PhiMap& next) {
+    if (variant_ == Variant::MinusMinus) {
+      // Count vector over the broadcast alphabet.
+      std::vector<Value> msgs;
+      std::vector<Formula> thetas;
+      for (const auto& [msg, th] : theta_b) {
+        msgs.push_back(msg);
+        thetas.push_back(th);
+      }
+      if (msgs.empty()) {
+        if (d == 0) emit(next, x, d, Value::mset({}), fx);
+        return;
+      }
+      std::vector<int> counts(msgs.size());
+      compositions(d, msgs.size(), counts, 0, budget_,
+                   [&](const std::vector<int>& c) {
+                     ValueVec inbox;
+                     FormulaVec conj{fx};
+                     for (std::size_t i = 0; i < msgs.size(); ++i) {
+                       for (int r = 0; r < c[i]; ++r) inbox.push_back(msgs[i]);
+                       conj.push_back(exactly({0, 0}, c[i], thetas[i]));
+                     }
+                     emit(next, x, d, Value::mset(std::move(inbox)),
+                          Formula::conj_all(std::move(conj)));
+                   });
+      return;
+    }
+    // MinusPlus (MV): counts per (j, m) cell, column sums give the inbox.
+    std::vector<std::pair<int, Value>> cells;  // (j, m)
+    std::vector<Formula> cell_theta;
+    for (int j = 1; j <= opts_.delta; ++j) {
+      for (const auto& [msg, th] : theta_j[j - 1]) {
+        cells.emplace_back(j, msg);
+        cell_theta.push_back(th);
+      }
+    }
+    if (cells.empty()) {
+      if (d == 0) emit(next, x, d, Value::mset({}), fx);
+      return;
+    }
+    std::vector<int> counts(cells.size());
+    compositions(d, cells.size(), counts, 0, budget_,
+                 [&](const std::vector<int>& c) {
+                   ValueVec inbox;
+                   FormulaVec conj{fx};
+                   for (std::size_t i = 0; i < cells.size(); ++i) {
+                     for (int r = 0; r < c[i]; ++r) inbox.push_back(cells[i].second);
+                     conj.push_back(
+                         exactly({0, cells[i].first}, c[i], cell_theta[i]));
+                   }
+                   emit(next, x, d, Value::mset(std::move(inbox)),
+                        Formula::conj_all(std::move(conj)));
+                 });
+    (void)alphabet;
+  }
+
+  // --- Set receive: Parts 4(d) SV and 4(g) SB. -----------------------------
+  void enumerate_sets(const Value& x, int d, const Formula& fx,
+                      const std::vector<Value>& alphabet,
+                      const std::vector<std::map<Value, Formula>>& theta_j,
+                      const std::map<Value, Formula>& theta_b, PhiMap& next) {
+    // "m received at least once" / "m not received", per class.
+    auto received = [&](const Value& msg) -> std::pair<bool, Formula> {
+      if (variant_ == Variant::MinusMinus) {
+        auto it = theta_b.find(msg);
+        if (it == theta_b.end()) return {false, Formula::fls()};
+        return {true, Formula::diamond({0, 0}, it->second, 1)};
+      }
+      FormulaVec options;
+      for (int j = 1; j <= opts_.delta; ++j) {
+        auto it = theta_j[j - 1].find(msg);
+        if (it != theta_j[j - 1].end()) {
+          options.push_back(Formula::diamond({0, j}, it->second, 1));
+        }
+      }
+      if (options.empty()) return {false, Formula::fls()};
+      return {true, Formula::disj_all(std::move(options))};
+    };
+
+    if (d == 0) {
+      emit(next, x, d, Value::set({}), fx);
+      return;
+    }
+    const std::size_t a = alphabet.size();
+    if (a == 0) return;
+    if (a > 20) {
+      throw ExtractionLimitError("extract_formula: set alphabet too large");
+    }
+    for (std::uint64_t mask = 1; mask < (1ULL << a); ++mask) {
+      if (static_cast<int>(__builtin_popcountll(mask)) > d) continue;
+      budget_.spend();
+      ValueVec inbox;
+      FormulaVec conj{fx};
+      bool feasible = true;
+      for (std::size_t i = 0; i < a; ++i) {
+        auto [possible, fml] = received(alphabet[i]);
+        if (mask & (1ULL << i)) {
+          if (!possible) {
+            feasible = false;
+            break;
+          }
+          inbox.push_back(alphabet[i]);
+          conj.push_back(fml);
+        } else if (possible) {
+          conj.push_back(Formula::negate(fml));
+        }
+      }
+      if (!feasible) continue;
+      emit(next, x, d, Value::set(std::move(inbox)), Formula::conj_all(conj));
+    }
+  }
+
+  const StateMachine& m_;
+  ExtractionOptions opts_;
+  AlgebraicClass cls_;
+  Variant variant_;
+  Budget budget_;
+};
+
+}  // namespace
+
+Formula extract_formula(const StateMachine& m, const ExtractionOptions& opts) {
+  return Extractor(m, opts).run();
+}
+
+}  // namespace wm

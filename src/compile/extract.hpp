@@ -1,0 +1,55 @@
+// Theorem 2, proof Parts 3–4: extracting a modal formula from a local
+// algorithm (Tables 4 and 5 of the paper).
+//
+// Given a machine A_Delta that stops within T rounds on every
+// port-numbered graph of maximum degree Delta, builds a formula psi with
+// md(psi) <= T such that ||psi||_{K_{a,b}(G,p)} equals the set of nodes
+// outputting 1 — where the variant (a, b) matches the machine's class:
+//
+//   Vector               -> MML  on K_{+,+}     (Part 3)
+//   Multiset / Set       -> GMML / MML on K_{-,+}
+//   Vector∩Broadcast     -> MML  on K_{+,-}
+//   Multiset∩Broadcast   -> GML  on K_{-,-}     (Part 4 (f))
+//   Set∩Broadcast        -> ML   on K_{-,-}
+//
+// The construction enumerates the *abstract reachable* (state, degree)
+// pairs round by round: R_0 = {(z0(d), d)}, and R_{t+1} closes R_t under
+// delta applied to every combinatorially possible inbox over the round-t
+// message alphabet. This over-approximates true reachability, which is
+// sound: the formulas phi_{z,t} of Table 4 are built exactly per Table 5,
+// and extra disjuncts for unreachable configurations are simply never
+// true. The machine must have a finite abstraction; the options cap the
+// search and extraction throws ExtractionLimitError beyond the caps.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "logic/formula.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace wm {
+
+class ExtractionLimitError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ExtractionOptions {
+  int delta = 2;
+  /// Number of rounds the formula simulates. The machine must stop within
+  /// this many rounds on every (G, p) with max degree <= delta, and its
+  /// stopping states must be Int 0/1.
+  int rounds = 2;
+  std::size_t max_abstract_states = 50000;
+  std::size_t max_inbox_combos = 2000000;
+};
+
+/// Builds psi_Delta for the machine. Output-1 semantics: K,v |= psi iff
+/// the machine's output at v is Int 1.
+Formula extract_formula(const StateMachine& m, const ExtractionOptions& opts);
+
+/// The Kripke variant matching a machine class (Table 3 correspondence).
+Variant variant_for_class(const AlgebraicClass& cls);
+
+}  // namespace wm

@@ -1,0 +1,294 @@
+#include "compile/formula_compiler.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace wm {
+
+Formula desugar_boxes(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::True:
+    case Formula::Kind::False:
+    case Formula::Kind::Prop:
+      return f;
+    case Formula::Kind::Not:
+      return Formula::negate(desugar_boxes(f.child()));
+    case Formula::Kind::And:
+      return Formula::conj(desugar_boxes(f.child(0)), desugar_boxes(f.child(1)));
+    case Formula::Kind::Or:
+      return Formula::disj(desugar_boxes(f.child(0)), desugar_boxes(f.child(1)));
+    case Formula::Kind::Diamond:
+      return Formula::diamond(f.modality(), desugar_boxes(f.child()), f.grade());
+    case Formula::Kind::Box:
+      return Formula::negate(Formula::diamond(
+          f.modality(), Formula::negate(desugar_boxes(f.child())), 1));
+  }
+  return f;
+}
+
+AlgebraicClass natural_class_for(Variant variant, bool graded) {
+  switch (variant) {
+    case Variant::PlusPlus:
+      return AlgebraicClass::vector();
+    case Variant::MinusPlus:
+      return graded ? AlgebraicClass::multiset() : AlgebraicClass::set();
+    case Variant::PlusMinus:
+      return AlgebraicClass::vector_broadcast();
+    case Variant::MinusMinus:
+      return graded ? AlgebraicClass::multiset_broadcast()
+                    : AlgebraicClass::set_broadcast();
+  }
+  return AlgebraicClass::vector();
+}
+
+namespace {
+
+constexpr std::int64_t kU = 2;  // the paper's "undefined" truth value
+
+/// The machine of Theorem 2, Parts 1-2. One instance per (psi, Delta).
+class FormulaMachine final : public StateMachine {
+ public:
+  FormulaMachine(Formula psi, Variant variant, int delta, AlgebraicClass cls)
+      : psi_(desugar_boxes(psi)), variant_(variant), delta_(delta), cls_(cls) {
+    if (!psi_.in_signature(variant, delta)) {
+      throw std::invalid_argument(
+          "compile_formula: formula not in the variant's signature");
+    }
+    validate_class();
+    // Closure with children preceding parents.
+    closure_ = subformula_closure(psi_);
+    for (std::size_t i = 0; i < closure_.size(); ++i) {
+      index_.emplace(closure_[i], static_cast<int>(i));
+    }
+    psi_idx_ = index_.at(psi_);
+    // Message payload: truth values of all diamond children, in closure
+    // order. (The paper restricts the message to D_j per port; sending
+    // the union keeps the construction uniform and stays in-class.)
+    for (std::size_t i = 0; i < closure_.size(); ++i) {
+      if (closure_[i].kind() == Formula::Kind::Diamond) {
+        const int child = index_.at(closure_[i].child());
+        if (payload_slot_.try_emplace(child, static_cast<int>(payload_.size()))
+                .second) {
+          payload_.push_back(child);
+        }
+      }
+    }
+  }
+
+  AlgebraicClass algebraic_class() const override { return cls_; }
+
+  Value init(int degree) const override {
+    std::vector<std::int64_t> vals(closure_.size(), kU);
+    for (std::size_t i = 0; i < closure_.size(); ++i) {
+      const Formula& f = closure_[i];
+      switch (f.kind()) {
+        case Formula::Kind::True:
+          vals[i] = 1;
+          break;
+        case Formula::Kind::False:
+          vals[i] = 0;
+          break;
+        case Formula::Kind::Prop:
+          vals[i] = f.prop_id() == degree ? 1 : 0;
+          break;
+        case Formula::Kind::Not: {
+          const std::int64_t c = vals[index_.at(f.child())];
+          vals[i] = c == kU ? kU : 1 - c;
+          break;
+        }
+        case Formula::Kind::And: {
+          vals[i] = and3(vals[index_.at(f.child(0))], vals[index_.at(f.child(1))]);
+          break;
+        }
+        case Formula::Kind::Or: {
+          const std::int64_t a = vals[index_.at(f.child(0))];
+          const std::int64_t b = vals[index_.at(f.child(1))];
+          // or = ~( ~a & ~b ) with strict U-propagation.
+          vals[i] = (a == kU || b == kU) ? kU : (a == 1 || b == 1 ? 1 : 0);
+          break;
+        }
+        case Formula::Kind::Diamond:
+          vals[i] = kU;  // resolved from round 1 messages onward
+          break;
+        case Formula::Kind::Box:
+          throw std::logic_error("FormulaMachine: box not desugared");
+      }
+    }
+    return encode(vals);
+  }
+
+  bool is_stopping(const Value& state) const override { return state.is_int(); }
+
+  Value message(const Value& state, int port) const override {
+    const ValueVec& vals = state.items();
+    ValueVec payload_vals;
+    payload_vals.reserve(payload_.size());
+    for (int idx : payload_) payload_vals.push_back(vals[idx]);
+    Value payload = Value::tuple(std::move(payload_vals));
+    if (cls_.send == SendMode::Broadcast) return payload;
+    return Value::pair(Value::integer(port), std::move(payload));
+  }
+
+  Value transition(const Value& state, const Value& inbox,
+                   int degree) const override {
+    const ValueVec& old_tuple = state.items();
+    // Paper: if f(psi) != U the next state is the stopping state f(psi).
+    if (old_tuple[psi_idx_].as_int() != kU) return old_tuple[psi_idx_];
+
+    std::vector<std::int64_t> f(closure_.size());
+    for (std::size_t i = 0; i < closure_.size(); ++i) f[i] = old_tuple[i].as_int();
+    std::vector<std::int64_t> g = f;
+
+    for (std::size_t i = 0; i < closure_.size(); ++i) {
+      if (f[i] != kU) continue;  // rule (a): keep determined values
+      const Formula& fla = closure_[i];
+      switch (fla.kind()) {
+        case Formula::Kind::Not: {
+          const std::int64_t c = g[index_.at(fla.child())];
+          g[i] = c == kU ? kU : 1 - c;
+          break;
+        }
+        case Formula::Kind::And:
+          g[i] = and3(g[index_.at(fla.child(0))], g[index_.at(fla.child(1))]);
+          break;
+        case Formula::Kind::Or: {
+          const std::int64_t a = g[index_.at(fla.child(0))];
+          const std::int64_t b = g[index_.at(fla.child(1))];
+          g[i] = (a == kU || b == kU) ? kU : (a == 1 || b == 1 ? 1 : 0);
+          break;
+        }
+        case Formula::Kind::Diamond: {
+          const int child = index_.at(fla.child());
+          // Rule (delta_3): gate on the *old* value of the child; by
+          // synchrony the senders' tables are determined at the same
+          // global round as ours.
+          if (f[child] == kU) {
+            g[i] = kU;
+            break;
+          }
+          g[i] = eval_diamond(fla, child, inbox, degree) ? 1 : 0;
+          break;
+        }
+        default:
+          // True/False/Prop are never U after init.
+          throw std::logic_error("FormulaMachine: undefined atom after init");
+      }
+    }
+    std::vector<std::int64_t> out = std::move(g);
+    return encode(out);
+  }
+
+ private:
+  static std::int64_t and3(std::int64_t a, std::int64_t b) {
+    if (a == 0 || b == 0) {
+      // Paper's (delta_and): 0 only when both children are determined.
+      return (a != kU && b != kU) ? 0 : kU;
+    }
+    if (a == kU || b == kU) return kU;
+    return 1;
+  }
+
+  void validate_class() const {
+    bool ok = false;
+    switch (variant_) {
+      case Variant::PlusPlus:
+        ok = cls_ == AlgebraicClass::vector();
+        break;
+      case Variant::MinusPlus:
+        ok = cls_ == AlgebraicClass::multiset() || cls_ == AlgebraicClass::set();
+        break;
+      case Variant::PlusMinus:
+        ok = cls_ == AlgebraicClass::vector_broadcast();
+        break;
+      case Variant::MinusMinus:
+        ok = cls_ == AlgebraicClass::multiset_broadcast() ||
+             cls_ == AlgebraicClass::set_broadcast();
+        break;
+    }
+    if (!ok) {
+      throw std::invalid_argument(
+          "compile_formula: class incompatible with Kripke variant");
+    }
+    if (cls_.receive == ReceiveMode::Set && psi_.is_graded()) {
+      throw std::invalid_argument(
+          "compile_formula: graded modalities need Multiset, not Set");
+    }
+  }
+
+  bool eval_diamond(const Formula& fla, int child, const Value& inbox,
+                    int degree) const {
+    const Modality alpha = fla.modality();
+    const int slot = payload_slot_.at(child);
+    auto payload_true = [&](const Value& payload) {
+      return payload.at(static_cast<std::size_t>(slot)).as_int() == 1;
+    };
+    switch (variant_) {
+      case Variant::PlusPlus: {
+        // inbox = Tuple by in-port. Modality (i, j).
+        if (alpha.in > degree) return false;
+        const Value& msg = inbox.at(static_cast<std::size_t>(alpha.in - 1));
+        if (msg.is_unit()) return false;  // m0 from a stopped sender
+        return msg.at(0).as_int() == alpha.out && payload_true(msg.at(1)) &&
+               fla.grade() <= 1;
+      }
+      case Variant::PlusMinus: {
+        if (alpha.in > degree) return false;
+        const Value& msg = inbox.at(static_cast<std::size_t>(alpha.in - 1));
+        if (msg.is_unit()) return false;
+        return payload_true(msg) && fla.grade() <= 1;
+      }
+      case Variant::MinusPlus: {
+        // inbox = MSet or Set of (tag, payload). Modality (*, j), grade k.
+        int count = 0;
+        for (const Value& msg : inbox.items()) {
+          if (msg.is_unit()) continue;
+          if (msg.at(0).as_int() == alpha.out && payload_true(msg.at(1))) ++count;
+        }
+        return count >= fla.grade();
+      }
+      case Variant::MinusMinus: {
+        int count = 0;
+        for (const Value& msg : inbox.items()) {
+          if (msg.is_unit()) continue;
+          if (payload_true(msg)) ++count;
+        }
+        return count >= fla.grade();
+      }
+    }
+    return false;
+  }
+
+  Value encode(const std::vector<std::int64_t>& vals) const {
+    ValueVec items;
+    items.reserve(vals.size());
+    for (std::int64_t v : vals) items.push_back(Value::integer(v));
+    return Value::tuple(std::move(items));
+  }
+
+  Formula psi_;
+  Variant variant_;
+  int delta_;
+  AlgebraicClass cls_;
+  FormulaVec closure_;
+  std::unordered_map<Formula, int> index_;
+  std::unordered_map<int, int> payload_slot_;  // closure idx -> payload slot
+  std::vector<int> payload_;                   // payload slot -> closure idx
+  int psi_idx_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const StateMachine> compile_formula(const Formula& psi,
+                                                    Variant variant, int delta,
+                                                    AlgebraicClass cls) {
+  return std::make_shared<FormulaMachine>(psi, variant, delta, cls);
+}
+
+std::shared_ptr<const StateMachine> compile_formula(const Formula& psi,
+                                                    Variant variant, int delta) {
+  return compile_formula(psi, variant, delta,
+                         natural_class_for(variant, desugar_boxes(psi).is_graded()));
+}
+
+}  // namespace wm

@@ -1,0 +1,46 @@
+// Theorem 2, proof Parts 1–2: compiling a modal formula into a local
+// distributed algorithm of the matching class.
+//
+//   (b) MML  on K_{+,+}  ->  Vector machine            (class VV(1))
+//   (c) GMML on K_{-,+}  ->  Multiset machine          (class MV(1))
+//   (d) MML  on K_{-,+}  ->  Set machine               (class SV(1))
+//   (e) MML  on K_{+,-}  ->  Broadcast machine         (class VB(1))
+//   (f) GML  on K_{-,-}  ->  Multiset∩Broadcast        (class MB(1))
+//   (g) ML   on K_{-,-}  ->  Set∩Broadcast             (class SB(1))
+//
+// The machine's intermediate state is the paper's truth-value table
+// f : Sigma -> {0, 1, U} over the subformula closure Sigma of psi
+// (encoded as a Tuple of Ints, U = 2); messages carry the table
+// restricted to diamond children, tagged with the sending out-port for
+// ported classes. The machine stops after exactly md(psi) + 1 rounds with
+// output Int 0/1 = the truth value of psi at the node in K_{a,b}(G, p).
+#pragma once
+
+#include <memory>
+
+#include "logic/formula.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace wm {
+
+/// Replaces every [alpha]phi by ~<alpha>~phi. True/False/Or are kept.
+Formula desugar_boxes(const Formula& f);
+
+/// The algebraic class Theorem 2 associates with a variant:
+/// PlusPlus -> Vector, MinusPlus -> Multiset or Set (graded or not),
+/// PlusMinus -> Vector∩Broadcast, MinusMinus -> Multiset/Set∩Broadcast.
+AlgebraicClass natural_class_for(Variant variant, bool graded);
+
+/// Compiles psi (signature I^delta_{a,b} per `variant`) into a machine of
+/// class `cls`. Throws std::invalid_argument if the formula is not in the
+/// signature, if cls is incompatible with the variant, or if a graded
+/// modality is used with a Set-receive class.
+std::shared_ptr<const StateMachine> compile_formula(const Formula& psi,
+                                                    Variant variant, int delta,
+                                                    AlgebraicClass cls);
+
+/// Convenience: compile with the natural class for the variant.
+std::shared_ptr<const StateMachine> compile_formula(const Formula& psi,
+                                                    Variant variant, int delta);
+
+}  // namespace wm

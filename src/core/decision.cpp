@@ -1,0 +1,80 @@
+#include "core/decision.hpp"
+
+#include <cmath>
+
+namespace wm {
+
+Decision decide_solvable(const Problem& problem,
+                         const std::vector<PortNumbering>& scope,
+                         ProblemClass c, const DecisionOptions& opts) {
+  const Variant variant = kripke_variant_for(c);
+  const bool graded = graded_logic_for(c);
+
+  int delta = opts.delta;
+  if (delta < 0) {
+    delta = 0;
+    for (const PortNumbering& p : scope) {
+      delta = std::max(delta, p.graph().max_degree());
+    }
+  }
+
+  // Joint model and per-instance state offsets.
+  KripkeModel joint(0, 0);
+  std::vector<int> offset;
+  for (const PortNumbering& p : scope) {
+    offset.push_back(joint.num_states());
+    joint = KripkeModel::disjoint_union(
+        joint, kripke_from_graph(p, variant, delta));
+  }
+
+  const Partition part = graded
+                             ? coarsest_graded_bisimulation(joint, opts.rounds)
+                             : coarsest_bisimulation(joint, opts.rounds);
+  Decision decision;
+  decision.blocks = part.num_blocks;
+
+  const std::vector<int> alphabet = problem.output_alphabet();
+  const double combos =
+      std::pow(static_cast<double>(alphabet.size()), part.num_blocks);
+  if (combos > static_cast<double>(opts.max_assignments)) {
+    throw DecisionBudgetError(
+        "decide_solvable: |Y|^blocks exceeds the assignment budget (" +
+        std::to_string(part.num_blocks) + " blocks)");
+  }
+
+  // Odometer over block colourings.
+  std::vector<std::size_t> idx(static_cast<std::size_t>(part.num_blocks), 0);
+  std::vector<int> colour(static_cast<std::size_t>(part.num_blocks),
+                          alphabet[0]);
+  for (;;) {
+    ++decision.assignments_tried;
+    bool all_valid = true;
+    for (std::size_t i = 0; i < scope.size() && all_valid; ++i) {
+      const Graph& g = scope[i].graph();
+      std::vector<int> out(static_cast<std::size_t>(g.num_nodes()));
+      for (int v = 0; v < g.num_nodes(); ++v) {
+        out[v] = colour[part.block[offset[i] + v]];
+      }
+      all_valid = problem.valid(g, out);
+    }
+    if (all_valid) {
+      decision.solvable = true;
+      decision.block_output = colour;
+      return decision;
+    }
+    // Increment the odometer.
+    std::size_t pos = 0;
+    while (pos < idx.size()) {
+      if (++idx[pos] < alphabet.size()) {
+        colour[pos] = alphabet[idx[pos]];
+        break;
+      }
+      idx[pos] = 0;
+      colour[pos] = alphabet[0];
+      ++pos;
+    }
+    if (pos == idx.size()) return decision;  // exhausted: unsolvable
+  }
+}
+
+}  // namespace wm

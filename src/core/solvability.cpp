@@ -1,0 +1,80 @@
+#include "core/solvability.hpp"
+
+#include <stdexcept>
+
+namespace wm {
+
+ScopedInstance instance_for(const Problem& problem, PortNumbering numbering) {
+  ScopedInstance inst;
+  const Graph& g = numbering.graph();
+  std::optional<std::vector<int>> unique;
+  for_each_output(problem, g, [&](const std::vector<int>& out) {
+    if (problem.valid(g, out)) {
+      if (unique) {
+        throw std::invalid_argument(
+            "instance_for: problem has multiple valid solutions on this graph");
+      }
+      unique = out;
+    }
+    return true;
+  });
+  if (!unique) {
+    throw std::invalid_argument("instance_for: problem has no valid solution");
+  }
+  inst.numbering = std::move(numbering);
+  inst.target = std::move(*unique);
+  return inst;
+}
+
+SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
+                                      ProblemClass c, int delta,
+                                      int max_rounds) {
+  const Variant variant = kripke_variant_for(c);
+  // Multiset classes see multiplicities: graded refinement. Set classes
+  // and Vector classes use ungraded refinement — Vector's extra per-port
+  // structure is already encoded in the (i, j)-indexed relations.
+  const bool graded = graded_logic_for(c);
+
+  // Joint model + flattened targets.
+  KripkeModel joint(0, 0);
+  std::vector<int> target;
+  for (const ScopedInstance& inst : scope) {
+    const KripkeModel k = kripke_from_graph(inst.numbering, variant, delta);
+    joint = KripkeModel::disjoint_union(joint, k);
+    target.insert(target.end(), inst.target.begin(), inst.target.end());
+  }
+
+  auto monochromatic = [&](const Partition& p) {
+    std::vector<int> colour(static_cast<std::size_t>(p.num_blocks), -1);
+    for (int v = 0; v < joint.num_states(); ++v) {
+      int& c2 = colour[p.block[v]];
+      if (c2 < 0) {
+        c2 = target[v];
+      } else if (c2 != target[v]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  SolvabilityReport report;
+  int prev_blocks = -1;
+  for (int t = 0; t <= max_rounds; ++t) {
+    const Partition p = graded ? coarsest_graded_bisimulation(joint, t)
+                               : coarsest_bisimulation(joint, t);
+    if (!report.min_rounds && monochromatic(p)) report.min_rounds = t;
+    if (p.num_blocks == prev_blocks) {
+      report.fixpoint_rounds = t - 1;
+      report.blocks = p.num_blocks;
+      return report;
+    }
+    prev_blocks = p.num_blocks;
+  }
+  const Partition p = graded ? coarsest_graded_bisimulation(joint)
+                             : coarsest_bisimulation(joint);
+  report.fixpoint_rounds = p.rounds;
+  report.blocks = p.num_blocks;
+  return report;
+}
+
+}  // namespace wm

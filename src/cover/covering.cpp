@@ -1,0 +1,106 @@
+#include "cover/covering.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace wm {
+
+bool is_covering_map(const PortNumbering& h, const PortNumbering& g,
+                     const std::vector<NodeId>& phi) {
+  const Graph& gh = h.graph();
+  const Graph& gg = g.graph();
+  if (phi.size() != static_cast<std::size_t>(gh.num_nodes())) return false;
+  std::vector<bool> hit(static_cast<std::size_t>(gg.num_nodes()), false);
+  for (NodeId v = 0; v < gh.num_nodes(); ++v) {
+    if (phi[v] < 0 || phi[v] >= gg.num_nodes()) return false;
+    if (gh.degree(v) != gg.degree(phi[v])) return false;
+    hit[phi[v]] = true;
+    for (int i = 1; i <= gh.degree(v); ++i) {
+      const PortRef up = h.forward({v, i});
+      const PortRef down = g.forward({phi[v], i});
+      if (down.node != phi[up.node] || down.index != up.index) return false;
+    }
+  }
+  for (bool b : hit) {
+    if (!b) return false;  // surjectivity
+  }
+  return true;
+}
+
+namespace {
+
+std::vector<int> checked_permutation(const Voltage& sigma, NodeId u, NodeId v,
+                                     int k) {
+  std::vector<int> pi = sigma(u, v);
+  if (static_cast<int>(pi.size()) != k) {
+    throw std::invalid_argument("voltage_lift: voltage of wrong size");
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(k), false);
+  for (int x : pi) {
+    if (x < 0 || x >= k || seen[x]) {
+      throw std::invalid_argument("voltage_lift: voltage not a permutation");
+    }
+    seen[x] = true;
+  }
+  return pi;
+}
+
+}  // namespace
+
+Lift voltage_lift(const PortNumbering& p, int k, const Voltage& sigma) {
+  if (k < 1) throw std::invalid_argument("voltage_lift: k >= 1 required");
+  const Graph& g = p.graph();
+  const int n = g.num_nodes();
+  auto idx = [n](NodeId v, int layer) { return layer * n + v; };
+
+  Graph lifted(n * k);
+  for (const Edge& e : g.edges()) {
+    const std::vector<int> pi = checked_permutation(sigma, e.u, e.v, k);
+    for (int c = 0; c < k; ++c) {
+      lifted.add_edge(idx(e.u, c), idx(e.v, pi[c]));
+    }
+  }
+
+  // Port numbering of the lift: copy the base ports along the projection.
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(n * k));
+  std::vector<std::vector<int>> in(static_cast<std::size_t>(n * k));
+  for (NodeId w = 0; w < lifted.num_nodes(); ++w) {
+    const NodeId base = w % n;
+    out[w].reserve(static_cast<std::size_t>(lifted.degree(w)));
+    in[w].reserve(static_cast<std::size_t>(lifted.degree(w)));
+    for (NodeId w2 : lifted.neighbours(w)) {
+      const NodeId base2 = w2 % n;
+      out[w].push_back(p.out_port(base, base2));
+      in[w].push_back(p.in_port(base, base2));
+    }
+  }
+  Lift lift;
+  lift.numbering = PortNumbering::from_permutations(lifted, std::move(out),
+                                                    std::move(in));
+  lift.projection.resize(static_cast<std::size_t>(n * k));
+  for (NodeId w = 0; w < n * k; ++w) lift.projection[w] = w % n;
+  return lift;
+}
+
+Lift disjoint_copies(const PortNumbering& p, int k) {
+  std::vector<int> identity(static_cast<std::size_t>(k));
+  std::iota(identity.begin(), identity.end(), 0);
+  return voltage_lift(p, k, [&identity](NodeId, NodeId) { return identity; });
+}
+
+Lift double_cover_lift(const PortNumbering& p) {
+  return voltage_lift(p, 2, [](NodeId, NodeId) {
+    return std::vector<int>{1, 0};
+  });
+}
+
+Lift random_voltage_lift(const PortNumbering& p, int k, Rng& rng) {
+  return voltage_lift(p, k, [k, &rng](NodeId, NodeId) {
+    std::vector<int> pi(static_cast<std::size_t>(k));
+    std::iota(pi.begin(), pi.end(), 0);
+    rng.shuffle(pi);
+    return pi;
+  });
+}
+
+}  // namespace wm

@@ -1,0 +1,62 @@
+// Covering graphs (lifts) and factors — the classic graph-theoretic
+// counterpart of bisimulation (Section 3.3 of the paper; Angluin 1980).
+//
+// A covering map phi : H -> G of port-numbered graphs sends nodes to
+// nodes so that around every h in H, phi restricts to a degree- and
+// port-preserving bijection of the neighbourhood: deg(h) = deg(phi(h)),
+// and the port structure is preserved:
+//   p_H((h, i)) = (h', j)  implies  p_G((phi(h), i)) = (phi(h'), j).
+//
+// Angluin's lifting lemma, executable here: every execution of every
+// machine commutes with phi — x_t(h) = x_t(phi(h)) for all t — so h and
+// phi(h) are indistinguishable to any anonymous algorithm. Tests verify
+// this literally via the engine, and that covers induce K_{+,+}
+// bisimulations.
+//
+// `voltage_lift` builds k-fold covers from permutation voltages: each
+// oriented edge carries a permutation of [k]; the lift has nodes
+// V x [k] and edge copies twisted by the permutation. The bipartite
+// double cover is the special case k = 2 with the flip on every edge.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "port/port_numbering.hpp"
+
+namespace wm {
+
+/// A lift: the covering graph with its port numbering, plus the covering
+/// map down to the base graph.
+struct Lift {
+  PortNumbering numbering;                 // carries the cover graph H
+  std::vector<NodeId> projection;          // phi : V(H) -> V(G)
+};
+
+/// Checks that phi (given as a node map) is a covering map of
+/// port-numbered graphs from `h` down to `g` in the sense above.
+bool is_covering_map(const PortNumbering& h, const PortNumbering& g,
+                     const std::vector<NodeId>& phi);
+
+/// Permutation voltage on the edges of the base graph: for the oriented
+/// edge (u, v) with u < v, `sigma(u, v)` returns a permutation pi of
+/// {0..k-1}; layer c of u connects to layer pi[c] of v.
+using Voltage = std::function<std::vector<int>(NodeId u, NodeId v)>;
+
+/// Builds the k-fold permutation-voltage lift of (G, p). Node (v, c) of
+/// the lift is numbered v * k + c... layer-major: index = c * n + v.
+/// The lifted numbering reuses p's port assignments layer-wise, so the
+/// projection is a covering map by construction (verified in tests).
+Lift voltage_lift(const PortNumbering& p, int k, const Voltage& sigma);
+
+/// Identity voltage: k disjoint copies of (G, p).
+Lift disjoint_copies(const PortNumbering& p, int k);
+
+/// The bipartite double cover as a voltage lift (flip on every edge);
+/// agrees with graph/double_cover.hpp up to node numbering.
+Lift double_cover_lift(const PortNumbering& p);
+
+/// Random voltages — connected covers of random twist.
+Lift random_voltage_lift(const PortNumbering& p, int k, Rng& rng);
+
+}  // namespace wm

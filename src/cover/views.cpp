@@ -1,0 +1,80 @@
+#include "cover/views.hpp"
+
+#include <map>
+#include <unordered_map>
+
+namespace wm {
+
+namespace {
+
+std::vector<Value> iterate_views(const PortNumbering& p, int depth,
+                                 bool broadcast) {
+  const Graph& g = p.graph();
+  const int n = g.num_nodes();
+  std::vector<Value> cur(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) cur[v] = Value::integer(g.degree(v));
+  for (int r = 1; r <= depth; ++r) {
+    std::vector<Value> next(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      ValueVec kids;
+      kids.reserve(static_cast<std::size_t>(g.degree(v)));
+      for (int i = 1; i <= g.degree(v); ++i) {
+        const PortRef src = p.backward({v, i});
+        if (broadcast) {
+          kids.push_back(cur[src.node]);
+        } else {
+          kids.push_back(Value::pair(Value::integer(src.index), cur[src.node]));
+        }
+      }
+      const Value children =
+          broadcast ? Value::mset(std::move(kids)) : Value::tuple(std::move(kids));
+      next[v] = Value::pair(Value::integer(g.degree(v)), children);
+    }
+    // Intern: equal views of the same depth share one node, so deeper
+    // comparisons short-circuit on pointer identity and the whole
+    // computation stays O(depth * m) despite exponentially-sized trees.
+    std::unordered_map<Value, Value> canon;
+    for (NodeId v = 0; v < n; ++v) {
+      auto [it, _] = canon.try_emplace(next[v], next[v]);
+      next[v] = it->second;
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace
+
+std::vector<Value> views(const PortNumbering& p, int depth) {
+  return iterate_views(p, depth, /*broadcast=*/false);
+}
+
+Value view_of(const PortNumbering& p, NodeId v, int depth) {
+  return views(p, depth)[v];
+}
+
+std::vector<Value> stable_views(const PortNumbering& p) {
+  const int n = p.graph().num_nodes();
+  return views(p, n > 0 ? n - 1 : 0);
+}
+
+std::vector<int> view_classes(const PortNumbering& p) {
+  const auto vs = stable_views(p);
+  std::map<Value, int> dict;
+  std::vector<int> out(vs.size());
+  for (std::size_t v = 0; v < vs.size(); ++v) {
+    auto [it, _] = dict.try_emplace(vs[v], static_cast<int>(dict.size()));
+    out[v] = it->second;
+  }
+  return out;
+}
+
+std::vector<Value> broadcast_views(const PortNumbering& p, int depth) {
+  return iterate_views(p, depth, /*broadcast=*/true);
+}
+
+Value broadcast_view_of(const PortNumbering& p, NodeId v, int depth) {
+  return broadcast_views(p, depth)[v];
+}
+
+}  // namespace wm

@@ -1,0 +1,56 @@
+// Yamashita–Kameda views and truncated universal covers.
+//
+// The paper's related-work toolbox (Section 3.3): "the use of symmetry
+// and isomorphisms, local views, covering graphs (lifts) and universal
+// covering graphs" — this module makes views executable and ties them to
+// the bisimulation machinery.
+//
+// The depth-t view of node v in (G, p) is the rooted tree a VV algorithm
+// can learn in t rounds: the root carries deg(v); for each in-port
+// i = 1..deg(v) there is a subtree (j_i, view_{t-1}(u_i)) where u_i is
+// the neighbour feeding in-port i and j_i its out-port towards v.
+//
+// Views are encoded canonically as `Value`s:
+//   view_0(v)     = Int deg(v)
+//   view_{t+1}(v) = (deg(v), ((j_1, V_1), ..., (j_d, V_d)))
+// with positions indexed by in-port number — so equal Values are equal
+// views.
+//
+// Facts made executable here (and checked in tests):
+//  - view_t(u) = view_t(v)  iff  u, v are t-step bisimilar in K_{+,+}
+//    (bounded refinement with max_rounds = t);
+//  - views stabilise by depth n - 1 (Norris): equality of (n-1)-views
+//    implies equality at all depths, so `stable_views` computes the
+//    VV-indistinguishability classes.
+#pragma once
+
+#include <vector>
+
+#include "port/port_numbering.hpp"
+#include "util/value.hpp"
+
+namespace wm {
+
+/// The depth-t view of node v.
+Value view_of(const PortNumbering& p, NodeId v, int depth);
+
+/// Views of all nodes at the given depth (computed bottom-up, O(t * m)
+/// Value constructions with full structural sharing).
+std::vector<Value> views(const PortNumbering& p, int depth);
+
+/// Views at the stabilisation depth n - 1; two nodes have equal stable
+/// views iff no VV algorithm whatsoever can distinguish them on (G, p).
+std::vector<Value> stable_views(const PortNumbering& p);
+
+/// Groups nodes by stable view: block id per node (ids are dense,
+/// ordered by first occurrence).
+std::vector<int> view_classes(const PortNumbering& p);
+
+/// The *broadcast* view (what a VB/MB-style algorithm could at most
+/// learn): like view_of but without the out-port labels j_i and with the
+/// children collected as a multiset rather than an in-port-indexed
+/// tuple. Matches K_{-,-} graded bounded bisimulation.
+Value broadcast_view_of(const PortNumbering& p, NodeId v, int depth);
+std::vector<Value> broadcast_views(const PortNumbering& p, int depth);
+
+}  // namespace wm

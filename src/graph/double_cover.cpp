@@ -1,0 +1,73 @@
+#include "graph/double_cover.hpp"
+
+#include <stdexcept>
+
+namespace wm {
+
+DoubleCover bipartite_double_cover(const Graph& g) {
+  const int n = g.num_nodes();
+  DoubleCover dc;
+  dc.original_n = n;
+  dc.graph = Graph(2 * n);
+  dc.side.assign(static_cast<std::size_t>(2 * n), 0);
+  for (int v = 0; v < n; ++v) dc.side[n + v] = 1;
+  for (const Edge& e : g.edges()) {
+    // Each undirected edge {u,v} lifts to two cover edges.
+    dc.graph.add_edge(dc.copy(e.u, 1), dc.copy(e.v, 2));
+    dc.graph.add_edge(dc.copy(e.v, 1), dc.copy(e.u, 2));
+  }
+  return dc;
+}
+
+std::vector<std::vector<Edge>> one_factorise_bipartite(
+    const Graph& g, const std::vector<int>& side) {
+  const int k = g.max_degree();
+  if (!g.is_regular(k)) {
+    throw std::invalid_argument("one_factorise_bipartite: graph not regular");
+  }
+  std::vector<std::vector<Edge>> factors;
+  Graph rest = g;
+  for (int round = 0; round < k; ++round) {
+    const Matching m = hopcroft_karp(rest, side);
+    if (matching_size(m) * 2 != g.num_nodes()) {
+      throw std::logic_error(
+          "one_factorise_bipartite: no perfect matching in regular bipartite "
+          "remainder (violates König's theorem — graph was not bipartite?)");
+    }
+    std::vector<Edge> factor = matching_edges(m);
+    factors.push_back(factor);
+    // Remove the factor and continue with the (k-round-1)-regular rest.
+    Graph next(rest.num_nodes());
+    for (const Edge& e : rest.edges()) {
+      if (m[e.u] != e.v) next.add_edge(e.u, e.v);
+    }
+    rest = next;
+  }
+  return factors;
+}
+
+std::vector<std::vector<NodeId>> regular_graph_factors(const Graph& g) {
+  const int k = g.max_degree();
+  if (!g.is_regular(k)) {
+    throw std::invalid_argument("regular_graph_factors: graph not regular");
+  }
+  const DoubleCover dc = bipartite_double_cover(g);
+  const auto factors = one_factorise_bipartite(dc.graph, dc.side);
+  const int n = g.num_nodes();
+  std::vector<std::vector<NodeId>> maps;
+  maps.reserve(factors.size());
+  for (const auto& factor : factors) {
+    std::vector<NodeId> f(static_cast<std::size_t>(n), -1);
+    for (const Edge& e : factor) {
+      // Edge {(u,1),(v,2)} in the cover: u < n <= v by construction order,
+      // but normalise via side lookup.
+      const NodeId a = dc.side[e.u] == 0 ? e.u : e.v;   // the (.,1) copy
+      const NodeId b = dc.side[e.u] == 0 ? e.v : e.u;   // the (.,2) copy
+      f[dc.original(a)] = dc.original(b);
+    }
+    maps.push_back(std::move(f));
+  }
+  return maps;
+}
+
+}  // namespace wm

@@ -1,0 +1,45 @@
+// Bipartite double cover and 1-factorisation of regular bipartite graphs.
+//
+// This is the engine behind Lemma 15: for a k-regular graph G, the double
+// cover G* = (V x {1,2}, {{(u,1),(v,2)} : {u,v} in E}) is k-regular
+// bipartite, hence (König / Hall) its edge set is a disjoint union of k
+// perfect matchings E_1..E_k; those matchings induce the symmetric port
+// numbering used to prove VV != VVc.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+
+namespace wm {
+
+struct DoubleCover {
+  Graph graph;             // 2n nodes: (v,1) -> v, (v,2) -> n + v
+  std::vector<int> side;   // 0 for copies (v,1), 1 for copies (v,2)
+  int original_n = 0;
+
+  /// Node id of copy (v, s) for s in {1,2}.
+  NodeId copy(NodeId v, int s) const { return s == 1 ? v : original_n + v; }
+  /// Original node of a cover node.
+  NodeId original(NodeId w) const { return w < original_n ? w : w - original_n; }
+};
+
+DoubleCover bipartite_double_cover(const Graph& g);
+
+/// Decomposes a k-regular bipartite graph into k disjoint perfect
+/// matchings (König's edge-colouring theorem), by repeatedly extracting a
+/// perfect matching with Hopcroft–Karp and deleting it.
+/// Throws if the graph is not regular bipartite.
+std::vector<std::vector<Edge>> one_factorise_bipartite(const Graph& g,
+                                                       const std::vector<int>& side);
+
+/// For a k-regular graph g, returns k "permutation factors" of the double
+/// cover pulled back to g: factor[i] is a function f_i : V -> V such that
+/// {v, f_i(v)} is an edge for all v, and for each v the k values f_i(v)
+/// enumerate the neighbours of v exactly once; moreover f arises from a
+/// perfect matching of the double cover, which is exactly the structure
+/// Lemma 15 needs (R_(i,i) relations covering all edges).
+std::vector<std::vector<NodeId>> regular_graph_factors(const Graph& g);
+
+}  // namespace wm

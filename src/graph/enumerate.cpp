@@ -1,0 +1,92 @@
+#include "graph/enumerate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/properties.hpp"
+
+namespace wm {
+
+namespace {
+
+/// Colour-refinement (1-WL) signature: stable partition colours, sorted.
+/// Graphs with equal signatures are indistinguishable to every anonymous
+/// broadcast algorithm, so for witness searches one representative suffices.
+std::vector<int> refinement_signature(const Graph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> colour(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) colour[v] = g.degree(v);
+  for (int round = 0; round < n; ++round) {
+    std::map<std::pair<int, std::vector<int>>, int> dict;
+    std::vector<int> next(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      std::vector<int> nb;
+      nb.reserve(g.neighbours(v).size());
+      for (NodeId u : g.neighbours(v)) nb.push_back(colour[u]);
+      std::sort(nb.begin(), nb.end());
+      auto key = std::make_pair(colour[v], std::move(nb));
+      auto [it, inserted] = dict.try_emplace(std::move(key), static_cast<int>(dict.size()));
+      next[v] = it->second;
+    }
+    if (next == colour) break;
+    colour = std::move(next);
+  }
+  // Signature = multiset of (colour, count of colour class) — plus the
+  // multiset of coloured edges so different graphs rarely collide.
+  std::vector<int> sig = colour;
+  std::sort(sig.begin(), sig.end());
+  for (const Edge& e : g.edges()) {
+    const int a = std::min(colour[e.u], colour[e.v]);
+    const int b = std::max(colour[e.u], colour[e.v]);
+    sig.push_back(1000 + a * 100 + b);
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+bool admissible(const Graph& g, const EnumerateOptions& opts) {
+  if (opts.max_degree >= 0 && g.max_degree() > opts.max_degree) return false;
+  if (g.min_degree() < opts.min_degree) return false;
+  if (opts.connected_only && !is_connected(g)) return false;
+  return true;
+}
+
+}  // namespace
+
+std::size_t enumerate_graphs(int n, const EnumerateOptions& opts,
+                             const std::function<bool(const Graph&)>& fn) {
+  std::vector<Edge> all_edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) all_edges.push_back({u, v});
+  }
+  const std::size_t m = all_edges.size();
+  std::size_t visited = 0;
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    Graph g(n);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1ULL << i)) g.add_edge(all_edges[i].u, all_edges[i].v);
+    }
+    if (!admissible(g, opts)) continue;
+    ++visited;
+    if (!fn(g)) break;
+  }
+  return visited;
+}
+
+std::size_t enumerate_graphs_modulo_refinement(
+    int n, const EnumerateOptions& opts,
+    const std::function<bool(const Graph&)>& fn) {
+  std::set<std::vector<int>> seen;
+  std::size_t visited = 0;
+  enumerate_graphs(n, opts, [&](const Graph& g) {
+    auto sig = refinement_signature(g);
+    if (!seen.insert(std::move(sig)).second) return true;
+    ++visited;
+    return fn(g);
+  });
+  return visited;
+}
+
+}  // namespace wm

@@ -1,0 +1,35 @@
+// Exhaustive enumeration of small graphs.
+//
+// The paper's theorems quantify over *all* graphs (and all port
+// numberings). The executable analogue checks small scopes exhaustively:
+// this module streams every simple graph on n nodes (optionally connected,
+// degree-bounded), and the separation benches search these for witnesses.
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace wm {
+
+struct EnumerateOptions {
+  bool connected_only = true;
+  int max_degree = -1;      // -1 = unbounded
+  int min_degree = 0;
+};
+
+/// Calls `fn` for every simple graph on n labelled nodes matching the
+/// options. Stops early if fn returns false. Returns the number of graphs
+/// visited. Intended for n <= 7 (2^21 candidate edge sets).
+std::size_t enumerate_graphs(int n, const EnumerateOptions& opts,
+                             const std::function<bool(const Graph&)>& fn);
+
+/// Deduplicated-by-degree-refinement variant: skips graphs whose colour
+/// refinement signature was already seen (a cheap, sound-for-our-purposes
+/// symmetry reduction: bisimulation-based witnesses only depend on the
+/// refinement classes). Visits strictly fewer graphs.
+std::size_t enumerate_graphs_modulo_refinement(
+    int n, const EnumerateOptions& opts,
+    const std::function<bool(const Graph&)>& fn);
+
+}  // namespace wm

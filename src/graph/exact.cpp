@@ -1,0 +1,168 @@
+#include "graph/exact.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace wm {
+
+namespace {
+
+// Branch and bound for min vertex cover on the subgraph of "alive" nodes.
+// Classic degree-branching: pick a max-degree alive vertex v; either v is
+// in the cover, or all of its neighbours are.
+struct VcSolver {
+  const Graph& g;
+  std::vector<int> alive;      // 1 = still has uncovered incident edges
+  std::vector<int> in_cover;   // current partial cover
+  std::vector<int> best_cover;
+  int best = 0;
+
+  explicit VcSolver(const Graph& graph) : g(graph) {
+    const int n = g.num_nodes();
+    alive.assign(static_cast<std::size_t>(n), 1);
+    in_cover.assign(static_cast<std::size_t>(n), 0);
+    best = n;
+    best_cover.assign(static_cast<std::size_t>(n), 1);
+  }
+
+  int alive_degree(NodeId v) const {
+    int d = 0;
+    for (NodeId u : g.neighbours(v)) d += alive[u];
+    return d;
+  }
+
+  void take(NodeId v, std::vector<NodeId>& undo) {
+    in_cover[v] = 1;
+    alive[v] = 0;
+    undo.push_back(v);
+  }
+
+  void untake(const std::vector<NodeId>& undo) {
+    for (NodeId v : undo) {
+      in_cover[v] = 0;
+      alive[v] = 1;
+    }
+  }
+
+  void solve(int size) {
+    if (size >= best) return;
+    // Find max alive-degree vertex among alive vertices with alive edges.
+    NodeId pick = -1;
+    int pick_deg = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!alive[v]) continue;
+      const int d = alive_degree(v);
+      if (d > pick_deg) {
+        pick_deg = d;
+        pick = v;
+      }
+    }
+    if (pick < 0 || pick_deg == 0) {
+      best = size;
+      best_cover = in_cover;
+      return;
+    }
+    if (pick_deg == 1) {
+      // Kernelisation: every remaining component is a matching of pendant
+      // edges; cover one endpoint of each.
+      std::vector<NodeId> undo;
+      int extra = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!alive[v]) continue;
+        for (NodeId u : g.neighbours(v)) {
+          if (alive[u] && !in_cover[u] && !in_cover[v]) {
+            take(v, undo);
+            ++extra;
+            break;
+          }
+        }
+      }
+      if (size + extra < best) {
+        best = size + extra;
+        best_cover = in_cover;
+      }
+      untake(undo);
+      return;
+    }
+    // Branch 1: pick in cover.
+    {
+      std::vector<NodeId> undo;
+      take(pick, undo);
+      solve(size + 1);
+      untake(undo);
+    }
+    // Branch 2: all alive neighbours of pick in cover.
+    {
+      std::vector<NodeId> undo;
+      int added = 0;
+      for (NodeId u : g.neighbours(pick)) {
+        if (alive[u]) {
+          take(u, undo);
+          ++added;
+        }
+      }
+      alive[pick] = 0;
+      solve(size + added);
+      alive[pick] = 1;
+      untake(undo);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> minimum_vertex_cover(const Graph& g) {
+  VcSolver s(g);
+  s.solve(0);
+  return s.best_cover;
+}
+
+int minimum_vertex_cover_size(const Graph& g) {
+  VcSolver s(g);
+  s.solve(0);
+  return s.best;
+}
+
+int maximum_independent_set_size(const Graph& g) {
+  return g.num_nodes() - minimum_vertex_cover_size(g);
+}
+
+bool is_k_colourable(const Graph& g, int k) {
+  const int n = g.num_nodes();
+  if (n == 0) return true;
+  if (k <= 0) return g.num_edges() == 0 && n == 0;
+  std::vector<int> colour(static_cast<std::size_t>(n), 0);
+  std::function<bool(int)> rec = [&](int v) -> bool {
+    if (v == n) return true;
+    // Symmetry breaking: node v may only use colours up to 1 + max used.
+    int max_used = 0;
+    for (int u = 0; u < v; ++u) max_used = std::max(max_used, colour[u]);
+    const int limit = std::min(k, max_used + 1);
+    for (int c = 1; c <= limit; ++c) {
+      bool ok = true;
+      for (NodeId u : g.neighbours(v)) {
+        if (u < v && colour[u] == c) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        colour[v] = c;
+        if (rec(v + 1)) return true;
+        colour[v] = 0;
+      }
+    }
+    return false;
+  };
+  return rec(0);
+}
+
+int chromatic_number(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  if (g.num_edges() == 0) return 1;
+  for (int k = 2;; ++k) {
+    if (is_k_colourable(g, k)) return k;
+  }
+}
+
+}  // namespace wm

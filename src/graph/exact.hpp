@@ -1,0 +1,30 @@
+// Exact (exponential-time) solvers for small graphs.
+//
+// Used as ground truth when verifying approximation guarantees of
+// distributed algorithms (e.g. the MB(1) 2-approximate vertex cover of
+// Section 3.3) and when checking problem verifiers.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wm {
+
+/// Size of a minimum vertex cover. Branch and bound on a max-degree
+/// vertex; practical to ~60 nodes for sparse graphs.
+int minimum_vertex_cover_size(const Graph& g);
+
+/// Size of a maximum independent set (= n - min VC).
+int maximum_independent_set_size(const Graph& g);
+
+/// One minimum vertex cover (indicator per node).
+std::vector<int> minimum_vertex_cover(const Graph& g);
+
+/// Chromatic number for small graphs (iterative deepening on k).
+int chromatic_number(const Graph& g);
+
+/// True if graph can be properly coloured with k colours.
+bool is_k_colourable(const Graph& g, int k);
+
+}  // namespace wm

@@ -1,0 +1,117 @@
+#include "graph/factorisation.hpp"
+
+#include <stdexcept>
+
+#include "graph/double_cover.hpp"
+#include "graph/properties.hpp"
+
+namespace wm {
+
+std::optional<std::vector<NodeId>> eulerian_circuit(const Graph& g,
+                                                    NodeId start) {
+  // Index edges so traversal can mark them used.
+  const std::vector<Edge> edges = g.edges();
+  std::vector<std::vector<std::pair<NodeId, int>>> adj(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (int e = 0; e < static_cast<int>(edges.size()); ++e) {
+    adj[edges[e].u].push_back({edges[e].v, e});
+    adj[edges[e].v].push_back({edges[e].u, e});
+  }
+  const std::vector<int> dist = bfs_distances(g, start);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) % 2 != 0 && dist[v] >= 0) return std::nullopt;
+  }
+  // Hierholzer with an explicit stack.
+  std::vector<bool> used(edges.size(), false);
+  std::vector<std::size_t> next(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<NodeId> stack{start};
+  std::vector<NodeId> circuit;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    bool advanced = false;
+    while (next[v] < adj[v].size()) {
+      const auto [u, e] = adj[v][next[v]];
+      if (used[e]) {
+        ++next[v];
+        continue;
+      }
+      used[e] = true;
+      ++next[v];
+      stack.push_back(u);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      circuit.push_back(v);
+      stack.pop_back();
+    }
+  }
+  // All edges of the start component must be used.
+  for (int e = 0; e < static_cast<int>(edges.size()); ++e) {
+    if (!used[e] && dist[edges[e].u] >= 0) return std::nullopt;
+  }
+  return circuit;
+}
+
+std::vector<std::vector<Edge>> two_factorisation(const Graph& g) {
+  const int deg = g.max_degree();
+  if (deg % 2 != 0 || !g.is_regular(deg)) {
+    throw std::invalid_argument("two_factorisation: graph must be 2k-regular");
+  }
+  const int k = deg / 2;
+  const int n = g.num_nodes();
+  if (k == 0) return {};
+
+  // Orient every edge along an Eulerian circuit of its component.
+  std::vector<std::pair<NodeId, NodeId>> oriented;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (NodeId s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    const auto circuit = eulerian_circuit(g, s);
+    if (!circuit) {
+      throw std::logic_error("two_factorisation: even-regular component "
+                             "without an Eulerian circuit");
+    }
+    for (NodeId v : *circuit) seen[v] = true;
+    for (std::size_t i = 0; i + 1 < circuit->size(); ++i) {
+      oriented.emplace_back((*circuit)[i], (*circuit)[i + 1]);
+    }
+  }
+
+  // Out/in bipartite graph: left copy v (out), right copy n + v (in);
+  // k-regular by the circuit orientation, so it 1-factorises (König).
+  Graph h(2 * n);
+  std::vector<int> side(static_cast<std::size_t>(2 * n), 0);
+  for (int v = 0; v < n; ++v) side[n + v] = 1;
+  for (const auto& [u, v] : oriented) h.add_edge(u, n + v);
+  const auto matchings = one_factorise_bipartite(h, side);
+
+  std::vector<std::vector<Edge>> factors;
+  factors.reserve(static_cast<std::size_t>(k));
+  for (const auto& m : matchings) {
+    std::vector<Edge> factor;
+    factor.reserve(static_cast<std::size_t>(n));
+    for (const Edge& e : m) {
+      const NodeId out = side[e.u] == 0 ? e.u : e.v;
+      const NodeId in = (side[e.u] == 0 ? e.v : e.u) - n;
+      factor.push_back({std::min(out, in), std::max(out, in)});
+    }
+    factors.push_back(std::move(factor));
+  }
+  return factors;
+}
+
+bool is_two_factor(const Graph& g, const std::vector<Edge>& edges) {
+  std::vector<int> deg(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (const Edge& e : edges) {
+    if (!g.has_edge(e.u, e.v)) return false;
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (deg[v] != 2) return false;
+  }
+  return true;
+}
+
+}  // namespace wm

@@ -1,0 +1,35 @@
+// Factors and factorisations of regular graphs (Petersen 1891 — the
+// paper's Section 3.3 traces the graph-theoretic observations behind
+// the weak models back to this work).
+//
+//  - Eulerian circuits (Hierholzer), the engine behind
+//  - Petersen's 2-factorisation theorem: every 2k-regular graph is the
+//    disjoint union of k spanning 2-regular subgraphs (2-factors),
+//    computed by orienting an Eulerian circuit of each component and
+//    1-factorising the resulting out/in bipartite graph.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wm {
+
+/// An Eulerian circuit of a connected component: the sequence of nodes
+/// v_0, v_1, ..., v_m = v_0 traversing every edge exactly once. Returns
+/// nullopt if some node in the component has odd degree. `start` selects
+/// the component. Isolated start returns the trivial circuit {start}.
+std::optional<std::vector<NodeId>> eulerian_circuit(const Graph& g,
+                                                    NodeId start = 0);
+
+/// Petersen's theorem: decomposes a 2k-regular graph into k edge-disjoint
+/// 2-factors. Each factor is returned as an edge list; every node has
+/// degree exactly 2 in every factor. Throws std::invalid_argument if the
+/// graph is not 2k-regular.
+std::vector<std::vector<Edge>> two_factorisation(const Graph& g);
+
+/// True if `edges` forms a spanning 2-regular subgraph of g.
+bool is_two_factor(const Graph& g, const std::vector<Edge>& edges);
+
+}  // namespace wm

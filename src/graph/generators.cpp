@@ -1,0 +1,197 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+
+namespace wm {
+
+Graph path_graph(int n) {
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle_graph(int n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: n >= 3 required");
+  Graph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph star_graph(int k) {
+  if (k < 1) throw std::invalid_argument("star_graph: k >= 1 required");
+  Graph g(k + 1);
+  for (int leaf = 1; leaf <= k; ++leaf) g.add_edge(0, leaf);
+  return g;
+}
+
+Graph complete_graph(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph complete_bipartite(int a, int b) {
+  Graph g(a + b);
+  for (int u = 0; u < a; ++u) {
+    for (int v = 0; v < b; ++v) g.add_edge(u, a + v);
+  }
+  return g;
+}
+
+Graph hypercube(int d) {
+  const int n = 1 << d;
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int bit = 0; bit < d; ++bit) {
+      const int v = u ^ (1 << bit);
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph grid_graph(int a, int b) {
+  Graph g(a * b);
+  auto id = [b](int r, int c) { return r * b + c; };
+  for (int r = 0; r < a; ++r) {
+    for (int c = 0; c < b; ++c) {
+      if (c + 1 < b) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < a) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph petersen_graph() {
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);      // outer pentagon
+    g.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.add_edge(i, 5 + i);            // spokes
+  }
+  return g;
+}
+
+Graph class_g_graph(int k) {
+  if (k < 3 || k % 2 == 0) {
+    throw std::invalid_argument("class_g_graph: k must be odd and >= 3");
+  }
+  // Hub = node 0. Gadget g (0-based) occupies nodes 1 + g*(k+2) .. 1 + (g+1)*(k+2) - 1.
+  // Within a gadget: node 0 is the apex a; nodes 1..k+1 form K_{k+1} minus
+  // the matching {(1,2), (3,4), ..., (k-2,k-1)} ((k-1)/2 pairs); the apex is
+  // adjacent to the k-1 matching endpoints 1..k-1 and to the hub.
+  const int gadget_size = k + 2;
+  Graph g(1 + k * gadget_size);
+  for (int gi = 0; gi < k; ++gi) {
+    const int base = 1 + gi * gadget_size;
+    const int apex = base;
+    g.add_edge(0, apex);
+    // K_{k+1} on base+1 .. base+k+1, minus the matching.
+    for (int i = 1; i <= k + 1; ++i) {
+      for (int j = i + 1; j <= k + 1; ++j) {
+        const bool matched = (j == i + 1) && (i % 2 == 1) && (i <= k - 2);
+        if (matched) continue;  // removed matching edge
+        g.add_edge(base + i, base + j);
+      }
+    }
+    for (int i = 1; i <= k - 1; ++i) g.add_edge(apex, base + i);
+  }
+  if (!g.is_regular(k)) throw std::logic_error("class_g_graph: construction not regular");
+  return g;
+}
+
+Graph fig9a_graph() { return class_g_graph(3); }
+
+Graph random_bounded_degree_graph(int n, int max_deg, double edge_prob, Rng& rng) {
+  std::vector<Edge> candidates;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.uniform01() < edge_prob) candidates.push_back({u, v});
+    }
+  }
+  rng.shuffle(candidates);
+  Graph g(n);
+  for (const Edge& e : candidates) {
+    if (g.degree(e.u) < max_deg && g.degree(e.v) < max_deg) g.add_edge(e.u, e.v);
+  }
+  return g;
+}
+
+Graph random_regular_graph(int n, int k, Rng& rng) {
+  if (static_cast<long long>(n) * k % 2 != 0 || k >= n) {
+    throw std::invalid_argument("random_regular_graph: need n*k even and k < n");
+  }
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    // Pairing (configuration) model: k stubs per node, random perfect
+    // matching on stubs; reject on self-loops / parallel edges.
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * k);
+    for (int v = 0; v < n; ++v) {
+      for (int i = 0; i < k; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; ok && i + 1 < stubs.size(); i += 2) {
+      const int u = stubs[i], v = stubs[i + 1];
+      if (u == v || g.has_edge(u, v)) {
+        ok = false;
+      } else {
+        g.add_edge(u, v);
+      }
+    }
+    if (ok && is_connected(g)) return g;
+  }
+  throw std::runtime_error("random_regular_graph: too many rejections");
+}
+
+Graph random_connected_graph(int n, int max_deg, int extra_edges, Rng& rng) {
+  if (max_deg < 2 && n > 2) {
+    throw std::invalid_argument("random_connected_graph: max_deg too small");
+  }
+  Graph g(n);
+  // Random spanning tree via random attachment, respecting the degree cap.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (int i = 1; i < n; ++i) {
+    // Attach order[i] to a random earlier node with residual degree.
+    for (int tries = 0;; ++tries) {
+      const int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i)));
+      if (g.degree(order[j]) < max_deg) {
+        g.add_edge(order[i], order[j]);
+        break;
+      }
+      if (tries > 64) {
+        // Fall back to a linear scan for any admissible anchor.
+        bool attached = false;
+        for (int jj = 0; jj < i; ++jj) {
+          if (g.degree(order[jj]) < max_deg) {
+            g.add_edge(order[i], order[jj]);
+            attached = true;
+            break;
+          }
+        }
+        if (!attached) throw std::runtime_error("random_connected_graph: stuck");
+        break;
+      }
+    }
+  }
+  for (int added = 0, tries = 0; added < extra_edges && tries < 50 * (extra_edges + 1);
+       ++tries) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v || g.has_edge(u, v)) continue;
+    if (g.degree(u) >= max_deg || g.degree(v) >= max_deg) continue;
+    g.add_edge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace wm

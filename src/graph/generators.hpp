@@ -1,0 +1,52 @@
+// Graph generators: the standard families used throughout the paper's
+// proofs and our experiments, plus randomised workload generators.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+
+/// Path on n nodes (n >= 1).
+Graph path_graph(int n);
+/// Cycle on n nodes (n >= 3).
+Graph cycle_graph(int n);
+/// k-star: centre node 0 joined to leaves 1..k (Theorem 11).
+Graph star_graph(int k);
+/// Complete graph K_n.
+Graph complete_graph(int n);
+/// Complete bipartite K_{a,b}; left side 0..a-1, right side a..a+b-1.
+Graph complete_bipartite(int a, int b);
+/// d-dimensional hypercube, 2^d nodes.
+Graph hypercube(int d);
+/// a x b grid.
+Graph grid_graph(int a, int b);
+/// The Petersen graph (3-regular, 10 nodes, has a perfect matching).
+Graph petersen_graph();
+
+/// The 16-node 3-regular connected graph with no 1-factor from
+/// Figure 9a of the paper ([Bondy–Murty, Figure 5.10]): a hub node joined
+/// to the degree-2 apex of three 5-node gadgets. Removing the hub leaves
+/// three odd components, so by Tutte's theorem no perfect matching exists.
+Graph fig9a_graph();
+
+/// A connected k-regular graph (k odd, k >= 3) with no 1-factor — a member
+/// of the paper's class G (Section 5.3): hub of degree k joined to k
+/// gadgets, each gadget = K_{k+1} with one edge subdivided... realised as
+/// K_{k+1} minus an edge {d,e} plus an apex adjacent to d and e.
+/// Nodes: 1 + k*(k+2). Precondition: k odd, k >= 3.
+Graph class_g_graph(int k);
+
+/// Erdos–Renyi-style random graph conditioned on max degree <= max_deg.
+/// Edges are sampled in random order and kept when both endpoints have
+/// residual degree. Deterministic given rng state.
+Graph random_bounded_degree_graph(int n, int max_deg, double edge_prob, Rng& rng);
+
+/// Random connected k-regular graph via the pairing model with restarts.
+/// Precondition: n*k even, k < n. May be slow for dense k; fine for k <= 8.
+Graph random_regular_graph(int n, int k, Rng& rng);
+
+/// Random spanning-tree-connected graph with extra edges, max degree bound.
+Graph random_connected_graph(int n, int max_deg, int extra_edges, Rng& rng);
+
+}  // namespace wm

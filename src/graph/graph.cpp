@@ -1,0 +1,116 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace wm {
+
+namespace {
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "wm::Graph: %s\n", what);
+  std::abort();
+}
+}  // namespace
+
+Graph Graph::from_edges(int n, const std::vector<Edge>& edges) {
+  Graph g(n);
+  for (const Edge& e : edges) g.add_edge(e.u, e.v);
+  return g;
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  if (u == v) die("self-loop");
+  if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes()) {
+    die("node id out of range");
+  }
+  if (has_edge(u, v)) die("duplicate edge");
+  auto insert_sorted = [](std::vector<NodeId>& vec, NodeId x) {
+    vec.insert(std::upper_bound(vec.begin(), vec.end(), x), x);
+  };
+  insert_sorted(adj_[u], v);
+  insert_sorted(adj_[v], u);
+  ++num_edges_;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes()) return false;
+  const auto& a = adj_[u];
+  return std::binary_search(a.begin(), a.end(), v);
+}
+
+int Graph::max_degree() const {
+  int d = 0;
+  for (int v = 0; v < num_nodes(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+int Graph::min_degree() const {
+  if (num_nodes() == 0) return 0;
+  int d = degree(0);
+  for (int v = 1; v < num_nodes(); ++v) d = std::min(d, degree(v));
+  return d;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(num_edges_));
+  for (int u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+bool Graph::is_regular(int k) const {
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (degree(v) != k) return false;
+  }
+  return true;
+}
+
+std::vector<int> Graph::degree_sequence() const {
+  std::vector<int> d(static_cast<std::size_t>(num_nodes()));
+  for (int v = 0; v < num_nodes(); ++v) d[v] = degree(v);
+  std::sort(d.rbegin(), d.rend());
+  return d;
+}
+
+int Graph::neighbour_index(NodeId v, NodeId u) const {
+  const auto& a = adj_[v];
+  auto it = std::lower_bound(a.begin(), a.end(), u);
+  if (it == a.end() || *it != u) return -1;
+  return static_cast<int>(it - a.begin());
+}
+
+Graph Graph::induced_subgraph(const std::vector<NodeId>& keep) const {
+  std::vector<int> index(static_cast<std::size_t>(num_nodes()), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) index[keep[i]] = static_cast<int>(i);
+  Graph g(static_cast<int>(keep.size()));
+  for (NodeId u : keep) {
+    for (NodeId v : adj_[u]) {
+      if (u < v && index[v] >= 0) g.add_edge(index[u], index[v]);
+    }
+  }
+  return g;
+}
+
+Graph Graph::relabelled(const std::vector<NodeId>& perm) const {
+  Graph g(num_nodes());
+  for (const Edge& e : edges()) g.add_edge(perm[e.u], perm[e.v]);
+  return g;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_nodes() << ", m=" << num_edges() << ")";
+  for (int v = 0; v < num_nodes(); ++v) {
+    os << "\n  " << v << ":";
+    for (NodeId u : adj_[v]) os << ' ' << u;
+  }
+  return os.str();
+}
+
+}  // namespace wm

@@ -1,0 +1,76 @@
+// Simple undirected graphs of bounded degree — the input objects of the
+// paper (families F(Delta), Section 1.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wm {
+
+using NodeId = int;
+
+/// An undirected edge; canonically stored with u <= v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A simple undirected graph. Nodes are 0..n-1. Adjacency lists are kept
+/// sorted; the position of a neighbour in the adjacency list is *not*
+/// meaningful as a port number — port numberings are a separate object
+/// (see port/port_numbering.hpp), exactly as in the paper.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n) : adj_(static_cast<std::size_t>(n)) {}
+
+  static Graph from_edges(int n, const std::vector<Edge>& edges);
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Adds edge {u,v}. Precondition: u != v, 0 <= u,v < n, edge not present.
+  void add_edge(NodeId u, NodeId v);
+  bool has_edge(NodeId u, NodeId v) const;
+
+  int degree(NodeId v) const { return static_cast<int>(adj_[v].size()); }
+  int max_degree() const;
+  int min_degree() const;
+
+  const std::vector<NodeId>& neighbours(NodeId v) const { return adj_[v]; }
+
+  /// All edges with u < v, sorted.
+  std::vector<Edge> edges() const;
+
+  /// True if every node has degree k.
+  bool is_regular(int k) const;
+  /// Degree sequence, sorted descending.
+  std::vector<int> degree_sequence() const;
+
+  /// Index of u in v's (sorted) adjacency list, or -1.
+  int neighbour_index(NodeId v, NodeId u) const;
+
+  /// The subgraph induced by `keep` (node ids are compacted in order).
+  Graph induced_subgraph(const std::vector<NodeId>& keep) const;
+
+  /// Relabels nodes: node v becomes perm[v]. perm must be a permutation.
+  Graph relabelled(const std::vector<NodeId>& perm) const;
+
+  /// Multi-line human-readable dump, for examples and debugging.
+  std::string to_string() const;
+
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.adj_ == b.adj_;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  int num_edges_ = 0;
+};
+
+}  // namespace wm

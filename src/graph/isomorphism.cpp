@@ -1,0 +1,117 @@
+#include "graph/isomorphism.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace wm {
+
+namespace {
+
+/// Stable colour refinement; returns per-node colours canonical across
+/// the two graphs (computed jointly so colours are comparable).
+std::pair<std::vector<int>, std::vector<int>> joint_refinement(const Graph& g,
+                                                               const Graph& h) {
+  const int n = g.num_nodes();
+  std::vector<int> cg(static_cast<std::size_t>(n));
+  std::vector<int> ch(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    cg[v] = g.degree(v);
+    ch[v] = h.degree(v);
+  }
+  for (int round = 0; round < n; ++round) {
+    std::map<std::pair<int, std::vector<int>>, int> dict;
+    auto signature = [&dict](const Graph& graph, const std::vector<int>& col,
+                             int v) {
+      std::vector<int> nb;
+      for (NodeId u : graph.neighbours(v)) nb.push_back(col[u]);
+      std::sort(nb.begin(), nb.end());
+      auto [it, _] = dict.try_emplace({col[v], std::move(nb)},
+                                      static_cast<int>(dict.size()));
+      return it->second;
+    };
+    std::vector<int> ng(static_cast<std::size_t>(n)), nh(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) ng[v] = signature(g, cg, v);
+    for (int v = 0; v < n; ++v) nh[v] = signature(h, ch, v);
+    if (ng == cg && nh == ch) break;
+    cg = std::move(ng);
+    ch = std::move(nh);
+  }
+  return {cg, ch};
+}
+
+struct Matcher {
+  const Graph& g;
+  const Graph& h;
+  const std::vector<int>& cg;
+  const std::vector<int>& ch;
+  std::vector<NodeId> map;       // g -> h, -1 unset
+  std::vector<bool> used;        // h nodes taken
+
+  bool extend(NodeId v) {
+    const int n = g.num_nodes();
+    if (v == n) return true;
+    for (NodeId w = 0; w < n; ++w) {
+      if (used[w] || cg[v] != ch[w]) continue;
+      // Consistency with already-mapped neighbours (both directions).
+      bool ok = true;
+      for (NodeId u = 0; u < v && ok; ++u) {
+        if (g.has_edge(v, u) != h.has_edge(w, map[u])) ok = false;
+      }
+      if (!ok) continue;
+      map[v] = w;
+      used[w] = true;
+      if (extend(v + 1)) return true;
+      map[v] = -1;
+      used[w] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> find_isomorphism(const Graph& g,
+                                                    const Graph& h) {
+  if (g.num_nodes() != h.num_nodes() || g.num_edges() != h.num_edges()) {
+    return std::nullopt;
+  }
+  if (g.degree_sequence() != h.degree_sequence()) return std::nullopt;
+  const auto [cg, ch] = joint_refinement(g, h);
+  // Colour histograms must agree.
+  {
+    auto sorted_g = cg;
+    auto sorted_h = ch;
+    std::sort(sorted_g.begin(), sorted_g.end());
+    std::sort(sorted_h.begin(), sorted_h.end());
+    if (sorted_g != sorted_h) return std::nullopt;
+  }
+  Matcher m{g, h, cg, ch,
+            std::vector<NodeId>(static_cast<std::size_t>(g.num_nodes()), -1),
+            std::vector<bool>(static_cast<std::size_t>(g.num_nodes()), false)};
+  if (m.extend(0)) return m.map;
+  return std::nullopt;
+}
+
+bool are_isomorphic(const Graph& g, const Graph& h) {
+  return find_isomorphism(g, h).has_value();
+}
+
+bool is_isomorphism(const Graph& g, const Graph& h,
+                    const std::vector<NodeId>& perm) {
+  if (g.num_nodes() != h.num_nodes() ||
+      perm.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return false;
+  }
+  std::vector<bool> hit(perm.size(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (perm[v] < 0 || perm[v] >= h.num_nodes() || hit[perm[v]]) return false;
+    hit[perm[v]] = true;
+  }
+  if (g.num_edges() != h.num_edges()) return false;
+  for (const Edge& e : g.edges()) {
+    if (!h.has_edge(perm[e.u], perm[e.v])) return false;
+  }
+  return true;
+}
+
+}  // namespace wm

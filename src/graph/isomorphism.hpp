@@ -1,0 +1,24 @@
+// Graph isomorphism for small graphs: colour-refinement pruned
+// backtracking. Used to compare independently-built constructions (e.g.
+// the two double-cover implementations) and to deduplicate enumerations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wm {
+
+/// An isomorphism g -> h as a node map, if one exists. Exponential in
+/// the worst case; fine for the library's small-graph workloads.
+std::optional<std::vector<NodeId>> find_isomorphism(const Graph& g,
+                                                    const Graph& h);
+
+bool are_isomorphic(const Graph& g, const Graph& h);
+
+/// Checks that perm is an isomorphism g -> h.
+bool is_isomorphism(const Graph& g, const Graph& h,
+                    const std::vector<NodeId>& perm);
+
+}  // namespace wm

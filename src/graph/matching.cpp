@@ -1,0 +1,195 @@
+#include "graph/matching.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace wm {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}
+
+Matching hopcroft_karp(const Graph& g, const std::vector<int>& side) {
+  const int n = g.num_nodes();
+  for (const Edge& e : g.edges()) {
+    if (side[e.u] == side[e.v]) {
+      throw std::invalid_argument("hopcroft_karp: edge within one side");
+    }
+  }
+  Matching match(static_cast<std::size_t>(n), -1);
+  std::vector<int> dist(static_cast<std::size_t>(n), 0);
+
+  auto bfs = [&]() {
+    std::queue<NodeId> q;
+    bool found_free = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (side[v] == 0 && match[v] < 0) {
+        dist[v] = 0;
+        q.push(v);
+      } else {
+        dist[v] = kInf;
+      }
+    }
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (NodeId u : g.neighbours(v)) {
+        const NodeId w = match[u];  // u is on side 1
+        if (w < 0) {
+          found_free = true;
+        } else if (dist[w] == kInf) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return found_free;
+  };
+
+  std::function<bool(NodeId)> dfs = [&](NodeId v) -> bool {
+    for (NodeId u : g.neighbours(v)) {
+      const NodeId w = match[u];
+      if (w < 0 || (dist[w] == dist[v] + 1 && dfs(w))) {
+        match[v] = u;
+        match[u] = v;
+        return true;
+      }
+    }
+    dist[v] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (side[v] == 0 && match[v] < 0) dfs(v);
+    }
+  }
+  return match;
+}
+
+// Edmonds' blossom algorithm (standard contraction-free implementation
+// with base[] markers, O(V^3)).
+Matching blossom_maximum_matching(const Graph& g) {
+  const int n = g.num_nodes();
+  Matching match(static_cast<std::size_t>(n), -1);
+  std::vector<int> parent(static_cast<std::size_t>(n)), base(static_cast<std::size_t>(n));
+  std::vector<bool> used(static_cast<std::size_t>(n)), blossom(static_cast<std::size_t>(n));
+
+  auto lca = [&](int a, int b) {
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (;;) {
+      a = base[a];
+      seen[a] = true;
+      if (match[a] < 0) break;
+      a = parent[match[a]];
+    }
+    for (;;) {
+      b = base[b];
+      if (seen[b]) return b;
+      b = parent[match[b]];
+    }
+  };
+
+  auto mark_path = [&](int v, int b, int child) {
+    while (base[v] != b) {
+      blossom[base[v]] = true;
+      blossom[base[match[v]]] = true;
+      parent[v] = child;
+      child = match[v];
+      v = parent[match[v]];
+    }
+  };
+
+  auto find_path = [&](int root) -> int {
+    std::fill(used.begin(), used.end(), false);
+    std::fill(parent.begin(), parent.end(), -1);
+    for (int i = 0; i < n; ++i) base[i] = i;
+    used[root] = true;
+    std::queue<int> q;
+    q.push(root);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int to : g.neighbours(v)) {
+        if (base[v] == base[to] || match[v] == to) continue;
+        if (to == root || (match[to] >= 0 && parent[match[to]] >= 0)) {
+          // Found a blossom; contract it.
+          const int curbase = lca(v, to);
+          std::fill(blossom.begin(), blossom.end(), false);
+          mark_path(v, curbase, to);
+          mark_path(to, curbase, v);
+          for (int i = 0; i < n; ++i) {
+            if (blossom[base[i]]) {
+              base[i] = curbase;
+              if (!used[i]) {
+                used[i] = true;
+                q.push(i);
+              }
+            }
+          }
+        } else if (parent[to] < 0) {
+          parent[to] = v;
+          if (match[to] < 0) {
+            return to;  // augmenting path found
+          }
+          used[match[to]] = true;
+          q.push(match[to]);
+        }
+      }
+    }
+    return -1;
+  };
+
+  for (int v = 0; v < n; ++v) {
+    if (match[v] >= 0) continue;
+    const int u = find_path(v);
+    if (u < 0) continue;
+    // Augment along the alternating path ending at u.
+    int cur = u;
+    while (cur >= 0) {
+      const int pv = parent[cur];
+      const int ppv = match[pv];
+      match[cur] = pv;
+      match[pv] = cur;
+      cur = ppv;
+    }
+  }
+  return match;
+}
+
+int matching_size(const Matching& m) {
+  int cnt = 0;
+  for (NodeId v = 0; v < static_cast<int>(m.size()); ++v) {
+    if (m[v] > v) ++cnt;
+  }
+  return cnt;
+}
+
+bool is_valid_matching(const Graph& g, const Matching& m) {
+  if (m.size() != static_cast<std::size_t>(g.num_nodes())) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId u = m[v];
+    if (u < 0) continue;
+    if (u >= g.num_nodes() || m[u] != v || !g.has_edge(u, v)) return false;
+  }
+  return true;
+}
+
+bool has_one_factor(const Graph& g) {
+  if (g.num_nodes() % 2 != 0) return false;
+  const Matching m = blossom_maximum_matching(g);
+  return matching_size(m) * 2 == g.num_nodes();
+}
+
+std::vector<Edge> matching_edges(const Matching& m) {
+  std::vector<Edge> out;
+  for (NodeId v = 0; v < static_cast<int>(m.size()); ++v) {
+    if (m[v] > v) out.push_back({v, m[v]});
+  }
+  return out;
+}
+
+}  // namespace wm

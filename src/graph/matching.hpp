@@ -1,0 +1,39 @@
+// Maximum matching substrate.
+//
+// Needed by the paper's symmetry arguments: Lemma 15 1-factorises the
+// bipartite double cover of a regular graph (Hall/König — computed here by
+// repeated Hopcroft–Karp), and Lemma 16 / Theorem 17 hinge on regular
+// graphs *without* a 1-factor, certified by a general-graph maximum
+// matching (Edmonds' blossom algorithm).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wm {
+
+/// A matching as a partner map: match[v] = u if {u,v} matched, else -1.
+using Matching = std::vector<NodeId>;
+
+/// Maximum matching in a bipartite graph. `side` assigns each node 0 or 1;
+/// all edges must cross sides. Hopcroft–Karp, O(E sqrt(V)).
+Matching hopcroft_karp(const Graph& g, const std::vector<int>& side);
+
+/// Maximum matching in an arbitrary graph (Edmonds' blossom algorithm,
+/// O(V^3); our graphs are small).
+Matching blossom_maximum_matching(const Graph& g);
+
+int matching_size(const Matching& m);
+
+/// True if m is a valid matching of g (symmetric partner map over edges).
+bool is_valid_matching(const Graph& g, const Matching& m);
+
+/// True if g has a perfect matching (1-factor). Uses blossom.
+bool has_one_factor(const Graph& g);
+
+/// The edges of a matching (u < v).
+std::vector<Edge> matching_edges(const Matching& m);
+
+}  // namespace wm

@@ -1,0 +1,141 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace wm {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId u : g.neighbours(v)) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](int d) { return d < 0; });
+}
+
+std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
+  std::vector<std::vector<NodeId>> comps;
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (seen[s]) continue;
+    std::vector<NodeId> comp;
+    std::queue<NodeId> q;
+    seen[s] = true;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      comp.push_back(v);
+      for (NodeId u : g.neighbours(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          q.push(u);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    comps.push_back(std::move(comp));
+  }
+  return comps;
+}
+
+std::optional<std::vector<int>> bipartition(const Graph& g) {
+  std::vector<int> colour(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (colour[s] >= 0) continue;
+    colour[s] = 0;
+    std::queue<NodeId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (NodeId u : g.neighbours(v)) {
+        if (colour[u] < 0) {
+          colour[u] = 1 - colour[v];
+          q.push(u);
+        } else if (colour[u] == colour[v]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return colour;
+}
+
+bool is_eulerian(const Graph& g) {
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) % 2 != 0) return false;
+  }
+  // Connectivity over non-isolated nodes.
+  NodeId start = -1;
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0) {
+      start = v;
+      break;
+    }
+  }
+  if (start < 0) return true;  // no edges
+  const auto dist = bfs_distances(g, start);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0 && dist[v] < 0) return false;
+  }
+  return true;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<int>& s) {
+  for (const Edge& e : g.edges()) {
+    if (s[e.u] && s[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g, const std::vector<int>& s) {
+  if (!is_independent_set(g, s)) return false;
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (s[v]) continue;
+    bool blocked = false;
+    for (NodeId u : g.neighbours(v)) {
+      if (s[u]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;  // v could be added
+  }
+  return true;
+}
+
+bool is_vertex_cover(const Graph& g, const std::vector<int>& s) {
+  for (const Edge& e : g.edges()) {
+    if (!s[e.u] && !s[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_proper_colouring(const Graph& g, const std::vector<int>& col, int k) {
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (col[v] < 1 || col[v] > k) return false;
+  }
+  for (const Edge& e : g.edges()) {
+    if (col[e.u] == col[e.v]) return false;
+  }
+  return true;
+}
+
+}  // namespace wm

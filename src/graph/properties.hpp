@@ -1,0 +1,35 @@
+// Structural graph predicates used by problem verifiers and experiments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wm {
+
+bool is_connected(const Graph& g);
+
+/// Connected components; each component is a sorted list of node ids.
+std::vector<std::vector<NodeId>> connected_components(const Graph& g);
+
+/// Two-colouring if bipartite (colour in {0,1} per node), nullopt otherwise.
+std::optional<std::vector<int>> bipartition(const Graph& g);
+
+/// Eulerian in the classic sense used by the paper's Section 1.4 example:
+/// connected (ignoring isolated nodes) and every degree even.
+bool is_eulerian(const Graph& g);
+
+/// True if `s` (0/1 per node) is an independent set.
+bool is_independent_set(const Graph& g, const std::vector<int>& s);
+/// True if `s` is a *maximal* independent set.
+bool is_maximal_independent_set(const Graph& g, const std::vector<int>& s);
+/// True if `s` (0/1 per node) is a vertex cover.
+bool is_vertex_cover(const Graph& g, const std::vector<int>& s);
+/// True if `col` is a proper colouring with colours in [1, k].
+bool is_proper_colouring(const Graph& g, const std::vector<int>& col, int k);
+
+/// BFS distances from src (-1 if unreachable).
+std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+}  // namespace wm

@@ -1,0 +1,147 @@
+#include "labelled/leader_election.hpp"
+
+#include <algorithm>
+
+namespace wm {
+
+namespace {
+
+// State encodings:
+//   phase 1: ("E1", rounds_left, n, view)   — growing the view
+//   phase 2: ("E2", rounds_left, stable_view, max_view) — flooding
+// Output:   Int 1 / Int 0.
+//
+// Phase-1 messages are (out_port, current_view) — the sender tags its
+// own out-port, which a Vector machine may do. Phase-2 messages are the
+// current maximum view. All nodes share the same input n, so the phases
+// stay globally synchronised and no stopped-sender handling is needed.
+class ViewLeader final : public LabelledStateMachine {
+ public:
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::vector();
+  }
+
+  Value init(int degree, const Value& input) const override {
+    const std::int64_t n = input.as_int();
+    if (n <= 1) return Value::integer(1);  // a lone node is the leader
+    return Value::tuple({Value::str("E1"), Value::integer(n - 1),
+                         Value::integer(n), Value::integer(degree)});
+  }
+
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+
+  Value message(const Value& s, int port) const override {
+    if (s.at(0).as_str() == "E1") {
+      return Value::pair(Value::integer(port), s.at(3));
+    }
+    return s.at(3);  // current max view
+  }
+
+  Value transition(const Value& s, const Value& inbox, int degree) const override {
+    if (s.at(0).as_str() == "E1") {
+      // Extend the view by one level: (deg, ((j_i, view_i))_i).
+      ValueVec kids;
+      kids.reserve(inbox.size());
+      for (const Value& msg : inbox.items()) kids.push_back(msg);
+      const Value view =
+          Value::pair(Value::integer(degree), Value::tuple(std::move(kids)));
+      const std::int64_t left = s.at(1).as_int() - 1;
+      if (left > 0) {
+        return Value::tuple({Value::str("E1"), Value::integer(left), s.at(2),
+                             view});
+      }
+      // Stable (depth n-1) view reached; flood the maximum for n rounds
+      // (n >= diameter + 1 on a connected graph).
+      return Value::tuple({Value::str("E2"), s.at(2), view, view});
+    }
+    // Phase 2: pointwise maximum of received views.
+    Value best = s.at(3);
+    for (const Value& msg : inbox.items()) {
+      if (!msg.is_unit() && msg > best) best = msg;
+    }
+    const std::int64_t left = s.at(1).as_int() - 1;
+    if (left > 0) {
+      return Value::tuple({Value::str("E2"), Value::integer(left), s.at(2),
+                           best});
+    }
+    return Value::integer(s.at(2) == best ? 1 : 0);
+  }
+};
+
+// Greedy (Delta+1)-colouring with unique ids (Section 3.1 (a)).
+// States: uncoloured ("C", id, taken); announcing ("A", colour);
+// stopped: Int colour. Messages: ("u", id) while uncoloured, ("c",
+// colour) in the announcement round, m0 afterwards. Adjacent nodes never
+// pick in the same round (distinct ids), and a neighbour's "u" message
+// disappears exactly when its "c" announcement arrives, so taken-colour
+// knowledge is always current when a node picks.
+class GreedyColouring final : public LabelledStateMachine {
+ public:
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::multiset_broadcast();
+  }
+
+  Value init(int, const Value& input) const override {
+    return Value::triple(Value::str("C"), input, Value::set({}));
+  }
+
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+
+  Value message(const Value& s, int) const override {
+    if (s.at(0).as_str() == "C") return Value::pair(Value::str("u"), s.at(1));
+    return Value::pair(Value::str("c"), s.at(1));
+  }
+
+  Value transition(const Value& s, const Value& inbox, int) const override {
+    if (s.at(0).as_str() == "A") return s.at(1);  // announced: stop
+    const Value& my_id = s.at(1);
+    ValueVec taken = s.at(2).items();
+    bool local_max = true;
+    for (const Value& msg : inbox.items()) {
+      if (msg.is_unit()) continue;
+      if (msg.at(0).as_str() == "c") {
+        taken.push_back(msg.at(1));
+      } else if (msg.at(1) > my_id) {
+        local_max = false;
+      }
+    }
+    Value taken_set = Value::set(std::move(taken));
+    if (!local_max) {
+      return Value::triple(Value::str("C"), my_id, std::move(taken_set));
+    }
+    std::int64_t colour = 1;
+    while (taken_set.contains(Value::integer(colour))) ++colour;
+    return Value::pair(Value::str("A"), Value::integer(colour));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const LabelledStateMachine> view_leader_machine() {
+  return std::make_shared<ViewLeader>();
+}
+
+std::shared_ptr<const LabelledStateMachine> greedy_colouring_machine() {
+  return std::make_shared<GreedyColouring>();
+}
+
+std::vector<int> greedy_colouring(const PortNumbering& p) {
+  const auto machine = greedy_colouring_machine();
+  const int n = p.graph().num_nodes();
+  std::vector<Value> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) ids.push_back(Value::integer(v + 1));
+  const ExecutionResult r = execute_labelled(*machine, p, ids);
+  return r.outputs_as_ints();
+}
+
+std::vector<int> elect_leaders(const PortNumbering& p) {
+  const auto machine = view_leader_machine();
+  const int n = p.graph().num_nodes();
+  const std::vector<Value> inputs(static_cast<std::size_t>(n),
+                                  Value::integer(n));
+  const ExecutionResult r = execute_labelled(*machine, p, inputs);
+  return r.outputs_as_ints();
+}
+
+}  // namespace wm

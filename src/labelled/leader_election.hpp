@@ -1,0 +1,44 @@
+// View-based leader election (Angluin 1980; Yamashita–Kameda 1996 —
+// the founding problem of the port-numbering literature, Section 3.2).
+//
+// Leader election is NOT solvable by anonymous algorithms without extra
+// information: it is a global problem, and on symmetric (G, p) all nodes
+// are bisimilar. With the local input n = |V| (Section 3.4 local
+// inputs), the classic view algorithm works whenever it can work at all:
+//
+//   phase 1 (n - 1 rounds): compute the stable view (depth n - 1);
+//   phase 2 (n rounds):     flood the maximum view;
+//   output 1 iff own stable view equals the global maximum.
+//
+// The elected set is exactly the maximum view class of (G, p): a single
+// leader iff that class is a singleton — matching Yamashita and
+// Kameda's characterisation of when leader election is solvable.
+#pragma once
+
+#include <memory>
+
+#include "labelled/labelled.hpp"
+
+namespace wm {
+
+/// The Vector-class labelled machine described above. Local input:
+/// Int n = |V| (the paper's local input f(v), constant over V).
+/// Precondition for meaningful output: G connected, input == |V|.
+std::shared_ptr<const LabelledStateMachine> view_leader_machine();
+
+/// Convenience: run leader election on (G, p); returns the 0/1 leader
+/// indicator vector.
+std::vector<int> elect_leaders(const PortNumbering& p);
+
+/// Section 3.1 (a): with unique identifiers as local inputs, greedy
+/// (Delta+1)-colouring becomes solvable — each round, every uncoloured
+/// node whose id is the local maximum among uncoloured neighbours picks
+/// the smallest colour not used by coloured neighbours. Terminates in at
+/// most n+1 rounds with a proper colouring using colours 1..Delta+1.
+/// Class Multiset∩Broadcast (over labelled graphs). Output: Int colour.
+std::shared_ptr<const LabelledStateMachine> greedy_colouring_machine();
+
+/// Convenience: run greedy colouring with ids 1..n; returns the colours.
+std::vector<int> greedy_colouring(const PortNumbering& p);
+
+}  // namespace wm

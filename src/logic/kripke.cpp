@@ -1,0 +1,146 @@
+#include "logic/kripke.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace wm {
+
+KripkeModel::KripkeModel(int num_states, int num_props)
+    : num_states_(num_states), num_props_(num_props) {
+  valuation_.assign(static_cast<std::size_t>(num_props),
+                    std::vector<bool>(static_cast<std::size_t>(num_states), false));
+}
+
+void KripkeModel::add_edge(const Modality& alpha, int from, int to) {
+  ensure_relation(alpha);
+  auto& succ = rel_[alpha][from];
+  succ.insert(std::upper_bound(succ.begin(), succ.end(), to), to);
+}
+
+void KripkeModel::ensure_relation(const Modality& alpha) {
+  auto it = rel_.find(alpha);
+  if (it == rel_.end()) {
+    rel_[alpha].assign(static_cast<std::size_t>(num_states_), {});
+  }
+}
+
+void KripkeModel::set_prop(int q, int state, bool value) {
+  if (q < 1 || q > num_props_) throw std::out_of_range("set_prop: bad q");
+  valuation_[q - 1][state] = value;
+}
+
+const std::vector<int>& KripkeModel::successors(const Modality& alpha,
+                                                int state) const {
+  static const std::vector<int> empty;
+  auto it = rel_.find(alpha);
+  if (it == rel_.end()) return empty;
+  return it->second[state];
+}
+
+std::vector<Modality> KripkeModel::modalities() const {
+  std::vector<Modality> out;
+  out.reserve(rel_.size());
+  for (const auto& [alpha, _] : rel_) out.push_back(alpha);
+  return out;
+}
+
+KripkeModel KripkeModel::disjoint_union(const KripkeModel& a,
+                                        const KripkeModel& b) {
+  KripkeModel u(a.num_states() + b.num_states(),
+                std::max(a.num_props(), b.num_props()));
+  for (const Modality& alpha : a.modalities()) {
+    u.ensure_relation(alpha);
+    for (int v = 0; v < a.num_states(); ++v) {
+      for (int w : a.successors(alpha, v)) u.add_edge(alpha, v, w);
+    }
+  }
+  for (const Modality& alpha : b.modalities()) {
+    u.ensure_relation(alpha);
+    for (int v = 0; v < b.num_states(); ++v) {
+      for (int w : b.successors(alpha, v)) {
+        u.add_edge(alpha, a.num_states() + v, a.num_states() + w);
+      }
+    }
+  }
+  for (int q = 1; q <= a.num_props(); ++q) {
+    for (int v = 0; v < a.num_states(); ++v) {
+      if (a.prop_holds(q, v)) u.set_prop(q, v);
+    }
+  }
+  for (int q = 1; q <= b.num_props(); ++q) {
+    for (int v = 0; v < b.num_states(); ++v) {
+      if (b.prop_holds(q, v)) u.set_prop(q, a.num_states() + v);
+    }
+  }
+  return u;
+}
+
+std::string KripkeModel::to_string() const {
+  std::ostringstream os;
+  os << "Kripke(|W|=" << num_states_ << ", props=" << num_props_ << ")";
+  for (const auto& [alpha, succ] : rel_) {
+    os << "\n  R" << alpha.to_string() << ":";
+    for (int v = 0; v < num_states_; ++v) {
+      for (int w : succ[v]) os << " (" << v << "->" << w << ")";
+    }
+  }
+  return os.str();
+}
+
+KripkeModel kripke_from_graph(const PortNumbering& p, Variant variant,
+                              int delta) {
+  const Graph& g = p.graph();
+  if (delta < 0) delta = g.max_degree();
+  if (delta < g.max_degree()) {
+    throw std::invalid_argument("kripke_from_graph: delta below max degree");
+  }
+  KripkeModel k(g.num_nodes(), delta);
+  // Register the full signature so bisimulation sees empty relations too.
+  switch (variant) {
+    case Variant::PlusPlus:
+      for (int i = 1; i <= delta; ++i) {
+        for (int j = 1; j <= delta; ++j) k.ensure_relation({i, j});
+      }
+      break;
+    case Variant::MinusPlus:
+      for (int j = 1; j <= delta; ++j) k.ensure_relation({0, j});
+      break;
+    case Variant::PlusMinus:
+      for (int i = 1; i <= delta; ++i) k.ensure_relation({i, 0});
+      break;
+    case Variant::MinusMinus:
+      k.ensure_relation({0, 0});
+      break;
+  }
+  // R_(i,j) = {(u,v) : p((v,j)) = (u,i)}: v sends through out-port j and
+  // the message lands in u's in-port i; u's modal successors are the
+  // nodes whose messages it can hear.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int j = 1; j <= g.degree(v); ++j) {
+      const PortRef dst = p.forward({v, j});
+      const NodeId u = dst.node;
+      const int i = dst.index;
+      switch (variant) {
+        case Variant::PlusPlus:
+          k.add_edge({i, j}, u, v);
+          break;
+        case Variant::MinusPlus:
+          k.add_edge({0, j}, u, v);
+          break;
+        case Variant::PlusMinus:
+          k.add_edge({i, 0}, u, v);
+          break;
+        case Variant::MinusMinus:
+          k.add_edge({0, 0}, u, v);
+          break;
+      }
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) >= 1) k.set_prop(g.degree(v), v);
+  }
+  return k;
+}
+
+}  // namespace wm

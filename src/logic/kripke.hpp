@@ -1,0 +1,57 @@
+// Kripke models and the four canonical constructions K_{a,b}(G, p) from a
+// port-numbered graph (Section 4.3, Figure 7).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logic/formula.hpp"
+#include "port/port_numbering.hpp"
+
+namespace wm {
+
+/// A finite multimodal Kripke model with proposition symbols q_1..q_P.
+/// Relations are keyed by modality; successor lists are sorted.
+class KripkeModel {
+ public:
+  KripkeModel() = default;
+  KripkeModel(int num_states, int num_props);
+
+  int num_states() const { return num_states_; }
+  int num_props() const { return num_props_; }
+
+  void add_edge(const Modality& alpha, int from, int to);
+  void set_prop(int q, int state, bool value = true);
+
+  bool prop_holds(int q, int state) const { return valuation_[q - 1][state]; }
+  /// Successors of `state` under alpha (empty if relation absent).
+  const std::vector<int>& successors(const Modality& alpha, int state) const;
+  /// All modalities with a (possibly empty) registered relation.
+  std::vector<Modality> modalities() const;
+  bool has_relation(const Modality& alpha) const { return rel_.contains(alpha); }
+
+  /// Registers an (empty) relation for alpha — needed so bisimulation
+  /// treats "no successors" as information even when no edge exists.
+  void ensure_relation(const Modality& alpha);
+
+  /// Disjoint union (states of `other` shifted by num_states()); used for
+  /// cross-model bisimilarity checks. Props / modalities are unioned.
+  static KripkeModel disjoint_union(const KripkeModel& a, const KripkeModel& b);
+
+  std::string to_string() const;
+
+ private:
+  int num_states_ = 0;
+  int num_props_ = 0;
+  std::map<Modality, std::vector<std::vector<int>>> rel_;
+  std::vector<std::vector<bool>> valuation_;  // [q-1][state]
+};
+
+/// Builds K_{a,b}(G, p): states = V; R_(i,j) = {(u,v) : p((v,j)) = (u,i)}
+/// with components unioned away to '*' per the variant; valuation
+/// tau(q_i) = {v : deg(v) = i}. Delta defaults to max degree of G.
+KripkeModel kripke_from_graph(const PortNumbering& p, Variant variant,
+                              int delta = -1);
+
+}  // namespace wm

@@ -1,0 +1,93 @@
+#include "logic/model_checker.hpp"
+
+#include <unordered_map>
+
+namespace wm {
+
+namespace {
+
+std::vector<bool> eval(const KripkeModel& k, const Formula& f,
+                       std::unordered_map<Formula, std::vector<bool>>* memo) {
+  if (memo) {
+    auto it = memo->find(f);
+    if (it != memo->end()) return it->second;
+  }
+  const int n = k.num_states();
+  std::vector<bool> out(static_cast<std::size_t>(n), false);
+  switch (f.kind()) {
+    case Formula::Kind::True:
+      out.assign(static_cast<std::size_t>(n), true);
+      break;
+    case Formula::Kind::False:
+      break;
+    case Formula::Kind::Prop: {
+      const int q = f.prop_id();
+      if (q <= k.num_props()) {
+        for (int v = 0; v < n; ++v) out[v] = k.prop_holds(q, v);
+      }
+      break;
+    }
+    case Formula::Kind::Not: {
+      auto c = eval(k, f.child(), memo);
+      for (int v = 0; v < n; ++v) out[v] = !c[v];
+      break;
+    }
+    case Formula::Kind::And: {
+      auto a = eval(k, f.child(0), memo);
+      auto b = eval(k, f.child(1), memo);
+      for (int v = 0; v < n; ++v) out[v] = a[v] && b[v];
+      break;
+    }
+    case Formula::Kind::Or: {
+      auto a = eval(k, f.child(0), memo);
+      auto b = eval(k, f.child(1), memo);
+      for (int v = 0; v < n; ++v) out[v] = a[v] || b[v];
+      break;
+    }
+    case Formula::Kind::Diamond: {
+      auto c = eval(k, f.child(), memo);
+      const int need = f.grade();
+      for (int v = 0; v < n; ++v) {
+        int cnt = 0;
+        for (int w : k.successors(f.modality(), v)) {
+          if (c[w] && ++cnt >= need) break;
+        }
+        out[v] = cnt >= need;
+      }
+      break;
+    }
+    case Formula::Kind::Box: {
+      auto c = eval(k, f.child(), memo);
+      for (int v = 0; v < n; ++v) {
+        bool all = true;
+        for (int w : k.successors(f.modality(), v)) {
+          if (!c[w]) {
+            all = false;
+            break;
+          }
+        }
+        out[v] = all;
+      }
+      break;
+    }
+  }
+  if (memo) memo->emplace(f, out);
+  return out;
+}
+
+}  // namespace
+
+std::vector<bool> model_check(const KripkeModel& k, const Formula& phi) {
+  std::unordered_map<Formula, std::vector<bool>> memo;
+  return eval(k, phi, &memo);
+}
+
+bool model_check_at(const KripkeModel& k, const Formula& phi, int state) {
+  return model_check(k, phi)[static_cast<std::size_t>(state)];
+}
+
+std::vector<bool> model_check_naive(const KripkeModel& k, const Formula& phi) {
+  return eval(k, phi, nullptr);
+}
+
+}  // namespace wm

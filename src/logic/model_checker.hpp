@@ -1,0 +1,23 @@
+// Model checking: ||phi||_K = {v : K, v |= phi} (Section 4.1).
+#pragma once
+
+#include <vector>
+
+#include "logic/formula.hpp"
+#include "logic/kripke.hpp"
+
+namespace wm {
+
+/// Evaluates phi on every state of K; result[v] == true iff K, v |= phi.
+/// Bottom-up over the subformula closure with memoisation — O(|phi| * |K|).
+std::vector<bool> model_check(const KripkeModel& k, const Formula& phi);
+
+/// Single-state convenience.
+bool model_check_at(const KripkeModel& k, const Formula& phi, int state);
+
+/// Reference implementation: direct recursion following the truth
+/// definition, no memoisation. Exponential on DAG-shaped formulas; used
+/// only to cross-validate `model_check` in tests.
+std::vector<bool> model_check_naive(const KripkeModel& k, const Formula& phi);
+
+}  // namespace wm

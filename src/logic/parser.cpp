@@ -1,0 +1,135 @@
+#include "logic/parser.hpp"
+
+#include <cctype>
+
+namespace wm {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Formula parse() {
+    Formula f = disj();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing input");
+    return f;
+  }
+
+ private:
+  Formula disj() {
+    Formula f = conj();
+    for (;;) {
+      skip_ws();
+      if (!eat('|')) return f;
+      f = Formula::disj(f, conj());
+    }
+  }
+
+  Formula conj() {
+    Formula f = unary();
+    for (;;) {
+      skip_ws();
+      if (!eat('&')) return f;
+      f = Formula::conj(f, unary());
+    }
+  }
+
+  Formula unary() {
+    skip_ws();
+    if (eat('~')) return Formula::negate(unary());
+    if (eat('<')) {
+      const Modality alpha = modality();
+      expect('>');
+      int grade = 1;
+      skip_ws();
+      if (peek() == '>' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '=') {
+        pos_ += 2;
+        grade = integer();
+      }
+      return Formula::diamond(alpha, unary(), grade);
+    }
+    if (eat('[')) {
+      const Modality alpha = modality();
+      expect(']');
+      return Formula::box(alpha, unary());
+    }
+    return atom();
+  }
+
+  Formula atom() {
+    skip_ws();
+    if (eat('(')) {
+      Formula f = disj();
+      expect(')');
+      return f;
+    }
+    if (eat('T')) return Formula::tru();
+    if (eat('F')) return Formula::fls();
+    if (eat('q')) return Formula::prop(integer());
+    fail("expected atom");
+  }
+
+  Modality modality() {
+    Modality a;
+    a.in = modality_part();
+    expect(',');
+    a.out = modality_part();
+    return a;
+  }
+
+  int modality_part() {
+    skip_ws();
+    if (eat('*')) return 0;
+    return integer();
+  }
+
+  int integer() {
+    skip_ws();
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      fail("expected integer");
+    }
+    int v = 0;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      v = v * 10 + (s_[pos_++] - '0');
+      if (v > 1000000) fail("integer too large");
+    }
+    return v;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail((std::string("expected '") + c + "'").c_str());
+  }
+
+  [[noreturn]] void fail(const char* what) const {
+    throw ParseError(std::string("parse error at offset ") +
+                     std::to_string(pos_) + ": " + what + " in \"" + s_ + "\"");
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Formula parse_formula(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace wm

@@ -1,0 +1,29 @@
+// Parser for the formula syntax produced by Formula::to_string():
+//
+//   formula := disj
+//   disj    := conj ('|' conj)*
+//   conj    := unary ('&' unary)*
+//   unary   := '~' unary | '<'mod'>' ['>=' INT] unary | '['mod']' unary | atom
+//   atom    := 'T' | 'F' | 'q' INT | '(' formula ')'
+//   mod     := part ',' part        part := '*' | INT
+//
+// `parse_formula(to_string(f)) == f` holds up to associativity of the
+// printed (left-nested) binary operators — exact round-trip is tested.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "logic/formula.hpp"
+
+namespace wm {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a formula; throws ParseError on malformed input.
+Formula parse_formula(const std::string& text);
+
+}  // namespace wm

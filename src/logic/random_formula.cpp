@@ -1,0 +1,55 @@
+#include "logic/random_formula.hpp"
+
+namespace wm {
+
+namespace {
+
+Modality random_modality(Rng& rng, const RandomFormulaOptions& opts) {
+  Modality a;
+  const bool in_star = opts.variant == Variant::MinusPlus ||
+                       opts.variant == Variant::MinusMinus;
+  const bool out_star = opts.variant == Variant::PlusMinus ||
+                        opts.variant == Variant::MinusMinus;
+  a.in = in_star ? 0 : static_cast<int>(rng.range(1, opts.delta));
+  a.out = out_star ? 0 : static_cast<int>(rng.range(1, opts.delta));
+  return a;
+}
+
+Formula gen(Rng& rng, const RandomFormulaOptions& opts, int depth_budget) {
+  // Weighted choice; modal operators only with remaining depth budget.
+  const int r = static_cast<int>(rng.below(depth_budget > 0 ? 10 : 6));
+  switch (r) {
+    case 0:
+      return Formula::tru();
+    case 1:
+      return Formula::fls();
+    case 2:
+    case 3:
+      return Formula::prop(static_cast<int>(rng.range(1, opts.num_props)));
+    case 4:
+      return Formula::negate(gen(rng, opts, depth_budget));
+    case 5:
+      return rng.chance(1, 2)
+                 ? Formula::conj(gen(rng, opts, depth_budget),
+                                 gen(rng, opts, depth_budget))
+                 : Formula::disj(gen(rng, opts, depth_budget),
+                                 gen(rng, opts, depth_budget));
+    default: {
+      const Modality alpha = random_modality(rng, opts);
+      if (opts.use_box && rng.chance(1, 3)) {
+        return Formula::box(alpha, gen(rng, opts, depth_budget - 1));
+      }
+      const int grade =
+          opts.graded ? static_cast<int>(rng.range(1, opts.max_grade)) : 1;
+      return Formula::diamond(alpha, gen(rng, opts, depth_budget - 1), grade);
+    }
+  }
+}
+
+}  // namespace
+
+Formula random_formula(Rng& rng, const RandomFormulaOptions& opts) {
+  return gen(rng, opts, opts.max_depth);
+}
+
+}  // namespace wm

@@ -1,0 +1,23 @@
+// Random formula generation for property-based tests and the model
+// checking / compilation benches.
+#pragma once
+
+#include "logic/formula.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+
+struct RandomFormulaOptions {
+  Variant variant = Variant::MinusMinus;
+  int delta = 3;          // port numbers drawn from [1, delta]
+  int num_props = 3;      // propositions q_1..q_num_props
+  int max_depth = 3;      // maximum modal depth
+  bool graded = false;    // allow grades up to max_grade
+  int max_grade = 3;
+  bool use_box = true;    // allow [alpha] nodes
+};
+
+/// A random well-signed formula with modal depth <= opts.max_depth.
+Formula random_formula(Rng& rng, const RandomFormulaOptions& opts);
+
+}  // namespace wm

@@ -1,0 +1,94 @@
+#include "logic/simplify.hpp"
+
+#include <unordered_map>
+
+namespace wm {
+
+namespace {
+
+Formula simp(const Formula& f, std::unordered_map<Formula, Formula>& memo) {
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  Formula out;
+  switch (f.kind()) {
+    case Formula::Kind::True:
+    case Formula::Kind::False:
+    case Formula::Kind::Prop:
+      out = f;
+      break;
+    case Formula::Kind::Not: {
+      const Formula c = simp(f.child(), memo);
+      if (c.kind() == Formula::Kind::True) {
+        out = Formula::fls();
+      } else if (c.kind() == Formula::Kind::False) {
+        out = Formula::tru();
+      } else if (c.kind() == Formula::Kind::Not) {
+        out = c.child();
+      } else {
+        out = Formula::negate(c);
+      }
+      break;
+    }
+    case Formula::Kind::And: {
+      const Formula a = simp(f.child(0), memo);
+      const Formula b = simp(f.child(1), memo);
+      if (a.kind() == Formula::Kind::False || b.kind() == Formula::Kind::False) {
+        out = Formula::fls();
+      } else if (a.kind() == Formula::Kind::True) {
+        out = b;
+      } else if (b.kind() == Formula::Kind::True) {
+        out = a;
+      } else if (a == b) {
+        out = a;
+      } else {
+        out = Formula::conj(a, b);
+      }
+      break;
+    }
+    case Formula::Kind::Or: {
+      const Formula a = simp(f.child(0), memo);
+      const Formula b = simp(f.child(1), memo);
+      if (a.kind() == Formula::Kind::True || b.kind() == Formula::Kind::True) {
+        out = Formula::tru();
+      } else if (a.kind() == Formula::Kind::False) {
+        out = b;
+      } else if (b.kind() == Formula::Kind::False) {
+        out = a;
+      } else if (a == b) {
+        out = a;
+      } else {
+        out = Formula::disj(a, b);
+      }
+      break;
+    }
+    case Formula::Kind::Diamond: {
+      const Formula c = simp(f.child(), memo);
+      if (c.kind() == Formula::Kind::False) {
+        out = Formula::fls();  // no successor can satisfy F
+      } else {
+        out = Formula::diamond(f.modality(), c, f.grade());
+      }
+      break;
+    }
+    case Formula::Kind::Box: {
+      const Formula c = simp(f.child(), memo);
+      if (c.kind() == Formula::Kind::True) {
+        out = Formula::tru();  // vacuously over all successors
+      } else {
+        out = Formula::box(f.modality(), c);
+      }
+      break;
+    }
+  }
+  memo.emplace(f, out);
+  return out;
+}
+
+}  // namespace
+
+Formula simplify(const Formula& f) {
+  std::unordered_map<Formula, Formula> memo;
+  return simp(f, memo);
+}
+
+}  // namespace wm

@@ -1,0 +1,22 @@
+// Sound local simplification of modal formulas.
+//
+// The Theorem 2 extractor and the distinguishing-formula generator
+// produce correct but verbose formulas; this pass shrinks them with
+// semantics-preserving rewrites (property-tested against the model
+// checker on random models):
+//
+//   ~T -> F, ~F -> T, ~~f -> f
+//   T & f -> f, F & f -> F, f & f -> f      (and symmetric, and for |)
+//   <a>_{>=k} F -> F, [a] T -> T
+//
+// Applied bottom-up to a fixpoint of each node (single pass suffices for
+// these local rules).
+#pragma once
+
+#include "logic/formula.hpp"
+
+namespace wm {
+
+Formula simplify(const Formula& f);
+
+}  // namespace wm

@@ -1,0 +1,253 @@
+#include "port/port_numbering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/double_cover.hpp"
+
+namespace wm {
+
+namespace {
+
+std::vector<int> identity_perm(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 1);
+  return p;
+}
+
+bool is_permutation_1n(const std::vector<int>& p) {
+  std::vector<bool> seen(p.size() + 1, false);
+  for (int x : p) {
+    if (x < 1 || x > static_cast<int>(p.size()) || seen[x]) return false;
+    seen[x] = true;
+  }
+  return true;
+}
+
+}  // namespace
+
+PortNumbering PortNumbering::from_permutations(const Graph& g,
+                                               std::vector<std::vector<int>> out,
+                                               std::vector<std::vector<int>> in) {
+  const int n = g.num_nodes();
+  if (static_cast<int>(out.size()) != n || static_cast<int>(in.size()) != n) {
+    throw std::invalid_argument("from_permutations: size mismatch");
+  }
+  PortNumbering p;
+  p.g_ = std::make_shared<Graph>(g);
+  p.out_of_.assign(static_cast<std::size_t>(n), {});
+  p.in_from_.assign(static_cast<std::size_t>(n), {});
+  for (NodeId v = 0; v < n; ++v) {
+    const int d = g.degree(v);
+    if (static_cast<int>(out[v].size()) != d || static_cast<int>(in[v].size()) != d ||
+        !is_permutation_1n(out[v]) || !is_permutation_1n(in[v])) {
+      throw std::invalid_argument("from_permutations: not a permutation of [deg]");
+    }
+    // Invert: out[v][rank] = port  ->  out_of_[v][port-1] = rank.
+    p.out_of_[v].assign(static_cast<std::size_t>(d), -1);
+    p.in_from_[v].assign(static_cast<std::size_t>(d), -1);
+    for (int rank = 0; rank < d; ++rank) {
+      p.out_of_[v][out[v][rank] - 1] = rank;
+      p.in_from_[v][in[v][rank] - 1] = rank;
+    }
+  }
+  return p;
+}
+
+PortNumbering PortNumbering::identity(const Graph& g) {
+  std::vector<std::vector<int>> perms(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) perms[v] = identity_perm(g.degree(v));
+  return from_permutations(g, perms, perms);
+}
+
+PortNumbering PortNumbering::random(const Graph& g, Rng& rng) {
+  const int n = g.num_nodes();
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> in(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    out[v] = identity_perm(g.degree(v));
+    in[v] = identity_perm(g.degree(v));
+    rng.shuffle(out[v]);
+    rng.shuffle(in[v]);
+  }
+  return from_permutations(g, std::move(out), std::move(in));
+}
+
+PortNumbering PortNumbering::random_consistent(const Graph& g, Rng& rng) {
+  const int n = g.num_nodes();
+  std::vector<std::vector<int>> perm(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    perm[v] = identity_perm(g.degree(v));
+    rng.shuffle(perm[v]);
+  }
+  auto copy = perm;
+  return from_permutations(g, std::move(perm), std::move(copy));
+}
+
+PortNumbering PortNumbering::symmetric_regular(const Graph& g) {
+  const auto factors = regular_graph_factors(g);  // throws if not regular
+  const int n = g.num_nodes();
+  const int k = static_cast<int>(factors.size());
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> in(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    out[v].assign(static_cast<std::size_t>(k), 0);
+    in[v].assign(static_cast<std::size_t>(k), 0);
+  }
+  for (int i = 0; i < k; ++i) {
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId u = factors[i][v];  // out-port i+1 of v leads to u,
+      const int rank_vu = g.neighbour_index(v, u);
+      const int rank_uv = g.neighbour_index(u, v);
+      out[v][rank_vu] = i + 1;         // and arrives on u's in-port i+1.
+      in[u][rank_uv] = i + 1;
+    }
+  }
+  return from_permutations(g, std::move(out), std::move(in));
+}
+
+PortRef PortNumbering::forward(PortRef port) const {
+  const NodeId v = port.node;
+  const int rank = out_of_[v][port.index - 1];
+  const NodeId u = graph().neighbours(v)[rank];
+  return {u, in_port(u, v)};
+}
+
+PortRef PortNumbering::backward(PortRef port) const {
+  const NodeId u = port.node;
+  const int rank = in_from_[u][port.index - 1];
+  const NodeId v = graph().neighbours(u)[rank];
+  return {v, out_port(v, u)};
+}
+
+int PortNumbering::out_port(NodeId v, NodeId u) const {
+  const int rank = graph().neighbour_index(v, u);
+  for (int i = 0; i < static_cast<int>(out_of_[v].size()); ++i) {
+    if (out_of_[v][i] == rank) return i + 1;
+  }
+  throw std::invalid_argument("out_port: not a neighbour");
+}
+
+int PortNumbering::in_port(NodeId v, NodeId u) const {
+  const int rank = graph().neighbour_index(v, u);
+  for (int i = 0; i < static_cast<int>(in_from_[v].size()); ++i) {
+    if (in_from_[v][i] == rank) return i + 1;
+  }
+  throw std::invalid_argument("in_port: not a neighbour");
+}
+
+NodeId PortNumbering::out_neighbour(NodeId v, int i) const {
+  return graph().neighbours(v)[out_of_[v][i - 1]];
+}
+
+NodeId PortNumbering::in_neighbour(NodeId v, int i) const {
+  return graph().neighbours(v)[in_from_[v][i - 1]];
+}
+
+bool PortNumbering::is_consistent() const {
+  for (NodeId v = 0; v < graph().num_nodes(); ++v) {
+    for (int i = 1; i <= degree(v); ++i) {
+      if (forward(forward({v, i})) != PortRef{v, i}) return false;
+    }
+  }
+  return true;
+}
+
+bool PortNumbering::is_valid() const {
+  const Graph& g = graph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int d = g.degree(v);
+    if (static_cast<int>(out_of_[v].size()) != d ||
+        static_cast<int>(in_from_[v].size()) != d) {
+      return false;
+    }
+    std::vector<bool> seen_out(static_cast<std::size_t>(d), false);
+    std::vector<bool> seen_in(static_cast<std::size_t>(d), false);
+    for (int i = 0; i < d; ++i) {
+      const int ro = out_of_[v][i], ri = in_from_[v][i];
+      if (ro < 0 || ro >= d || seen_out[ro]) return false;
+      if (ri < 0 || ri >= d || seen_in[ri]) return false;
+      seen_out[ro] = seen_in[ri] = true;
+    }
+    // A(p) = A(G) and bijectivity follow from the permutation structure:
+    // forward must be inverted exactly by backward.
+    for (int i = 1; i <= d; ++i) {
+      if (backward(forward({v, i})) != PortRef{v, i}) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> PortNumbering::local_type(NodeId v, int delta) const {
+  std::vector<int> t(static_cast<std::size_t>(delta), 0);
+  for (int i = 1; i <= degree(v); ++i) {
+    t[i - 1] = forward({v, i}).index;
+  }
+  return t;
+}
+
+std::string PortNumbering::to_string() const {
+  std::ostringstream os;
+  os << "PortNumbering" << (is_consistent() ? " (consistent)" : "");
+  for (NodeId v = 0; v < graph().num_nodes(); ++v) {
+    os << "\n  node " << v << ":";
+    for (int i = 1; i <= degree(v); ++i) {
+      const PortRef t = forward({v, i});
+      os << " (" << v << "," << i << ")->(" << t.node << "," << t.index << ")";
+    }
+  }
+  return os.str();
+}
+
+bool operator==(const PortNumbering& a, const PortNumbering& b) {
+  return *a.g_ == *b.g_ && a.out_of_ == b.out_of_ && a.in_from_ == b.in_from_;
+}
+
+namespace {
+
+/// Iterates over all tuples of permutations (one per node); calls fn for
+/// each complete assignment. Returns false if fn requested a stop.
+bool perm_product(const Graph& g, std::size_t v,
+                  std::vector<std::vector<int>>& current,
+                  const std::function<bool(std::vector<std::vector<int>>&)>& fn) {
+  if (v == static_cast<std::size_t>(g.num_nodes())) return fn(current);
+  std::vector<int> perm(static_cast<std::size_t>(g.degree(static_cast<NodeId>(v))));
+  std::iota(perm.begin(), perm.end(), 1);
+  do {
+    current[v] = perm;
+    if (!perm_product(g, v + 1, current, fn)) return false;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return true;
+}
+
+}  // namespace
+
+std::size_t for_each_consistent_port_numbering(
+    const Graph& g, const std::function<bool(const PortNumbering&)>& fn) {
+  std::size_t count = 0;
+  std::vector<std::vector<int>> perms(static_cast<std::size_t>(g.num_nodes()));
+  perm_product(g, 0, perms, [&](std::vector<std::vector<int>>& out) {
+    ++count;
+    auto copy = out;
+    return fn(PortNumbering::from_permutations(g, out, copy));
+  });
+  return count;
+}
+
+std::size_t for_each_port_numbering(
+    const Graph& g, const std::function<bool(const PortNumbering&)>& fn) {
+  std::size_t count = 0;
+  std::vector<std::vector<int>> outs(static_cast<std::size_t>(g.num_nodes()));
+  perm_product(g, 0, outs, [&](std::vector<std::vector<int>>& out) {
+    std::vector<std::vector<int>> ins(static_cast<std::size_t>(g.num_nodes()));
+    return perm_product(g, 0, ins, [&](std::vector<std::vector<int>>& in) {
+      ++count;
+      return fn(PortNumbering::from_permutations(g, out, in));
+    });
+  });
+  return count;
+}
+
+}  // namespace wm

@@ -1,0 +1,119 @@
+// Port numberings (Section 1.2 of the paper).
+//
+// A port of G is a pair (v, i) with i in [deg(v)]. A port numbering is a
+// bijection p on ports with A(p) = A(G): node v sends a message to its
+// port (v, i); if p((v, i)) = (u, j) the message is received by u from
+// port (u, j).
+//
+// Because A(p) = A(G) and |ports of v| = deg(v), a port numbering is
+// equivalently two families of per-node bijections over neighbours:
+//
+//   out_v : N(v) -> [deg(v)]   (which outgoing port leads towards u)
+//   in_v  : N(v) -> [deg(v)]   (which incoming port receives from u)
+//
+// with p((v, out_v(u))) = (u, in_u(v)). The numbering is *consistent*
+// (p an involution) iff in_v = out_v for every v. This matches Figure 6:
+// a VV algorithm sees both families, MV/SV algorithms lose `in`,
+// VB loses `out`, MB/SB lose both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+
+/// A port (v, i); i is 1-based as in the paper.
+struct PortRef {
+  NodeId node = -1;
+  int index = 0;
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+  friend auto operator<=>(const PortRef&, const PortRef&) = default;
+};
+
+class PortNumbering {
+ public:
+  PortNumbering() = default;
+
+  /// The "identity" consistent numbering: ports follow the sorted
+  /// adjacency order (out = in = neighbour rank + 1).
+  static PortNumbering identity(const Graph& g);
+
+  /// Builds a numbering from explicit per-node out/in permutations:
+  /// out[v][r] / in[v][r] give the port number (1-based) assigned to the
+  /// r-th neighbour in sorted adjacency order. Both must be permutations
+  /// of [deg(v)]. A consistent numbering has out == in.
+  static PortNumbering from_permutations(const Graph& g,
+                                         std::vector<std::vector<int>> out,
+                                         std::vector<std::vector<int>> in);
+
+  /// Random general (possibly inconsistent) port numbering.
+  static PortNumbering random(const Graph& g, Rng& rng);
+  /// Random consistent port numbering.
+  static PortNumbering random_consistent(const Graph& g, Rng& rng);
+
+  /// Lemma 15: for a k-regular graph, the symmetric port numbering built
+  /// from a 1-factorisation of the bipartite double cover — out port i of
+  /// v leads to f_i(v) and arrives there on in port i. Under it all nodes
+  /// are bisimilar in K_{+,+}(G, p).
+  static PortNumbering symmetric_regular(const Graph& g);
+
+  const Graph& graph() const { return *g_; }
+
+  int degree(NodeId v) const { return graph().degree(v); }
+
+  /// p((v,i)): where does v's out-port i deliver? Returns the receiving
+  /// port (u, j).
+  PortRef forward(PortRef port) const;
+  /// p^{-1}((u,j)): which port (v,i) delivers into u's in-port j?
+  PortRef backward(PortRef port) const;
+
+  /// out_v(u): 1-based out port of v towards neighbour u.
+  int out_port(NodeId v, NodeId u) const;
+  /// in_v(u): 1-based in port of v receiving from neighbour u.
+  int in_port(NodeId v, NodeId u) const;
+  /// Neighbour reached through v's out-port i.
+  NodeId out_neighbour(NodeId v, int i) const;
+  /// Neighbour whose messages arrive at v's in-port i.
+  NodeId in_neighbour(NodeId v, int i) const;
+
+  /// p(p(x)) == x for all ports (Section 1.2).
+  bool is_consistent() const;
+
+  /// Checks the port-numbering axioms (bijectivity, A(p) = A(G)) —
+  /// trivially true for objects built by the factories; used by tests.
+  bool is_valid() const;
+
+  /// Local type of v (Theorem 17): tuple (j_1..j_Delta) where j_i is the
+  /// in-port at the neighbour reached via out-port i (0-padded).
+  std::vector<int> local_type(NodeId v, int delta) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const PortNumbering&, const PortNumbering&);
+
+ private:
+  // out_of_[v][i-1] = neighbour rank (index into sorted adjacency) reached
+  // via out-port i; in_from_[v][i-1] = neighbour rank feeding in-port i.
+  std::shared_ptr<const Graph> g_;
+  std::vector<std::vector<int>> out_of_;
+  std::vector<std::vector<int>> in_from_;
+};
+
+/// Enumerates all consistent port numberings of g (product of per-node
+/// permutations). fn returns false to stop early. Returns count visited.
+/// Feasible when sum over v of log(deg(v)!) is small.
+std::size_t for_each_consistent_port_numbering(
+    const Graph& g, const std::function<bool(const PortNumbering&)>& fn);
+
+/// Enumerates all (general) port numberings: independent out- and
+/// in-permutations per node. Exponentially many; use on tiny graphs only.
+std::size_t for_each_port_numbering(
+    const Graph& g, const std::function<bool(const PortNumbering&)>& fn);
+
+}  // namespace wm

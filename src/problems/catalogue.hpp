@@ -1,0 +1,49 @@
+// The problem catalogue: every graph problem the paper uses.
+#pragma once
+
+#include "logic/formula.hpp"
+#include "problems/problem.hpp"
+
+namespace wm {
+
+/// Theorem 11 (separates VB from SV): in a k-star with k > 1, the centre
+/// outputs 0 and exactly one leaf outputs 1; on non-stars anything goes.
+ProblemPtr leaf_in_star_problem();
+
+/// Theorem 13 (separates SB from MB): S(v) = 1 iff v has an odd number of
+/// neighbours of odd degree. Unique valid solution per graph.
+ProblemPtr odd_odd_problem();
+
+/// Theorem 17 (separates VV from VVc): on graphs in the class G
+/// (connected, k-regular for odd k, no 1-factor) the output must be
+/// non-constant; on all other graphs anything goes.
+ProblemPtr symmetry_break_problem();
+
+/// Is g a member of the paper's class G (Section 5.3)?
+bool in_class_g(const Graph& g);
+
+/// Section 1.4 examples.
+ProblemPtr maximal_independent_set_problem();
+ProblemPtr three_colouring_problem();       // Y = {1, 2, 3}
+ProblemPtr eulerian_decision_problem();     // all-accept / some-reject
+
+/// Vertex cover within factor `ratio_num/ratio_den` of optimum (exact
+/// optimum computed by branch and bound — small graphs only).
+ProblemPtr approx_vertex_cover_problem(int ratio_num = 2, int ratio_den = 1);
+
+/// Remark 2 (SBo): S(v) = 1 iff v is isolated.
+ProblemPtr isolated_node_problem();
+
+/// S(v) = deg(v) mod 2 — a problem solvable at time 0 in every class.
+ProblemPtr degree_parity_problem();
+
+/// The canonical graph problem Pi_Psi of a modal formula (Section 4.3):
+/// the unique valid solution on G is ||psi||_{K--(G)}. Restricted to the
+/// K_{-,-} signature because that view — and hence the solution — does
+/// not depend on the port numbering. `delta` bounds the graphs the
+/// problem is meaningful for; valid() throws on larger degrees.
+/// By Theorem 2, Pi_Psi is in MB(1) (SB(1) if psi is ungraded) with
+/// locality md(psi) — property-tested in tests/test_formula_problems.cpp.
+ProblemPtr formula_problem(const Formula& psi, int delta);
+
+}  // namespace wm

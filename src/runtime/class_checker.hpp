@@ -1,0 +1,36 @@
+// Empirical validation that a machine belongs to the algebraic class it
+// claims (Section 1.5's invariance conditions).
+//
+// The engine already *enforces* class restrictions by canonicalising the
+// inbox, so machines cannot cheat at run time. This checker serves a
+// different purpose: it property-tests that a machine declared in a
+// *stronger* mode (e.g. ReceiveMode::Vector) would in fact be well-defined
+// in a weaker one — i.e. that delta(x, a) = delta(x, b) whenever
+// multiset(a) = multiset(b) (Multiset-invariance) or set(a) = set(b)
+// (Set-invariance), and that mu(x, i) = mu(x, j) (Broadcast-invariance).
+// Used when validating hand-written algorithms and the transformers.
+#pragma once
+
+#include "port/port_numbering.hpp"
+#include "runtime/state_machine.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+
+struct ClassCheckReport {
+  bool multiset_invariant = true;  // order of inbox does not matter
+  bool set_invariant = true;       // multiplicities do not matter either
+  bool broadcast_invariant = true; // all out-ports get the same message
+  int transitions_checked = 0;
+  int messages_checked = 0;
+};
+
+/// Runs the machine on (G, p); at every (state, inbox) pair encountered,
+/// probes invariance with `trials` random permutations / duplications of
+/// the inbox and all out-port pairs. Requires a Vector-mode machine (the
+/// only mode where the raw inbox is observable).
+ClassCheckReport check_class_invariance(const StateMachine& m,
+                                        const PortNumbering& p, Rng& rng,
+                                        int trials = 8, int max_rounds = 64);
+
+}  // namespace wm

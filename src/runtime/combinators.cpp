@@ -1,0 +1,138 @@
+#include "runtime/combinators.hpp"
+
+#include <stdexcept>
+
+namespace wm {
+
+namespace {
+
+bool tagged(const Value& s) {
+  return s.is_tuple() && s.size() >= 1 && s.at(0).is_str() &&
+         s.at(0).as_str() == "P";
+}
+
+class ProductMachine final : public StateMachine {
+ public:
+  ProductMachine(std::vector<std::shared_ptr<const StateMachine>> components,
+                 OutputCombiner combiner)
+      : components_(std::move(components)), combiner_(std::move(combiner)) {
+    if (components_.empty()) {
+      throw std::invalid_argument("product_machine: no components");
+    }
+    cls_ = components_[0]->algebraic_class();
+    for (const auto& c : components_) {
+      if (!(c->algebraic_class() == cls_)) {
+        throw std::invalid_argument(
+            "product_machine: components must share one algebraic class");
+      }
+    }
+    if (!combiner_) {
+      combiner_ = [](const ValueVec& outs) { return Value::tuple(outs); };
+    }
+  }
+
+  AlgebraicClass algebraic_class() const override { return cls_; }
+
+  Value init(int degree) const override {
+    ValueVec states;
+    states.reserve(components_.size() + 1);
+    states.push_back(Value::str("P"));
+    bool all_stopped = true;
+    for (const auto& c : components_) {
+      states.push_back(c->init(degree));
+      if (!c->is_stopping(states.back())) all_stopped = false;
+    }
+    if (all_stopped) {
+      return combiner_(ValueVec(states.begin() + 1, states.end()));
+    }
+    return Value::tuple(std::move(states));
+  }
+
+  bool is_stopping(const Value& s) const override { return !tagged(s); }
+
+  Value message(const Value& s, int port) const override {
+    ValueVec slots;
+    slots.reserve(components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const Value& cs = s.at(i + 1);
+      slots.push_back(components_[i]->is_stopping(cs)
+                          ? Value::unit()
+                          : components_[i]->message(cs, port));
+    }
+    return Value::tuple(std::move(slots));
+  }
+
+  Value transition(const Value& s, const Value& inbox, int degree) const override {
+    ValueVec next{Value::str("P")};
+    next.reserve(components_.size() + 1);
+    bool all_stopped = true;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const Value& cs = s.at(i + 1);
+      if (components_[i]->is_stopping(cs)) {
+        next.push_back(cs);
+        continue;
+      }
+      // Slot-i projection, re-canonicalised per the shared receive mode.
+      ValueVec proj;
+      proj.reserve(inbox.size());
+      for (const Value& msg : inbox.items()) {
+        proj.push_back(msg.is_unit() ? Value::unit() : msg.at(i));
+      }
+      Value comp_inbox;
+      switch (cls_.receive) {
+        case ReceiveMode::Vector:
+          comp_inbox = Value::tuple(std::move(proj));
+          break;
+        case ReceiveMode::Multiset:
+          comp_inbox = Value::mset(std::move(proj));
+          break;
+        case ReceiveMode::Set:
+          comp_inbox = Value::set(std::move(proj));
+          break;
+      }
+      next.push_back(components_[i]->transition(cs, comp_inbox, degree));
+      if (!components_[i]->is_stopping(next.back())) all_stopped = false;
+    }
+    if (all_stopped) {
+      return combiner_(ValueVec(next.begin() + 1, next.end()));
+    }
+    return Value::tuple(std::move(next));
+  }
+
+ private:
+  std::vector<std::shared_ptr<const StateMachine>> components_;
+  OutputCombiner combiner_;
+  AlgebraicClass cls_;
+};
+
+}  // namespace
+
+std::shared_ptr<const StateMachine> product_machine(
+    std::vector<std::shared_ptr<const StateMachine>> components,
+    OutputCombiner combiner) {
+  return std::make_shared<ProductMachine>(std::move(components),
+                                          std::move(combiner));
+}
+
+OutputCombiner binary_combiner() {
+  return [](const ValueVec& outs) {
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      acc |= (outs[i].as_int() & 1) << i;
+    }
+    return Value::integer(acc);
+  };
+}
+
+OutputCombiner first_one_combiner() {
+  return [](const ValueVec& outs) {
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (outs[i].is_int() && outs[i].as_int() == 1) {
+        return Value::integer(static_cast<std::int64_t>(i) + 1);
+      }
+    }
+    return Value::integer(0);
+  };
+}
+
+}  // namespace wm

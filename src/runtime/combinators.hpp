@@ -1,0 +1,45 @@
+// Machine combinators.
+//
+// The paper handles non-binary outputs "by defining a separate formula
+// for each output bit" (Section 4.3) — the algorithmic counterpart is
+// running several machines of the same class in lockstep and combining
+// their outputs. `product_machine` does exactly that: component i's
+// message occupies slot i of a tuple message, inboxes are re-sliced per
+// component (set/multiset machines receive the canonicalised projection
+// of their slot), and the product stops when every component has
+// stopped, with a caller-supplied output combiner.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/state_machine.hpp"
+
+namespace wm {
+
+/// Combines component outputs (stopping states) into the product output.
+using OutputCombiner = std::function<Value(const ValueVec&)>;
+
+/// Lockstep product of machines of the same algebraic class. The product
+/// is of that class too, and it is faithful in every receive mode:
+/// messages are tuples of component messages, and component i receives
+/// the canonicalised slot-i projection of the product inbox — which
+/// equals what a standalone run would have delivered (the set of slot
+/// projections of a set of tuples is the set of per-neighbour values,
+/// and likewise for multisets and vectors). Components may stop at
+/// different times; a stopped component's slot carries m0. The product
+/// stops once every component has, with output combiner(outputs).
+/// Default combiner: Tuple of the component outputs.
+std::shared_ptr<const StateMachine> product_machine(
+    std::vector<std::shared_ptr<const StateMachine>> components,
+    OutputCombiner combiner = nullptr);
+
+/// Combiner mapping k 0/1 component outputs to Int(sum of bit_i << i).
+OutputCombiner binary_combiner();
+
+/// Combiner: output Int(i + 1) for the first component i that output 1,
+/// or Int(0) if none did (used for one-hot colour assignment).
+OutputCombiner first_one_combiner();
+
+}  // namespace wm

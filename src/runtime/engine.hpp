@@ -1,0 +1,61 @@
+// Synchronous execution of a distributed state machine on a
+// port-numbered graph (Section 1.3).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "port/port_numbering.hpp"
+#include "runtime/state_machine.hpp"
+#include "util/value.hpp"
+
+namespace wm {
+
+struct ExecutionOptions {
+  /// Abort (stopped = false) if not all nodes reached Y by this round.
+  int max_rounds = 100000;
+  /// Record x_t for every t (trace[t][v]); costs memory.
+  bool record_trace = false;
+};
+
+struct MessageStats {
+  std::size_t messages_sent = 0;      // non-m0 message deliveries
+  std::size_t total_size = 0;         // sum of structural Value sizes
+  std::size_t max_size = 0;           // largest single message
+};
+
+struct ExecutionResult {
+  bool stopped = false;
+  /// Smallest T with x_T(v) in Y for all v (== rounds executed).
+  int rounds = 0;
+  /// x_T — or x_{max_rounds} if the machine failed to stop.
+  std::vector<Value> final_states;
+  /// Present iff options.record_trace.
+  std::vector<std::vector<Value>> trace;
+  MessageStats stats;
+
+  /// Interprets final states as integer outputs (requires Int states).
+  std::vector<int> outputs_as_ints() const;
+};
+
+/// Runs machine `m` on (G, p) where p carries its graph. The machine must
+/// accommodate max degree of the graph (A_Delta with Delta >= max deg).
+ExecutionResult execute(const StateMachine& m, const PortNumbering& p,
+                        const ExecutionOptions& options = {});
+
+/// Variant with externally supplied initial states x_0 (one per node);
+/// m.init is not consulted. This is the execution model for graphs with
+/// local inputs (Section 3.4): x_0(v) may depend on f(v) as well as
+/// deg(v). Precondition: initial.size() == number of nodes.
+ExecutionResult execute_with_states(const StateMachine& m,
+                                    const PortNumbering& p,
+                                    std::vector<Value> initial,
+                                    const ExecutionOptions& options = {});
+
+/// Structural size of a value (number of nodes in its tree) — the
+/// message-size measure used by the overhead benches (Section 5.4's open
+/// question about simulation message blowup).
+std::size_t value_size(const Value& v);
+
+}  // namespace wm

@@ -1,0 +1,33 @@
+#include "runtime/state_machine.hpp"
+
+namespace wm {
+
+std::string AlgebraicClass::name() const {
+  const char* recv = receive == ReceiveMode::Vector     ? "Vector"
+                     : receive == ReceiveMode::Multiset ? "Multiset"
+                                                        : "Set";
+  if (send == SendMode::Broadcast) {
+    return std::string(recv) + "∩Broadcast";
+  }
+  return recv;
+}
+
+bool AlgebraicClass::contained_in(const AlgebraicClass& other) const {
+  // Receive: Set ⊆ Multiset ⊆ Vector (a machine oblivious to order is in
+  // particular a machine; the *class of machines* Set is a subset of
+  // Multiset is a subset of Vector). Send: Broadcast ⊆ Ported.
+  auto recv_rank = [](ReceiveMode m) {
+    switch (m) {
+      case ReceiveMode::Set: return 0;
+      case ReceiveMode::Multiset: return 1;
+      case ReceiveMode::Vector: return 2;
+    }
+    return 2;
+  };
+  const bool recv_ok = recv_rank(receive) <= recv_rank(other.receive);
+  const bool send_ok =
+      send == SendMode::Broadcast || other.send == SendMode::Ported;
+  return recv_ok && send_ok;
+}
+
+}  // namespace wm

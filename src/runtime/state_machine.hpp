@@ -1,0 +1,108 @@
+// Distributed state machines (Section 1.1) and the algorithm classes
+// Vector / Multiset / Set / Broadcast (Section 1.5).
+//
+// A machine A_Delta = (Y, Z, z0, M, m0, mu, delta) is modelled with
+// `Value`-typed states and messages; the stopping set Y is identified by
+// the `is_stopping` predicate, m0 is `Value::unit()`.
+//
+// The algebraic class is *enforced by the engine*, not trusted:
+//   - Multiset machines receive `multiset(a)` (a canonical MSet value),
+//   - Set machines receive `set(a)` (a canonical Set value),
+//   - Broadcast machines have mu evaluated once per round and the result
+//     replicated to all ports.
+// so a machine in a weak class cannot observe information its class
+// forbids, by construction.
+//
+// Deviation from the paper's notation: the paper pads the inbox to length
+// Delta with copies of m0. Since z0 gives every node its own degree, the
+// padding carries no information (its content and multiplicity are
+// functions of deg(v) and Delta); we pass exactly deg(v) messages.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/value.hpp"
+
+namespace wm {
+
+enum class ReceiveMode { Vector, Multiset, Set };
+enum class SendMode { Ported, Broadcast };
+
+/// Which of the paper's algorithm classes a machine lives in.
+struct AlgebraicClass {
+  ReceiveMode receive = ReceiveMode::Vector;
+  SendMode send = SendMode::Ported;
+
+  friend bool operator==(const AlgebraicClass&, const AlgebraicClass&) = default;
+
+  static constexpr AlgebraicClass vector() { return {ReceiveMode::Vector, SendMode::Ported}; }
+  static constexpr AlgebraicClass multiset() { return {ReceiveMode::Multiset, SendMode::Ported}; }
+  static constexpr AlgebraicClass set() { return {ReceiveMode::Set, SendMode::Ported}; }
+  static constexpr AlgebraicClass vector_broadcast() { return {ReceiveMode::Vector, SendMode::Broadcast}; }
+  static constexpr AlgebraicClass multiset_broadcast() { return {ReceiveMode::Multiset, SendMode::Broadcast}; }
+  static constexpr AlgebraicClass set_broadcast() { return {ReceiveMode::Set, SendMode::Broadcast}; }
+
+  std::string name() const;
+
+  /// True if a machine of class `this` is, by definition, also a machine
+  /// of class `other` (e.g. Set ⊆ Multiset ⊆ Vector; Broadcast ⊆ Ported
+  /// in the sense of Figure 5a's trivial containments).
+  bool contained_in(const AlgebraicClass& other) const;
+};
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  virtual AlgebraicClass algebraic_class() const = 0;
+
+  /// z0: initial state as a function of the node's degree (0..Delta).
+  virtual Value init(int degree) const = 0;
+
+  /// Membership in the stopping set Y.
+  virtual bool is_stopping(const Value& state) const = 0;
+
+  /// mu: the message sent to out-port `port` (1-based). For machines with
+  /// SendMode::Broadcast the engine calls this exactly once per round
+  /// (with port = 1) and replicates the result, enforcing the class.
+  /// Never called on stopping states (the engine sends m0 for those).
+  virtual Value message(const Value& state, int port) const = 0;
+
+  /// delta: state transition. `inbox` is presented per ReceiveMode:
+  ///   Vector   -> Tuple of deg(v) messages, in in-port order 1..deg(v)
+  ///   Multiset -> MSet of the deg(v) messages
+  ///   Set      -> Set of the distinct messages
+  /// Never called on stopping states (they are absorbing).
+  virtual Value transition(const Value& state, const Value& inbox,
+                           int degree) const = 0;
+};
+
+/// A machine assembled from closures — convenient for tests, examples and
+/// the machine transformers.
+class LambdaMachine final : public StateMachine {
+ public:
+  AlgebraicClass cls;
+  std::function<Value(int)> init_fn;
+  std::function<bool(const Value&)> stopping_fn;
+  std::function<Value(const Value&, int)> message_fn;
+  std::function<Value(const Value&, const Value&, int)> transition_fn;
+
+  AlgebraicClass algebraic_class() const override { return cls; }
+  Value init(int degree) const override { return init_fn(degree); }
+  bool is_stopping(const Value& state) const override { return stopping_fn(state); }
+  Value message(const Value& state, int port) const override {
+    return message_fn(state, port);
+  }
+  Value transition(const Value& state, const Value& inbox, int degree) const override {
+    return transition_fn(state, inbox, degree);
+  }
+};
+
+/// A sequence A = (A_1, A_2, ...) of machines, one per maximum degree
+/// (Section 1.4): family(delta) builds A_delta.
+using MachineFamily =
+    std::function<std::shared_ptr<const StateMachine>(int delta)>;
+
+}  // namespace wm

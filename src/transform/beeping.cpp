@@ -1,0 +1,169 @@
+#include "transform/beeping.hpp"
+
+#include <stdexcept>
+
+namespace wm {
+
+namespace {
+
+bool tagged_with(const Value& s, const char* tag) {
+  return s.is_tuple() && s.size() >= 1 && s.at(0).is_str() &&
+         s.at(0).as_str() == tag;
+}
+
+class BeepAdapter final : public StateMachine {
+ public:
+  explicit BeepAdapter(std::shared_ptr<const BeepMachine> m) : m_(std::move(m)) {}
+
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::set_broadcast();
+  }
+  Value init(int degree) const override { return m_->init(degree); }
+  bool is_stopping(const Value& s) const override { return m_->is_stopping(s); }
+  Value message(const Value& s, int) const override {
+    return m_->beeps(s) ? Value::integer(1) : Value::unit();
+  }
+  Value transition(const Value& s, const Value& inbox, int degree) const override {
+    return m_->transition(s, inbox.contains(Value::integer(1)), degree);
+  }
+
+ private:
+  std::shared_ptr<const BeepMachine> m_;
+};
+
+// SB -> beeping: each source round expands into |alphabet| beep slots.
+// Wrapper state: ("B", slot, x, heard) with heard the Set of alphabet
+// values heard so far this source round.
+//
+// Precondition (documented in the header): the source machine treats
+// received sets S and S ∪ {m0} alike — a beeping listener cannot tell
+// "some neighbour was silent throughout" (a stopped or m0-sending
+// neighbour) from "no such neighbour", so units are stripped from the
+// reconstructed set.
+class SbToBeeping final : public StateMachine {
+ public:
+  SbToBeeping(std::shared_ptr<const StateMachine> sb, std::vector<Value> alphabet)
+      : sb_(std::move(sb)), alphabet_(std::move(alphabet)) {
+    if (sb_->algebraic_class() != AlgebraicClass::set_broadcast()) {
+      throw std::invalid_argument(
+          "to_beeping_machine: source must be Set∩Broadcast");
+    }
+    if (alphabet_.empty()) {
+      throw std::invalid_argument("to_beeping_machine: empty alphabet");
+    }
+    for (std::size_t i = 0; i < alphabet_.size(); ++i) {
+      if (alphabet_[i].is_unit()) {
+        throw std::invalid_argument(
+            "to_beeping_machine: m0 must not be in the alphabet");
+      }
+      for (std::size_t j = i + 1; j < alphabet_.size(); ++j) {
+        if (alphabet_[i] == alphabet_[j]) {
+          throw std::invalid_argument(
+              "to_beeping_machine: alphabet entries must be distinct");
+        }
+      }
+    }
+  }
+
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::set_broadcast();
+  }
+
+  Value init(int degree) const override {
+    Value x = sb_->init(degree);
+    if (sb_->is_stopping(x)) return x;
+    return wrap(0, std::move(x), Value::set({}));
+  }
+
+  bool is_stopping(const Value& s) const override {
+    return !tagged_with(s, "B") && sb_->is_stopping(s);
+  }
+
+  Value message(const Value& s, int) const override {
+    const std::size_t slot = static_cast<std::size_t>(s.at(1).as_int());
+    const Value& x = s.at(2);
+    const Value msg = sb_->message(x, 1);
+    // Beep in the slot matching the message; silence in all others (and
+    // everywhere if the machine sends m0).
+    return msg == alphabet_[slot] ? Value::integer(1) : Value::unit();
+  }
+
+  Value transition(const Value& s, const Value& inbox, int degree) const override {
+    const std::size_t slot = static_cast<std::size_t>(s.at(1).as_int());
+    const Value& x = s.at(2);
+    ValueVec heard = s.at(3).items();
+    if (inbox.contains(Value::integer(1))) heard.push_back(alphabet_[slot]);
+    Value heard_set = Value::set(std::move(heard));
+    if (slot + 1 < alphabet_.size()) {
+      return wrap(static_cast<int>(slot + 1), x, std::move(heard_set));
+    }
+    Value x_next = sb_->transition(x, heard_set, degree);
+    if (sb_->is_stopping(x_next)) return x_next;
+    return wrap(0, std::move(x_next), Value::set({}));
+  }
+
+ private:
+  static Value wrap(int slot, Value x, Value heard) {
+    return Value::tuple({Value::str("B"), Value::integer(slot), std::move(x),
+                         std::move(heard)});
+  }
+
+  std::shared_ptr<const StateMachine> sb_;
+  std::vector<Value> alphabet_;
+};
+
+// Beep-wave BFS: sources beep in round 1; every node relays the first
+// beep it hears and records the round.
+// State: ("W", r, total, first (or -1), beep_pending).
+class BeepWave final : public BeepMachine {
+ public:
+  BeepWave(int source_degree, int rounds)
+      : source_degree_(source_degree), rounds_(rounds) {}
+
+  Value init(int degree) const override {
+    const bool source = degree == source_degree_;
+    return Value::tuple({Value::str("W"), Value::integer(0),
+                         Value::integer(rounds_),
+                         Value::integer(source ? 0 : -1),
+                         Value::integer(source ? 1 : 0)});
+  }
+  bool is_stopping(const Value& s) const override { return s.is_int(); }
+  bool beeps(const Value& s) const override { return s.at(4).as_int() == 1; }
+  Value transition(const Value& s, bool heard, int) const override {
+    const std::int64_t r = s.at(1).as_int() + 1;
+    std::int64_t first = s.at(3).as_int();
+    std::int64_t pending = 0;
+    if (heard && first < 0) {
+      first = r;
+      pending = 1;  // relay exactly once
+    }
+    if (r >= s.at(2).as_int()) {
+      return Value::integer(first >= 0 ? first : s.at(2).as_int() + 1);
+    }
+    return Value::tuple({Value::str("W"), Value::integer(r), s.at(2),
+                         Value::integer(first), Value::integer(pending)});
+  }
+
+ private:
+  int source_degree_;
+  int rounds_;
+};
+
+}  // namespace
+
+std::shared_ptr<const StateMachine> as_state_machine(
+    std::shared_ptr<const BeepMachine> m) {
+  return std::make_shared<BeepAdapter>(std::move(m));
+}
+
+std::shared_ptr<const StateMachine> to_beeping_machine(
+    std::shared_ptr<const StateMachine> sb, std::vector<Value> alphabet) {
+  return std::make_shared<SbToBeeping>(std::move(sb), std::move(alphabet));
+}
+
+std::shared_ptr<const BeepMachine> beep_wave_machine(int source_degree,
+                                                     int rounds) {
+  return std::make_shared<BeepWave>(source_degree, rounds);
+}
+
+}  // namespace wm

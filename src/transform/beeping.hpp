@@ -1,0 +1,66 @@
+// The beeping model (Table 1: the closest prior-work equivalent of
+// class SB — Afek et al., Cornejo–Kuhn).
+//
+// A beeping machine sends at most one bit per round: it either BEEPS or
+// stays silent, and it hears only whether AT LEAST ONE neighbour beeped.
+// That is exactly a Set∩Broadcast machine with message alphabet of size
+// one — and conversely any SB machine with a finite per-round message
+// alphabet M is simulated by a beeping machine with a |M|-fold round
+// blowup: each SB round becomes |M| beep slots, sending message m means
+// beeping in slot index(m), and the set of slots heard IS the set of
+// messages received (set semantics makes the reconstruction exact).
+//
+// This module provides both directions:
+//   - `BeepMachine`, a dedicated single-bit interface, with an adapter
+//     into the StateMachine framework (class Set∩Broadcast);
+//   - `to_beeping_machine`, the SB -> beeping simulation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/state_machine.hpp"
+
+namespace wm {
+
+/// A machine in the beeping model.
+class BeepMachine {
+ public:
+  virtual ~BeepMachine() = default;
+  virtual Value init(int degree) const = 0;
+  virtual bool is_stopping(const Value& state) const = 0;
+  /// Whether to beep this round.
+  virtual bool beeps(const Value& state) const = 0;
+  /// heard = true iff at least one neighbour beeped.
+  virtual Value transition(const Value& state, bool heard, int degree) const = 0;
+};
+
+/// Wraps a beeping machine as a Set∩Broadcast StateMachine (beep =
+/// message Int 1; silence = no message; "heard" = the received set
+/// contains Int 1).
+std::shared_ptr<const StateMachine> as_state_machine(
+    std::shared_ptr<const BeepMachine> m);
+
+/// Simulates an SB machine whose messages each round come from the given
+/// finite alphabet. Every source round expands into alphabet.size() beep
+/// slots; the wrapped machine is again presented as a StateMachine (of
+/// class Set∩Broadcast with single-bit messages), and its outputs equal
+/// the source machine's on every (G, p), with rounds multiplied by
+/// |alphabet| (verified in tests). Alphabet entries must be distinct and
+/// must cover every message the machine can send; Value::unit() (m0 /
+/// silence) is handled implicitly and must NOT be in the alphabet.
+std::shared_ptr<const StateMachine> to_beeping_machine(
+    std::shared_ptr<const StateMachine> sb, std::vector<Value> alphabet);
+
+/// A classic beeping primitive for tests and benches: wave propagation.
+/// Sources (degree-d nodes for the given d) beep in round 1; every node
+/// that hears a beep beeps once in the next round and records the round
+/// it first heard one; after `rounds` rounds each node outputs its
+/// first-heard round (0 if source, -1 encoded as rounds+1 if never).
+/// Computes BFS distance from the source set, capped — entirely within
+/// the beeping model.
+std::shared_ptr<const BeepMachine> beep_wave_machine(int source_degree,
+                                                     int rounds);
+
+}  // namespace wm

@@ -1,0 +1,76 @@
+#include "transform/refinement.hpp"
+
+#include <set>
+#include <unordered_map>
+
+namespace wm {
+
+namespace {
+
+Value key_of(const PortNumbering& p, const std::vector<Value>& beta_t,
+             NodeId u, NodeId v) {
+  // The message u sends towards v: (beta_t(u), deg(u), pi(u, v)).
+  return Value::triple(beta_t[u], Value::integer(p.graph().degree(u)),
+                       Value::integer(p.out_port(u, v)));
+}
+
+}  // namespace
+
+RefinementTrace run_refinement(const PortNumbering& p, int rounds) {
+  const Graph& g = p.graph();
+  const int n = g.num_nodes();
+  RefinementTrace trace;
+  trace.beta.assign(1, std::vector<Value>(static_cast<std::size_t>(n),
+                                          Value::unit()));
+  trace.bset.assign(1, std::vector<Value>(static_cast<std::size_t>(n),
+                                          Value::set({})));
+  for (int t = 1; t <= rounds; ++t) {
+    std::vector<Value> beta(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      beta[v] = Value::pair(trace.beta[t - 1][v], trace.bset[t - 1][v]);
+    }
+    std::vector<Value> bset(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      ValueVec received;
+      received.reserve(g.neighbours(v).size());
+      for (NodeId u : g.neighbours(v)) {
+        received.push_back(key_of(p, beta, u, v));
+      }
+      bset[v] = Value::set(std::move(received));
+    }
+    // Intern per round: equal betas / B-sets share one node so deeper
+    // comparisons short-circuit on pointer identity (cf. cover/views).
+    std::unordered_map<Value, Value> canon;
+    for (auto* layer : {&beta, &bset}) {
+      for (Value& x : *layer) {
+        auto [it, _] = canon.try_emplace(x, x);
+        x = it->second;
+      }
+    }
+    trace.beta.push_back(std::move(beta));
+    trace.bset.push_back(std::move(bset));
+  }
+  return trace;
+}
+
+bool neighbour_keys_distinct(const PortNumbering& p,
+                             const std::vector<Value>& beta_t) {
+  const Graph& g = p.graph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::set<Value> keys;
+    for (NodeId u : g.neighbours(v)) {
+      if (!keys.insert(key_of(p, beta_t, u, v)).second) return false;
+    }
+  }
+  return true;
+}
+
+int rounds_until_keys_distinct(const PortNumbering& p, int limit) {
+  const RefinementTrace trace = run_refinement(p, limit);
+  for (int t = 0; t <= limit; ++t) {
+    if (neighbour_keys_distinct(p, trace.beta[t])) return t;
+  }
+  return -1;
+}
+
+}  // namespace wm

@@ -1,0 +1,42 @@
+// The colour-refinement prologue C_Delta of Theorem 4, as a standalone
+// computation — so Lemmas 5 and 6 can be tested at the trace level and
+// the 2*Delta bound can be ablated empirically.
+//
+// Each node v builds beta_t(v) and B_t(v):
+//   beta_0 = (), B_0 = {};
+//   round t: beta_t = (beta_{t-1}, B_{t-1});
+//            send (beta_t, deg, i) to port i;
+//            B_t = set of messages received.
+//
+// Lemma 6: after 2*Delta rounds the keys (beta(u), deg(u), pi(u, v)) of
+// distinct neighbours u, w of any v are distinct — which is what lets a
+// Set algorithm reconstruct multisets.
+#pragma once
+
+#include <vector>
+
+#include "port/port_numbering.hpp"
+#include "util/value.hpp"
+
+namespace wm {
+
+struct RefinementTrace {
+  /// beta[t][v] for t = 0..rounds.
+  std::vector<std::vector<Value>> beta;
+  /// bset[t][v] = B_t(v) for t = 0..rounds.
+  std::vector<std::vector<Value>> bset;
+};
+
+RefinementTrace run_refinement(const PortNumbering& p, int rounds);
+
+/// Lemma 6's conclusion at a given round: for every node v, the keys
+/// (beta_t(u), deg(u), pi(u, v)) of its distinct neighbours u differ.
+bool neighbour_keys_distinct(const PortNumbering& p,
+                             const std::vector<Value>& beta_t);
+
+/// Smallest t <= limit at which neighbour_keys_distinct holds, or -1.
+/// (Lemma 6 guarantees a value <= 2*Delta; in practice it is usually
+/// much smaller — see bench_thm4_overhead's ablation.)
+int rounds_until_keys_distinct(const PortNumbering& p, int limit);
+
+}  // namespace wm

@@ -1,0 +1,271 @@
+#include "transform/simulations.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace wm {
+
+namespace {
+
+bool tagged_with(const Value& s, const char* tag) {
+  return s.is_tuple() && s.size() >= 1 && s.at(0).is_str() &&
+         s.at(0).as_str() == tag;
+}
+
+/// Multiset difference a - b over the items of two MSet values.
+/// Precondition: b is a sub-multiset of a.
+ValueVec mset_difference(const Value& a, const Value& b) {
+  ValueVec out;
+  const ValueVec& xs = a.items();
+  const ValueVec& ys = b.items();
+  std::size_t j = 0;
+  for (const Value& x : xs) {
+    if (j < ys.size() && ys[j] == x) {
+      ++j;  // matched, removed
+    } else {
+      out.push_back(x);
+    }
+  }
+  if (j != ys.size()) {
+    throw std::logic_error("mset_difference: b not a sub-multiset of a");
+  }
+  return out;
+}
+
+Value append(const Value& history, Value msg) {
+  ValueVec items = history.items();
+  items.push_back(std::move(msg));
+  return Value::tuple(std::move(items));
+}
+
+Value drop_last(const Value& history) {
+  ValueVec items = history.items();
+  items.pop_back();
+  return Value::tuple(std::move(items));
+}
+
+// ---------------------------------------------------------------------------
+// Theorems 8 / 9: history-augmentation simulation.
+//
+// Wrapper state: ("H", x, out_hist, F)
+//   x        — the simulated machine's current state (never stopping)
+//   out_hist — Ported: Tuple of deg Tuples (history per out-port);
+//              Broadcast: one Tuple (broadcast history)
+//   F        — MSet of deg histories: the full reconstructed multiset of
+//              neighbour histories, with stopped neighbours' histories
+//              extended by m0 locally.
+// ---------------------------------------------------------------------------
+class HistoryMachine final : public StateMachine {
+ public:
+  explicit HistoryMachine(std::shared_ptr<const StateMachine> a)
+      : a_(std::move(a)) {
+    if (a_->algebraic_class().receive != ReceiveMode::Vector) {
+      throw std::invalid_argument(
+          "to_multiset_machine: source must be Vector-receive");
+    }
+    cls_ = {ReceiveMode::Multiset, a_->algebraic_class().send};
+  }
+
+  AlgebraicClass algebraic_class() const override { return cls_; }
+
+  Value init(int degree) const override {
+    Value x = a_->init(degree);
+    if (a_->is_stopping(x)) return x;
+    const Value empty_hist = Value::tuple({});
+    Value out_hist;
+    if (cls_.send == SendMode::Broadcast) {
+      out_hist = empty_hist;
+    } else {
+      out_hist = Value::tuple(ValueVec(static_cast<std::size_t>(degree),
+                                       empty_hist));
+    }
+    Value f = Value::mset(ValueVec(static_cast<std::size_t>(degree), empty_hist));
+    return Value::tuple({Value::str("H"), std::move(x), std::move(out_hist),
+                         std::move(f)});
+  }
+
+  bool is_stopping(const Value& state) const override {
+    return !tagged_with(state, "H") && a_->is_stopping(state);
+  }
+
+  Value message(const Value& state, int port) const override {
+    const Value& x = state.at(1);
+    const Value& out_hist = state.at(2);
+    if (cls_.send == SendMode::Broadcast) {
+      return append(out_hist, a_->message(x, 1));
+    }
+    return append(out_hist.at(static_cast<std::size_t>(port - 1)),
+                  a_->message(x, port));
+  }
+
+  Value transition(const Value& state, const Value& inbox,
+                   int degree) const override {
+    const Value& x = state.at(1);
+    const Value& out_hist = state.at(2);
+    const Value& f = state.at(3);
+
+    // R: fresh histories from still-active neighbours (length t+1).
+    ValueVec r;
+    for (const Value& msg : inbox.items()) {
+      if (!msg.is_unit()) r.push_back(msg);
+    }
+    // Neighbours that stopped: their history in F has no extension in R.
+    ValueVec prefixes;
+    prefixes.reserve(r.size());
+    for (const Value& h : r) prefixes.push_back(drop_last(h));
+    ValueVec stopped = mset_difference(f, Value::mset(std::move(prefixes)));
+    ValueVec all = std::move(r);
+    for (const Value& h : stopped) {
+      all.push_back(append(h, Value::unit()));  // mu(y, i) = m0 forever
+    }
+    Value f_next = Value::mset(std::move(all));
+
+    // The lexicographically sorted histories define the virtual in-port
+    // order (Theorem 8's compatible port numbering); the simulated inbox
+    // vector is the last entry of each history in that order.
+    ValueVec sim_inbox;
+    sim_inbox.reserve(f_next.size());
+    for (const Value& h : f_next.items()) {
+      sim_inbox.push_back(h.at(h.size() - 1));
+    }
+    Value x_next = a_->transition(x, Value::tuple(std::move(sim_inbox)), degree);
+    if (a_->is_stopping(x_next)) return x_next;
+
+    // Extend our own outgoing histories with what we sent this round.
+    Value out_next;
+    if (cls_.send == SendMode::Broadcast) {
+      out_next = append(out_hist, a_->message(x, 1));
+    } else {
+      ValueVec hs;
+      hs.reserve(static_cast<std::size_t>(degree));
+      for (int j = 1; j <= degree; ++j) {
+        hs.push_back(append(out_hist.at(static_cast<std::size_t>(j - 1)),
+                            a_->message(x, j)));
+      }
+      out_next = Value::tuple(std::move(hs));
+    }
+    return Value::tuple({Value::str("H"), std::move(x_next),
+                         std::move(out_next), std::move(f_next)});
+  }
+
+ private:
+  std::shared_ptr<const StateMachine> a_;
+  AlgebraicClass cls_;
+};
+
+// ---------------------------------------------------------------------------
+// Theorem 4: colour-refinement prologue + key-tagged simulation.
+//
+// Phase C state ("C", t, deg, beta, B): rounds 1..2*Delta of algorithm
+// C_Delta — beta_t = (beta_{t-1}, B_{t-1}), send (beta_t, deg, i) to
+// port i, B_t = set received.
+// Phase S state ("S", deg, beta, x): simulate A; send
+// (beta, deg, i, mu_A(x, i)); the received set's keyed entries are
+// pairwise distinct across neighbours (Lemma 6), and units from stopped
+// neighbours are counted via deg - #keyed.
+// ---------------------------------------------------------------------------
+class RefineToSetMachine final : public StateMachine {
+ public:
+  RefineToSetMachine(std::shared_ptr<const StateMachine> a, int delta)
+      : a_(std::move(a)), delta_(delta) {
+    if (a_->algebraic_class() != AlgebraicClass::multiset()) {
+      throw std::invalid_argument(
+          "to_set_machine: source must be Multiset-receive, Ported-send");
+    }
+    if (delta_ < 0) throw std::invalid_argument("to_set_machine: delta < 0");
+  }
+
+  AlgebraicClass algebraic_class() const override {
+    return AlgebraicClass::set();
+  }
+
+  Value init(int degree) const override {
+    // Even if A stops at time 0, run the full prologue: Lemma 6 needs
+    // every node to execute C_Delta, and the frozen A-state is simulated
+    // faithfully in phase S (a stopped node sends m0).
+    if (2 * delta_ == 0) {
+      return phase_s(degree, Value::unit(), a_->init(degree));
+    }
+    return Value::tuple({Value::str("C"), Value::integer(0),
+                         Value::integer(degree), Value::unit(),
+                         Value::set({})});
+  }
+
+  bool is_stopping(const Value& state) const override {
+    return !tagged_with(state, "C") && !tagged_with(state, "S") &&
+           a_->is_stopping(state);
+  }
+
+  Value message(const Value& state, int port) const override {
+    if (tagged_with(state, "C")) {
+      // Send (beta_{t+1}, deg, i) with beta_{t+1} = (beta_t, B_t).
+      const Value beta_next = Value::pair(state.at(3), state.at(4));
+      return Value::triple(beta_next, state.at(2), Value::integer(port));
+    }
+    // Phase S: key-tagged simulated message (m0 if A already stopped).
+    const Value& deg = state.at(1);
+    const Value& beta = state.at(2);
+    const Value& x = state.at(3);
+    const Value payload =
+        a_->is_stopping(x) ? Value::unit() : a_->message(x, port);
+    return Value::tuple({beta, deg, Value::integer(port), payload});
+  }
+
+  Value transition(const Value& state, const Value& inbox,
+                   int degree) const override {
+    if (tagged_with(state, "C")) {
+      const int t = static_cast<int>(state.at(1).as_int());
+      const Value beta_next = Value::pair(state.at(3), state.at(4));
+      if (t + 1 == 2 * delta_) {
+        return phase_s(degree, beta_next, a_->init(degree));
+      }
+      return Value::tuple({Value::str("C"), Value::integer(t + 1),
+                           state.at(2), beta_next, inbox});
+    }
+    // Phase S: reconstruct the multiset from the keyed set.
+    const Value& x = state.at(3);
+    if (a_->is_stopping(x)) return x;  // A stopped at time 0: finish now
+    ValueVec sim_msgs;
+    int keyed = 0;
+    for (const Value& msg : inbox.items()) {
+      if (msg.is_unit()) continue;  // collapsed units from stopped senders
+      sim_msgs.push_back(msg.at(3));
+      ++keyed;
+    }
+    // Stopped neighbours each contributed m0 to the simulated multiset.
+    for (int i = keyed; i < degree; ++i) sim_msgs.push_back(Value::unit());
+    Value x_next =
+        a_->transition(x, Value::mset(std::move(sim_msgs)), degree);
+    if (a_->is_stopping(x_next)) return x_next;
+    return Value::tuple({Value::str("S"), state.at(1), state.at(2),
+                         std::move(x_next)});
+  }
+
+ private:
+  static Value phase_s(int degree, Value beta, Value x) {
+    return Value::tuple({Value::str("S"), Value::integer(degree),
+                         std::move(beta), std::move(x)});
+  }
+
+  std::shared_ptr<const StateMachine> a_;
+  int delta_;
+};
+
+}  // namespace
+
+std::shared_ptr<const StateMachine> to_multiset_machine(
+    std::shared_ptr<const StateMachine> a) {
+  return std::make_shared<HistoryMachine>(std::move(a));
+}
+
+std::shared_ptr<const StateMachine> to_set_machine(
+    std::shared_ptr<const StateMachine> a, int delta) {
+  return std::make_shared<RefineToSetMachine>(std::move(a), delta);
+}
+
+std::shared_ptr<const StateMachine> vector_to_set_machine(
+    std::shared_ptr<const StateMachine> a, int delta) {
+  return to_set_machine(to_multiset_machine(std::move(a)), delta);
+}
+
+}  // namespace wm

@@ -1,0 +1,56 @@
+// The simulation theorems: constructive proofs of the class equalities.
+//
+//   Theorem 8: Vector -> Multiset, zero round overhead    (VV = MV)
+//   Theorem 9: Broadcast -> Multiset∩Broadcast, zero      (VB = MB)
+//   Theorem 4: Multiset -> Set, +2*Delta rounds           (MV = SV)
+//
+// Each transformer takes an arbitrary machine of the stronger class and
+// returns a machine of the weaker class that produces *the same output*
+// on every port-numbered graph (Theorem 8/9: identical output for some
+// port numbering in the compatible family P_T, which is a valid output of
+// the problem; Theorem 4: identical output to the source machine on the
+// same (G, p)).
+//
+// The round overhead is 0 for Theorems 8/9 and exactly 2*Delta for
+// Theorem 4; the price is message size (the open question of Section
+// 5.4), which bench_thm8_overhead measures.
+#pragma once
+
+#include <memory>
+
+#include "runtime/state_machine.hpp"
+
+namespace wm {
+
+/// Theorem 8 (and 9): wraps a Vector-receive machine into a
+/// Multiset-receive machine with the same send mode. Every outgoing
+/// message is augmented with the sender's full per-port (resp. broadcast)
+/// message history; the receiver sorts the histories lexicographically to
+/// recover a message vector that is consistent with *some* port numbering
+/// in the paper's compatible family P_t, round after round.
+///
+/// Precondition: a.algebraic_class().receive == Vector. The machine's
+/// states must never be confused with the wrapper's tagged tuples (the
+/// wrapper tags with the string "H"; any machine whose states are not
+/// tuples headed by the Str "H" is safe).
+std::shared_ptr<const StateMachine> to_multiset_machine(
+    std::shared_ptr<const StateMachine> a);
+
+/// Theorem 4: wraps a Multiset-receive, Ported-send machine into a
+/// Set-receive machine. Runs the colour-refinement prologue C_Delta for
+/// 2*Delta rounds (building the beta_t / B_t sequences of Section 5.1);
+/// by Lemma 6 the keys (beta_{2Delta}(u), deg(u), pi(u, v)) of distinct
+/// neighbours of v are then distinct, so tagging every simulated message
+/// with its key makes the received *set* reconstruct the multiset.
+///
+/// `delta` is the family parameter (max degree the machine is built for).
+/// Precondition: a.algebraic_class() == {Multiset, Ported}; states must
+/// not be tuples headed by Str "C" or "S".
+std::shared_ptr<const StateMachine> to_set_machine(
+    std::shared_ptr<const StateMachine> a, int delta);
+
+/// Remark 3: the composition Vector -> Multiset -> Set (VV = SV).
+std::shared_ptr<const StateMachine> vector_to_set_machine(
+    std::shared_ptr<const StateMachine> a, int delta);
+
+}  // namespace wm

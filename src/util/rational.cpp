@@ -1,0 +1,94 @@
+#include "util/rational.hpp"
+
+namespace wm {
+
+namespace {
+
+std::int64_t checked(__int128 v) {
+  if (v > INT64_MAX || v < INT64_MIN) {
+    throw std::overflow_error("Rational: 64-bit overflow");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t n, std::int64_t d) : num_(n), den_(d) {
+  if (d == 0) throw std::domain_error("Rational: zero denominator");
+  normalise();
+}
+
+void Rational::normalise() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  const __int128 n =
+      static_cast<__int128>(num_) * o.den_ + static_cast<__int128>(o.num_) * den_;
+  const __int128 d = static_cast<__int128>(den_) * o.den_;
+  // Reduce in 128 bits before narrowing so intermediate blowup is harmless.
+  __int128 a = n < 0 ? -n : n, b = d;
+  while (b) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a == 0) a = 1;
+  return Rational(checked(n / a), checked(d / a));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+  const std::int64_t g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+  const __int128 n = static_cast<__int128>(num_ / g1) * (o.num_ / g2);
+  const __int128 d = static_cast<__int128>(den_ / g2) * (o.den_ / g1);
+  return Rational(checked(n), checked(d));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  return *this * Rational(o.den_, o.num_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
+  const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Rational Rational::floor_to_pow2() const {
+  if (num_ <= 0 || *this > Rational(1)) {
+    throw std::domain_error("floor_to_pow2 requires 0 < x <= 1");
+  }
+  Rational p(1);
+  const Rational half(1, 2);
+  while (p > *this) p *= half;
+  return p;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace wm

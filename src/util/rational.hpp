@@ -1,0 +1,59 @@
+// Exact rational arithmetic.
+//
+// Used by the maximal fractional edge-packing vertex-cover algorithm
+// (Section 3.3 of the paper refers to the MB(1) 2-approximation of [3]);
+// floating point would make "saturated" and "maximal" tests unsound.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace wm {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t n, std::int64_t d);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+  /// Largest power of two 2^-k (k >= 0) that is <= *this; requires 0 < *this <= 1.
+  Rational floor_to_pow2() const;
+
+  static Rational min(const Rational& a, const Rational& b) {
+    return a <= b ? a : b;
+  }
+
+  std::string to_string() const;
+  double to_double() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+
+ private:
+  void normalise();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace wm

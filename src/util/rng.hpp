@@ -1,0 +1,48 @@
+// Deterministic, seedable PRNG for property-based tests and workload
+// generation. xoshiro256** seeded through splitmix64; independent of the
+// platform's std::mt19937 so test vectors are stable across toolchains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  double uniform01();
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[below(v.size())];
+  }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace wm

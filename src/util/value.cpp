@@ -1,0 +1,210 @@
+#include "util/value.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace wm {
+
+namespace {
+
+std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  // boost::hash_combine-style mixing with a 64-bit golden-ratio constant.
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+std::size_t compute_hash(const Value::Kind kind, std::int64_t i,
+                         const std::string& s, const ValueVec& kids) {
+  std::size_t h = static_cast<std::size_t>(kind) * 0x100000001b3ULL;
+  switch (kind) {
+    case Value::Kind::Unit:
+      break;
+    case Value::Kind::Int:
+      h = hash_combine(h, std::hash<std::int64_t>{}(i));
+      break;
+    case Value::Kind::Str:
+      h = hash_combine(h, std::hash<std::string>{}(s));
+      break;
+    default:
+      for (const Value& k : kids) h = hash_combine(h, k.hash());
+      break;
+  }
+  return h;
+}
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "wm::Value: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+Value Value::make(Node&& n) {
+  n.hash = compute_hash(n.kind, n.i, n.s, n.kids);
+  return Value(std::make_shared<const Node>(std::move(n)));
+}
+
+Value Value::unit() {
+  static const Value u = [] {
+    Node n;
+    n.kind = Kind::Unit;
+    return make(std::move(n));
+  }();
+  return u;
+}
+
+Value::Value() : node_(unit().node_) {}
+
+Value Value::integer(std::int64_t v) {
+  Node n;
+  n.kind = Kind::Int;
+  n.i = v;
+  return make(std::move(n));
+}
+
+Value Value::boolean(bool v) { return integer(v ? 1 : 0); }
+
+Value Value::str(std::string s) {
+  Node n;
+  n.kind = Kind::Str;
+  n.s = std::move(s);
+  return make(std::move(n));
+}
+
+Value Value::tuple(ValueVec items) {
+  Node n;
+  n.kind = Kind::Tuple;
+  n.kids = std::move(items);
+  return make(std::move(n));
+}
+
+Value Value::set(ValueVec items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  Node n;
+  n.kind = Kind::Set;
+  n.kids = std::move(items);
+  return make(std::move(n));
+}
+
+Value Value::mset(ValueVec items) {
+  std::sort(items.begin(), items.end());
+  Node n;
+  n.kind = Kind::MSet;
+  n.kids = std::move(items);
+  return make(std::move(n));
+}
+
+Value Value::pair(Value a, Value b) {
+  return tuple({std::move(a), std::move(b)});
+}
+
+Value Value::triple(Value a, Value b, Value c) {
+  return tuple({std::move(a), std::move(b), std::move(c)});
+}
+
+std::int64_t Value::as_int() const {
+  if (!is_int()) die("as_int() on non-Int value");
+  return node_->i;
+}
+
+const std::string& Value::as_str() const {
+  if (!is_str()) die("as_str() on non-Str value");
+  return node_->s;
+}
+
+const ValueVec& Value::items() const {
+  static const ValueVec empty;
+  switch (kind()) {
+    case Kind::Tuple:
+    case Kind::Set:
+    case Kind::MSet:
+      return node_->kids;
+    default:
+      return empty;
+  }
+}
+
+std::size_t Value::size() const { return items().size(); }
+
+const Value& Value::at(std::size_t i) const {
+  if (i >= items().size()) die("at() index out of range");
+  return items()[i];
+}
+
+bool Value::contains(const Value& v) const {
+  const ValueVec& k = items();
+  if (kind() == Kind::Tuple) return std::find(k.begin(), k.end(), v) != k.end();
+  return std::binary_search(k.begin(), k.end(), v);
+}
+
+std::size_t Value::count(const Value& v) const {
+  const ValueVec& k = items();
+  auto [lo, hi] = std::equal_range(k.begin(), k.end(), v);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.node_ == b.node_) return true;
+  if (a.hash() != b.hash()) return false;
+  return (a <=> b) == std::strong_ordering::equal;
+}
+
+std::strong_ordering operator<=>(const Value& a, const Value& b) {
+  if (a.node_ == b.node_) return std::strong_ordering::equal;
+  if (auto c = a.kind() <=> b.kind(); c != 0) return c;
+  switch (a.kind()) {
+    case Value::Kind::Unit:
+      return std::strong_ordering::equal;
+    case Value::Kind::Int:
+      return a.node_->i <=> b.node_->i;
+    case Value::Kind::Str:
+      return a.node_->s.compare(b.node_->s) <=> 0;
+    default: {
+      const ValueVec& x = a.node_->kids;
+      const ValueVec& y = b.node_->kids;
+      const std::size_t n = std::min(x.size(), y.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (auto c = x[i] <=> y[i]; c != 0) return c;
+      }
+      return x.size() <=> y.size();
+    }
+  }
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Unit:
+      return os << "()";
+    case Value::Kind::Int:
+      return os << v.as_int();
+    case Value::Kind::Str:
+      return os << '"' << v.as_str() << '"';
+    case Value::Kind::Tuple:
+    case Value::Kind::Set:
+    case Value::Kind::MSet: {
+      const char* open = v.is_tuple() ? "(" : (v.is_set() ? "{" : "{|");
+      const char* close = v.is_tuple() ? ")" : (v.is_set() ? "}" : "|}");
+      os << open;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i) os << ", ";
+        os << v.at(i);
+      }
+      return os << close;
+    }
+  }
+  return os;
+}
+
+Value multiset_of(const ValueVec& msgs) { return Value::mset(msgs); }
+
+Value set_of(const ValueVec& msgs) { return Value::set(msgs); }
+
+}  // namespace wm

@@ -1,0 +1,112 @@
+// Universal value datatype used for distributed-algorithm states and messages.
+//
+// The paper allows possibly-infinite state sets Z and message sets M
+// (Section 1.1). Every construction it performs — message histories
+// (Theorem 8), colour-refinement sequences beta_t/B_t (Theorem 4),
+// subformula truth tables (Theorem 2) — is a finite nesting of integers,
+// tuples, sets and multisets. `Value` is a single immutable, totally
+// ordered, hashable carrier for all of them, which lets the execution
+// engine and every machine transformer be written once, monomorphically.
+//
+// Values are immutable and cheaply copyable (shared structure), so the
+// exponentially nested histories built by the Theorem 8 simulation stay
+// affordable in memory.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wm {
+
+class Value;
+using ValueVec = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Unit, Int, Str, Tuple, Set, MSet };
+
+  /// Default-constructed value is Unit (also used as the "no message" m0).
+  Value();
+
+  // -- Factories ------------------------------------------------------------
+  static Value unit();
+  static Value integer(std::int64_t v);
+  static Value boolean(bool v);  // encoded as Int 0/1
+  static Value str(std::string s);
+  static Value tuple(ValueVec items);
+  /// Builds a set: items are sorted and de-duplicated.
+  static Value set(ValueVec items);
+  /// Builds a multiset: items are sorted, duplicates kept.
+  static Value mset(ValueVec items);
+  /// Convenience: tuple of two / three values.
+  static Value pair(Value a, Value b);
+  static Value triple(Value a, Value b, Value c);
+
+  // -- Observers ------------------------------------------------------------
+  Kind kind() const { return node_->kind; }
+  bool is_unit() const { return kind() == Kind::Unit; }
+  bool is_int() const { return kind() == Kind::Int; }
+  bool is_str() const { return kind() == Kind::Str; }
+  bool is_tuple() const { return kind() == Kind::Tuple; }
+  bool is_set() const { return kind() == Kind::Set; }
+  bool is_mset() const { return kind() == Kind::MSet; }
+
+  /// Precondition: is_int(). Aborts otherwise.
+  std::int64_t as_int() const;
+  /// Precondition: is_str().
+  const std::string& as_str() const;
+  /// Precondition: tuple/set/mset. Items of sets/multisets are sorted.
+  const ValueVec& items() const;
+  /// Number of items (tuple/set/mset) — 0 for scalars.
+  std::size_t size() const;
+  /// items()[i]; precondition: i < size().
+  const Value& at(std::size_t i) const;
+
+  /// Membership test for sets and multisets (binary search).
+  bool contains(const Value& v) const;
+  /// Multiplicity of v in a multiset/set (0 or more).
+  std::size_t count(const Value& v) const;
+
+  std::size_t hash() const { return node_->hash; }
+
+  /// Stable identity of the underlying shared node — two Values with the
+  /// same identity are equal in O(1); used to memoise over the value DAG.
+  const void* identity() const { return node_.get(); }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b);
+
+ private:
+  struct Node {
+    Kind kind = Kind::Unit;
+    std::int64_t i = 0;
+    std::string s;
+    ValueVec kids;
+    std::size_t hash = 0;
+  };
+
+  explicit Value(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  static Value make(Node&& n);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Canonicalises a vector of messages into the inbox representation a
+/// Multiset machine sees: multiset(a) in the paper's notation (Section 1.5).
+Value multiset_of(const ValueVec& msgs);
+/// set(a) in the paper's notation: drop ordering and multiplicities.
+Value set_of(const ValueVec& msgs);
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace wm
+
+template <>
+struct std::hash<wm::Value> {
+  std::size_t operator()(const wm::Value& v) const noexcept { return v.hash(); }
+};

@@ -1,0 +1,220 @@
+#include "algorithms/machines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+#include "port/port_numbering.hpp"
+#include "problems/catalogue.hpp"
+#include "runtime/engine.hpp"
+
+namespace wm {
+namespace {
+
+/// Runs machine on (g, p) and checks the problem verifier accepts.
+void expect_solves(const StateMachine& m, const Problem& problem,
+                   const Graph& g, const PortNumbering& p) {
+  const auto r = execute(m, p);
+  ASSERT_TRUE(r.stopped) << problem.name();
+  EXPECT_TRUE(problem.valid(g, r.outputs_as_ints()))
+      << problem.name() << " on\n"
+      << g.to_string();
+}
+
+TEST(LeafPicker, SolvesLeafInStarOnAllStarsAndNumberings) {
+  const auto m = leaf_picker_machine();
+  const auto problem = leaf_in_star_problem();
+  for (int k = 2; k <= 4; ++k) {
+    const Graph g = star_graph(k);
+    for_each_port_numbering(g, [&](const PortNumbering& p) {
+      expect_solves(*m, *problem, g, p);
+      return true;
+    });
+  }
+}
+
+TEST(LeafPicker, RunsInOneRound) {
+  const auto r = execute(*leaf_picker_machine(),
+                         PortNumbering::identity(star_graph(3)));
+  EXPECT_EQ(r.rounds, 1);
+}
+
+TEST(LeafPicker, HarmlessOnArbitraryGraphs) {
+  // Problem unconstrained off stars, but the machine must still stop.
+  const auto m = leaf_picker_machine();
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(8, 4, 4, rng);
+    const auto r = execute(*m, PortNumbering::random(g, rng));
+    EXPECT_TRUE(r.stopped);
+  }
+}
+
+TEST(OddOddMachine, SolvesOnAllSmallGraphs) {
+  const auto m = odd_odd_machine();
+  const auto problem = odd_odd_problem();
+  EnumerateOptions opts;
+  opts.connected_only = false;
+  Rng rng(3);
+  enumerate_graphs(5, opts, [&](const Graph& g) {
+    expect_solves(*m, *problem, g, PortNumbering::identity(g));
+    expect_solves(*m, *problem, g, PortNumbering::random(g, rng));
+    return true;
+  });
+}
+
+TEST(OddOddMachine, OneRound) {
+  const auto r = execute(*odd_odd_machine(),
+                         PortNumbering::identity(complete_graph(4)));
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(LocalTypeMachine, BreaksSymmetryUnderConsistentNumberings) {
+  // Theorem 17's VVc(1) algorithm: on class-G graphs with consistent p,
+  // the output is non-constant.
+  const Graph g = fig9a_graph();
+  const auto m = local_type_maximum_machine(3);
+  const auto problem = symmetry_break_problem();
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const PortNumbering p = PortNumbering::random_consistent(g, rng);
+    const auto r = execute(*m, p);
+    ASSERT_TRUE(r.stopped);
+    EXPECT_EQ(r.rounds, 2);
+    EXPECT_TRUE(problem->valid(g, r.outputs_as_ints()));
+  }
+}
+
+TEST(LocalTypeMachine, CannotBreakSymmetryUnderTheSymmetricNumbering) {
+  // Under the Lemma 15 inconsistent numbering every node computes the
+  // same local type, so the output is constant — exactly why the
+  // algorithm only works "assuming consistency".
+  const Graph g = fig9a_graph();
+  const PortNumbering p = PortNumbering::symmetric_regular(g);
+  const auto r = execute(*local_type_maximum_machine(3), p);
+  ASSERT_TRUE(r.stopped);
+  const auto out = r.outputs_as_ints();
+  for (int v : out) EXPECT_EQ(v, out[0]);
+}
+
+TEST(IsolatedDetector, DetectsExactlyIsolatedNodes) {
+  const auto m = isolated_detector_machine();
+  const auto problem = isolated_node_problem();
+  EnumerateOptions opts;
+  opts.connected_only = false;
+  enumerate_graphs(5, opts, [&](const Graph& g) {
+    expect_solves(*m, *problem, g, PortNumbering::identity(g));
+    return true;
+  });
+}
+
+TEST(IsolatedDetector, IsDegreeOblivious) {
+  // SBo: init must not depend on the degree.
+  const auto m = isolated_detector_machine();
+  EXPECT_EQ(m->init(0), m->init(3));
+}
+
+TEST(TimeZeroMachines, DegreeParityAndEvenDegree) {
+  const Graph g = star_graph(3);
+  const auto p = PortNumbering::identity(g);
+  const auto r1 = execute(*degree_parity_machine(), p);
+  EXPECT_EQ(r1.rounds, 0);
+  EXPECT_TRUE(degree_parity_problem()->valid(g, r1.outputs_as_ints()));
+  // Star: degrees (3, 1, 1, 1) — none even.
+  const auto r2 = execute(*even_degree_machine(), p);
+  EXPECT_EQ(r2.outputs_as_ints(), (std::vector<int>{0, 0, 0, 0}));
+  // Path: degrees (1, 2, 1).
+  const auto r3 = execute(*even_degree_machine(),
+                          PortNumbering::identity(path_graph(3)));
+  EXPECT_EQ(r3.outputs_as_ints(), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(EvenDegreeMachine, AcceptsEverywhereIffAllDegreesEven) {
+  // On Eulerian graphs all nodes accept; on graphs with an odd-degree
+  // node someone rejects. (This solves the Eulerian decision problem on
+  // *connected* graphs; connectivity itself is undecidable anonymously —
+  // see test_separations.)
+  const auto m = even_degree_machine();
+  const auto problem = eulerian_decision_problem();
+  EnumerateOptions opts;
+  opts.connected_only = true;
+  enumerate_graphs(5, opts, [&](const Graph& g) {
+    expect_solves(*m, *problem, g, PortNumbering::identity(g));
+    return true;
+  });
+}
+
+class VertexCoverParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(VertexCoverParam, PackingMachineGives2Approximation) {
+  const auto m = vertex_cover_packing_machine();
+  const auto problem = approx_vertex_cover_problem();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = random_connected_graph(10, 4, 5, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto r = execute(*m, p);
+    ASSERT_TRUE(r.stopped);
+    EXPECT_TRUE(problem->valid(g, r.outputs_as_ints())) << g.to_string();
+    // Never more than 2(n+1) rounds.
+    EXPECT_LE(r.rounds, 2 * (g.num_nodes() + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VertexCoverParam, ::testing::Values(1, 2, 3, 4));
+
+TEST(VertexCoverPacking, StructuredInstances) {
+  const auto m = vertex_cover_packing_machine();
+  const auto problem = approx_vertex_cover_problem();
+  for (const Graph& g : {star_graph(5), path_graph(7), cycle_graph(6),
+                         complete_graph(5), petersen_graph(),
+                         complete_bipartite(3, 4), grid_graph(3, 3)}) {
+    expect_solves(*m, *problem, g, PortNumbering::identity(g));
+  }
+}
+
+TEST(VertexCoverPacking, PathConvergesFast) {
+  // On paths the interior saturates in phase 1 and endpoints retire in
+  // phase 2: at most 2 phases of 2 rounds plus the final transitions.
+  const auto r = execute(*vertex_cover_packing_machine(),
+                         PortNumbering::identity(path_graph(10)));
+  EXPECT_TRUE(r.stopped);
+  EXPECT_LE(r.rounds, 6);
+}
+
+TEST(VertexCoverPacking, IsolatedNodesRetireImmediately) {
+  Graph g(3);
+  g.add_edge(0, 1);  // node 2 isolated
+  const auto r = execute(*vertex_cover_packing_machine(),
+                         PortNumbering::identity(g));
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.final_states[2], Value::integer(0));
+}
+
+TEST(PortOneParity, IsGenuinelyVb) {
+  // Broadcast-invariant (sends one message) but NOT multiset-invariant
+  // (reads in-port 1) — a machine witnessing that VB sits between MB and
+  // VV in information terms.
+  const auto m = port_one_parity_machine();
+  EXPECT_EQ(m->algebraic_class(), AlgebraicClass::vector_broadcast());
+  // Path 0-1-2-3 with identity ports: each node's in-port 1 hears its
+  // smallest neighbour; only node 1 hears an odd-degree node (node 0).
+  const auto r = execute(*m, PortNumbering::identity(path_graph(4)));
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{0, 1, 0, 0}));
+}
+
+TEST(VertexCoverPacking, VbAndMbVariantsAgree) {
+  const auto vb = vertex_cover_packing_vb_machine();
+  const auto mb = vertex_cover_packing_machine();
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = random_connected_graph(9, 3, 4, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    EXPECT_EQ(execute(*vb, p).final_states, execute(*mb, p).final_states);
+  }
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,152 @@
+#include "transform/beeping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/machines.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "port/port_numbering.hpp"
+#include "runtime/engine.hpp"
+
+namespace wm {
+namespace {
+
+/// An SB machine with a two-letter alphabet: broadcast the degree
+/// parity; output 1 iff BOTH parities are present among the neighbours.
+/// Ignores m0 in the received set (the beeping-simulation precondition).
+LambdaMachine parity_diversity_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int d) { return Value::pair(Value::str("p"), Value::integer(d % 2)); };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) { return s.at(1); };
+  m.transition_fn = [](const Value&, const Value& inbox, int) {
+    const bool zero = inbox.contains(Value::integer(0));
+    const bool one = inbox.contains(Value::integer(1));
+    return Value::integer(zero && one ? 1 : 0);
+  };
+  return m;
+}
+
+TEST(Beeping, AdapterIsSetBroadcast) {
+  const auto m = as_state_machine(beep_wave_machine(3, 4));
+  EXPECT_EQ(m->algebraic_class(), AlgebraicClass::set_broadcast());
+}
+
+TEST(Beeping, WaveComputesBfsDistanceFromSources) {
+  // Star: the centre (degree 3) is the source; leaves are at distance 1.
+  const Graph g = star_graph(3);
+  const auto m = as_state_machine(beep_wave_machine(3, 4));
+  const auto r = execute(*m, PortNumbering::identity(g));
+  ASSERT_TRUE(r.stopped);
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{0, 1, 1, 1}));
+}
+
+TEST(Beeping, WaveOnPathFromEndpoints) {
+  // Path: degree-1 endpoints are sources; outputs are distances to the
+  // nearer endpoint, capped by the round budget.
+  const Graph g = path_graph(6);
+  const auto m = as_state_machine(beep_wave_machine(1, 6));
+  const auto r = execute(*m, PortNumbering::identity(g));
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{0, 1, 2, 2, 1, 0}));
+}
+
+TEST(Beeping, WaveRespectsRoundCap) {
+  const Graph g = path_graph(8);
+  const auto m = as_state_machine(beep_wave_machine(1, 2));
+  const auto r = execute(*m, PortNumbering::identity(g));
+  // Nodes further than 2 hops never hear: output rounds + 1 = 3.
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{0, 1, 2, 3, 3, 2, 1, 0}));
+}
+
+TEST(Beeping, SimulationValidatesInput) {
+  auto sb = std::make_shared<LambdaMachine>(parity_diversity_machine());
+  EXPECT_THROW(to_beeping_machine(sb, {}), std::invalid_argument);
+  EXPECT_THROW(to_beeping_machine(sb, {Value::unit()}), std::invalid_argument);
+  EXPECT_THROW(
+      to_beeping_machine(sb, {Value::integer(0), Value::integer(0)}),
+      std::invalid_argument);
+  EXPECT_THROW(to_beeping_machine(odd_odd_machine(), {Value::integer(0)}),
+               std::invalid_argument);  // MB, not SB
+}
+
+TEST(Beeping, SimulatesSbMachineWithRoundBlowup) {
+  auto sb = std::make_shared<LambdaMachine>(parity_diversity_machine());
+  const auto beeping =
+      to_beeping_machine(sb, {Value::integer(0), Value::integer(1)});
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = random_connected_graph(9, 4, 4, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto ra = execute(*sb, p);
+    const auto rb = execute(*beeping, p);
+    ASSERT_TRUE(rb.stopped);
+    EXPECT_EQ(ra.final_states, rb.final_states);
+    EXPECT_EQ(rb.rounds, ra.rounds * 2);  // |alphabet| = 2 slots per round
+  }
+}
+
+TEST(Beeping, SimulatesIsolatedDetector) {
+  // The SBo isolated detector uses a one-letter alphabet — the beeping
+  // simulation degenerates to "did anyone beep".
+  const auto beeping =
+      to_beeping_machine(isolated_detector_machine(), {Value::integer(0)});
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);  // node 3 isolated
+  const auto r = execute(*beeping, PortNumbering::identity(g));
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{0, 0, 0, 1}));
+  EXPECT_EQ(r.rounds, 1);
+}
+
+/// A 2-round SB machine: round 1 broadcasts the degree parity; round 2
+/// broadcasts whether both parities were heard; output 1 iff some
+/// neighbour announced diversity. Exercises multi-round beeping
+/// simulation with a changing alphabet usage.
+LambdaMachine diversity_echo_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int d) {
+    return Value::pair(Value::str("r1"), Value::integer(d % 2));
+  };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) { return s.at(1); };
+  m.transition_fn = [](const Value& s, const Value& inbox, int) -> Value {
+    if (s.at(0).as_str() == "r1") {
+      const bool both = inbox.contains(Value::integer(0)) &&
+                        inbox.contains(Value::integer(1));
+      return Value::pair(Value::str("r2"), Value::integer(both ? 1 : 0));
+    }
+    return Value::integer(inbox.contains(Value::integer(1)) ? 1 : 0);
+  };
+  return m;
+}
+
+TEST(Beeping, MultiRoundSimulation) {
+  auto sb = std::make_shared<LambdaMachine>(diversity_echo_machine());
+  const auto beeping =
+      to_beeping_machine(sb, {Value::integer(0), Value::integer(1)});
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(8, 3, 4, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto ra = execute(*sb, p);
+    const auto rb = execute(*beeping, p);
+    EXPECT_EQ(ra.final_states, rb.final_states);
+    EXPECT_EQ(rb.rounds, ra.rounds * 2);
+    EXPECT_EQ(ra.rounds, 2);
+  }
+}
+
+TEST(Beeping, SingleBitMessagesOnly) {
+  // The simulation's wire format really is one bit: every non-m0 message
+  // has structural size 1 and value Int 1.
+  auto sb = std::make_shared<LambdaMachine>(parity_diversity_machine());
+  const auto beeping =
+      to_beeping_machine(sb, {Value::integer(0), Value::integer(1)});
+  const auto r = execute(*beeping, PortNumbering::identity(cycle_graph(5)));
+  EXPECT_EQ(r.stats.max_size, 1u);
+}
+
+}  // namespace
+}  // namespace wm

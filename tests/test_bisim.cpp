@@ -1,0 +1,183 @@
+#include "bisim/bisimulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/matching.hpp"
+#include "port/port_numbering.hpp"
+
+namespace wm {
+namespace {
+
+KripkeModel mm_model(const Graph& g) {
+  return kripke_from_graph(PortNumbering::identity(g), Variant::MinusMinus);
+}
+
+TEST(Bisim, CycleNodesAllBisimilar) {
+  const KripkeModel k = mm_model(cycle_graph(6));
+  const Partition p = coarsest_bisimulation(k);
+  EXPECT_EQ(p.num_blocks, 1);
+  EXPECT_TRUE(verify_bisimulation_partition(k, p));
+}
+
+TEST(Bisim, CyclesOfDifferentLengthsBisimilarInSetView) {
+  // Anonymity at its starkest: a 3-cycle node and a 1000-cycle node are
+  // bisimilar in K_{-,-}.
+  const KripkeModel a = mm_model(cycle_graph(3));
+  const KripkeModel b = mm_model(cycle_graph(12));
+  EXPECT_TRUE(bisimilar_across(a, 0, b, 0));
+  EXPECT_TRUE(bisimilar_across(a, 0, b, 0, /*graded=*/true));
+}
+
+TEST(Bisim, StarCentreVsLeaf) {
+  const KripkeModel k = mm_model(star_graph(3));
+  const Partition p = coarsest_bisimulation(k);
+  EXPECT_EQ(p.num_blocks, 2);
+  EXPECT_FALSE(p.same_block(0, 1));
+  EXPECT_TRUE(p.same_block(1, 2));
+  EXPECT_TRUE(p.same_block(2, 3));
+}
+
+TEST(Bisim, GradedRefinesUngraded) {
+  // Two stars joined at the leaves level: build a graph where ungraded
+  // and graded partitions differ. Take K_{1,2} ∪ K_{1,3} as one graph:
+  // the two centres have degrees 2 and 3 — distinguishable by props.
+  // Instead use: path P3 vs star S3 centre — the centre of S3 has three
+  // q1-successors, the middle of P3 has two; as *sets* both are {leafish}
+  // ... but props differ (q2 vs q3). Use a genuinely multiplicity-only
+  // distinction: C4 vs C6 joined? Simplest known: a node with two
+  // distinct-looking... We verify on the Theorem 13 witness instead:
+  // degree-3 nodes of the two components are bisimilar but NOT g-bisimilar.
+  Graph g(10);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(0, 4);
+  g.add_edge(1, 4);
+  g.add_edge(2, 5);
+  g.add_edge(3, 5);
+  g.add_edge(6, 7);
+  g.add_edge(6, 8);
+  g.add_edge(6, 9);
+  g.add_edge(7, 8);
+  g.add_edge(7, 9);
+  const KripkeModel k = mm_model(g);
+  const Partition ungraded = coarsest_bisimulation(k);
+  const Partition graded = coarsest_graded_bisimulation(k);
+  EXPECT_TRUE(ungraded.same_block(0, 6));
+  EXPECT_FALSE(graded.same_block(0, 6));
+  EXPECT_GT(graded.num_blocks, ungraded.num_blocks);
+  EXPECT_TRUE(verify_bisimulation_partition(k, ungraded));
+  EXPECT_TRUE(verify_graded_bisimulation_partition(k, graded));
+}
+
+TEST(Bisim, BoundedRefinementMonotone) {
+  const KripkeModel k = mm_model(path_graph(7));
+  int prev = 1;
+  for (int t = 0; t <= 5; ++t) {
+    const Partition p = coarsest_bisimulation(k, t);
+    EXPECT_GE(p.num_blocks, prev);
+    prev = p.num_blocks;
+  }
+  // Depth-0: only degree props distinguish (2 blocks: endpoints vs rest).
+  EXPECT_EQ(coarsest_bisimulation(k, 0).num_blocks, 2);
+  // Full refinement on P7: positions fold by symmetry: {0,6},{1,5},{2,4},{3}.
+  EXPECT_EQ(coarsest_bisimulation(k).num_blocks, 4);
+}
+
+TEST(Bisim, Lemma15SymmetricNumberingMakesAllNodesBisimilar) {
+  for (const Graph& g : {cycle_graph(5), petersen_graph(), fig9a_graph(),
+                         complete_graph(6)}) {
+    const PortNumbering p = PortNumbering::symmetric_regular(g);
+    const KripkeModel k = kripke_from_graph(p, Variant::PlusPlus);
+    const Partition part = coarsest_bisimulation(k);
+    EXPECT_EQ(part.num_blocks, 1) << "graph with n=" << g.num_nodes();
+    EXPECT_TRUE(verify_bisimulation_partition(k, part));
+    // The full relation V x V is literally a bisimulation (Lemma 15).
+    std::vector<std::pair<int, int>> full;
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      for (int v = 0; v < g.num_nodes(); ++v) full.emplace_back(u, v);
+    }
+    EXPECT_TRUE(is_bisimulation_relation(k, full));
+  }
+}
+
+TEST(Bisim, Lemma16ConsistentNumberingsBreakSymmetryOnFig9a) {
+  // fig9a has no 1-factor, so by Lemma 16 no consistent port numbering
+  // can make all nodes bisimilar in K_{+,+}.
+  const Graph g = fig9a_graph();
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PortNumbering p = PortNumbering::random_consistent(g, rng);
+    const KripkeModel k = kripke_from_graph(p, Variant::PlusPlus);
+    EXPECT_GT(coarsest_bisimulation(k).num_blocks, 1);
+  }
+}
+
+TEST(Bisim, Lemma16ConverseOnGraphWithOneFactor) {
+  // K4 is 3-regular WITH a 1-factor: a consistent symmetric numbering
+  // exists (pair nodes by three disjoint perfect matchings).
+  const Graph g = complete_graph(4);
+  ASSERT_TRUE(has_one_factor(g));
+  // Consistent numbering from the proper 3-edge-colouring of K4:
+  // matchings {01,23}, {02,13}, {03,12} -> port = colour index.
+  std::vector<std::vector<int>> perm(4);
+  auto colour_of = [](int u, int v) {
+    const int s = u ^ v;  // 1, 2, 3 for the three matchings
+    return s;
+  };
+  for (int v = 0; v < 4; ++v) {
+    for (int u = 0; u < 4; ++u) {
+      if (u == v) continue;
+      perm[v].push_back(colour_of(u, v));
+    }
+  }
+  auto copy = perm;
+  const PortNumbering p = PortNumbering::from_permutations(g, perm, copy);
+  ASSERT_TRUE(p.is_consistent());
+  const KripkeModel k = kripke_from_graph(p, Variant::PlusPlus);
+  EXPECT_EQ(coarsest_bisimulation(k).num_blocks, 1);
+}
+
+TEST(Bisim, IsBisimulationRelationRejectsBadRelations) {
+  const KripkeModel k = mm_model(star_graph(2));
+  // Pairing the centre with a leaf violates B1 (different degree props).
+  EXPECT_FALSE(is_bisimulation_relation(k, {{0, 1}}));
+  // Empty relation is not a bisimulation by definition.
+  EXPECT_FALSE(is_bisimulation_relation(k, {}));
+  // Identity is always one.
+  EXPECT_TRUE(is_bisimulation_relation(k, {{0, 0}, {1, 1}, {2, 2}}));
+  // The two leaves are bisimilar.
+  EXPECT_TRUE(is_bisimulation_relation(k, {{1, 2}, {2, 1}, {0, 0}, {1, 1}, {2, 2}}));
+}
+
+TEST(Bisim, PartitionBlocksHelper) {
+  const KripkeModel k = mm_model(star_graph(3));
+  const Partition p = coarsest_bisimulation(k);
+  const auto blocks = p.blocks();
+  ASSERT_EQ(blocks.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Bisim, VariantsSeeDifferentAmountsOfInformation) {
+  // On a star with identity numbering, K_{+,-} keeps the leaves
+  // bisimilar, while K_{-,+} (out-ports visible to the *receiver* via
+  // R(*,j)) also keeps them bisimilar; but K_{+,+} with distinct centre
+  // in-ports still cannot split leaves... Verify the documented Theorem
+  // 11 situation: leaves bisimilar in K_{+,-} for every port numbering.
+  const Graph g = star_graph(3);
+  std::size_t checked = for_each_port_numbering(g, [&](const PortNumbering& p) {
+    const KripkeModel k = kripke_from_graph(p, Variant::PlusMinus);
+    const Partition part = coarsest_bisimulation(k);
+    EXPECT_TRUE(part.same_block(1, 2));
+    EXPECT_TRUE(part.same_block(2, 3));
+    return true;
+  });
+  EXPECT_EQ(checked, 36u);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,132 @@
+#include "runtime/class_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/machines.hpp"
+#include "graph/generators.hpp"
+
+namespace wm {
+namespace {
+
+/// A genuinely order-sensitive Vector machine: outputs the first inbox
+/// entry. Violates multiset-invariance.
+LambdaMachine first_entry_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::vector();
+  m.init_fn = [](int d) { return Value::pair(Value::str("w"), Value::integer(d)); };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value&, int port) { return Value::integer(port); };
+  m.transition_fn = [](const Value&, const Value& inbox, int d) {
+    return d > 0 ? inbox.at(0) : Value::integer(0);
+  };
+  return m;
+}
+
+/// A multiplicity-sensitive but order-insensitive machine: broadcasts the
+/// own degree and counts how many degree-1 neighbours it has.
+LambdaMachine count_ones_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::vector();
+  m.init_fn = [](int d) { return Value::pair(Value::str("w"), Value::integer(d)); };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) { return s.at(1); };
+  m.transition_fn = [](const Value&, const Value& inbox, int) {
+    int ones = 0;
+    for (const Value& v : inbox.items()) {
+      if (v.is_int() && v.as_int() == 1) ++ones;
+    }
+    return Value::integer(ones);
+  };
+  return m;
+}
+
+/// Fully symmetric: output = whether any message equals 1; also
+/// broadcast-invariant (sends a constant).
+LambdaMachine any_one_broadcast_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::vector_broadcast();
+  m.init_fn = [](int d) { return Value::pair(Value::str("w"), Value::integer(d)); };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value&, int) { return Value::integer(1); };
+  m.transition_fn = [](const Value&, const Value& inbox, int) {
+    for (const Value& v : inbox.items()) {
+      if (v == Value::integer(1)) return Value::integer(1);
+    }
+    return Value::integer(0);
+  };
+  return m;
+}
+
+TEST(ClassChecker, FlagsOrderSensitivity) {
+  Rng rng(1);
+  const Graph g = star_graph(4);
+  const auto report = check_class_invariance(first_entry_machine(),
+                                             PortNumbering::identity(g), rng);
+  // The star centre receives 4 identical messages, so permutations can't
+  // expose it there; use a graph with distinct in-messages.
+  const Graph h = path_graph(4);
+  Rng rng2(2);
+  const auto report2 = check_class_invariance(first_entry_machine(),
+                                              PortNumbering::identity(h), rng2);
+  EXPECT_FALSE(report.multiset_invariant && report2.multiset_invariant);
+}
+
+TEST(ClassChecker, CountingMachineIsMultisetButNotSetInvariant) {
+  Rng rng(3);
+  // Node 0 is adjacent to a degree-2 node and two degree-1 nodes: its
+  // inbox {2, 1, 1} has a set-preserving multiset mutation {2, 2, 1}.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 4);
+  const auto report = check_class_invariance(count_ones_machine(),
+                                             PortNumbering::identity(g), rng, 32);
+  EXPECT_TRUE(report.multiset_invariant);
+  EXPECT_FALSE(report.set_invariant);
+  EXPECT_GT(report.transitions_checked, 0);
+}
+
+TEST(ClassChecker, SymmetricBroadcastMachinePasses) {
+  Rng rng(4);
+  const Graph g = cycle_graph(6);
+  const auto report = check_class_invariance(any_one_broadcast_machine(),
+                                             PortNumbering::identity(g), rng, 32);
+  EXPECT_TRUE(report.multiset_invariant);
+  EXPECT_TRUE(report.set_invariant);
+  EXPECT_TRUE(report.broadcast_invariant);
+}
+
+TEST(ClassChecker, PortedSenderFlaggedAsNonBroadcast) {
+  Rng rng(5);
+  const Graph g = star_graph(3);
+  const auto report = check_class_invariance(first_entry_machine(),
+                                             PortNumbering::identity(g), rng);
+  EXPECT_FALSE(report.broadcast_invariant);  // sends the port number
+}
+
+TEST(ClassChecker, VertexCoverVbMachineIsFullyOrderInsensitive) {
+  // The VB vertex-cover machine must behave identically under inbox
+  // permutations — that is what makes Theorem 9's wrapper applicable.
+  Rng rng(6);
+  for (const Graph& g : {cycle_graph(5), star_graph(4), petersen_graph()}) {
+    Rng prng(7);
+    const PortNumbering p = PortNumbering::random(g, prng);
+    const auto report =
+        check_class_invariance(*vertex_cover_packing_vb_machine(), p, rng, 16);
+    EXPECT_TRUE(report.multiset_invariant);
+    EXPECT_TRUE(report.broadcast_invariant);
+  }
+}
+
+TEST(ClassChecker, RequiresVectorMode) {
+  Rng rng(8);
+  LambdaMachine m = count_ones_machine();
+  m.cls = AlgebraicClass::multiset();
+  EXPECT_THROW(
+      check_class_invariance(m, PortNumbering::identity(path_graph(3)), rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wm

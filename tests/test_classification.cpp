@@ -1,0 +1,151 @@
+// Coherence of the classification layer (Table 3 both ways), an
+// independent reference implementation of the execution engine
+// cross-validated against the production engine, and Remark 1
+// ("constant time" = per-Delta constant, independent of n).
+#include <gtest/gtest.h>
+
+#include "compile/extract.hpp"
+#include "compile/formula_compiler.hpp"
+#include "core/classification.hpp"
+#include "graph/generators.hpp"
+#include "logic/random_formula.hpp"
+#include "runtime/engine.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Classification, MachineClassAndLogicAgree) {
+  // machine_class_for(c) must equal the natural class of the class's
+  // Kripke variant and gradedness — Table 3 read in both directions.
+  for (const ProblemClass c : all_problem_classes()) {
+    EXPECT_EQ(machine_class_for(c),
+              natural_class_for(kripke_variant_for(c), graded_logic_for(c)))
+        << problem_class_name(c);
+    EXPECT_EQ(variant_for_class(machine_class_for(c)), kripke_variant_for(c))
+        << problem_class_name(c);
+  }
+}
+
+TEST(Classification, ContainmentLatticeProperties) {
+  const std::vector<AlgebraicClass> classes = {
+      AlgebraicClass::vector(),         AlgebraicClass::multiset(),
+      AlgebraicClass::set(),            AlgebraicClass::vector_broadcast(),
+      AlgebraicClass::multiset_broadcast(), AlgebraicClass::set_broadcast()};
+  for (const auto& a : classes) {
+    EXPECT_TRUE(a.contained_in(a));  // reflexive
+    for (const auto& b : classes) {
+      for (const auto& c : classes) {
+        if (a.contained_in(b) && b.contained_in(c)) {
+          EXPECT_TRUE(a.contained_in(c));  // transitive
+        }
+      }
+      if (a.contained_in(b) && b.contained_in(a)) {
+        EXPECT_TRUE(a == b);  // antisymmetric
+      }
+    }
+  }
+  // Figure 5a's trivial containments.
+  EXPECT_TRUE(AlgebraicClass::set_broadcast().contained_in(
+      AlgebraicClass::multiset_broadcast()));
+  EXPECT_TRUE(AlgebraicClass::multiset_broadcast().contained_in(
+      AlgebraicClass::vector()));
+  EXPECT_TRUE(AlgebraicClass::set().contained_in(AlgebraicClass::vector()));
+  EXPECT_FALSE(AlgebraicClass::vector().contained_in(AlgebraicClass::set()));
+  EXPECT_FALSE(AlgebraicClass::vector_broadcast().contained_in(
+      AlgebraicClass::set_broadcast()));
+}
+
+TEST(Classification, LinearOrderMatchesContainments) {
+  // Lower linear-order level implies machine-class containment where the
+  // paper's Figure 5a draws an edge (within the same send column).
+  EXPECT_LE(linear_order_level(ProblemClass::SB),
+            linear_order_level(ProblemClass::MB));
+  EXPECT_LE(linear_order_level(ProblemClass::MB),
+            linear_order_level(ProblemClass::MV));
+  EXPECT_LE(linear_order_level(ProblemClass::SV),
+            linear_order_level(ProblemClass::VVc));
+}
+
+/// An independent, deliberately naive re-implementation of the
+/// synchronous engine (Section 1.3's equations, transcribed directly).
+std::vector<Value> reference_execute(const StateMachine& m,
+                                     const PortNumbering& p, int max_rounds) {
+  const Graph& g = p.graph();
+  const int n = g.num_nodes();
+  std::vector<Value> x(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) x[u] = m.init(g.degree(u));
+  for (int t = 0; t < max_rounds; ++t) {
+    bool all = true;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!m.is_stopping(x[u])) all = false;
+    }
+    if (all) break;
+    std::vector<Value> next(static_cast<std::size_t>(n));
+    for (NodeId u = 0; u < n; ++u) {
+      if (m.is_stopping(x[u])) {
+        next[u] = x[u];
+        continue;
+      }
+      // a_{t+1}(u, i) = mu(x_t(v), j) with (v, j) = p^{-1}((u, i)).
+      ValueVec a;
+      for (int i = 1; i <= g.degree(u); ++i) {
+        const PortRef src = p.backward({u, i});
+        if (m.is_stopping(x[src.node])) {
+          a.push_back(Value::unit());
+        } else if (m.algebraic_class().send == SendMode::Broadcast) {
+          a.push_back(m.message(x[src.node], 1));
+        } else {
+          a.push_back(m.message(x[src.node], src.index));
+        }
+      }
+      Value inbox;
+      switch (m.algebraic_class().receive) {
+        case ReceiveMode::Vector: inbox = Value::tuple(a); break;
+        case ReceiveMode::Multiset: inbox = Value::mset(a); break;
+        case ReceiveMode::Set: inbox = Value::set(a); break;
+      }
+      next[u] = m.transition(x[u], inbox, g.degree(u));
+    }
+    x = std::move(next);
+  }
+  return x;
+}
+
+TEST(ReferenceEngine, AgreesWithProductionEngineOnCompiledMachines) {
+  Rng frng(1);
+  Rng grng(2);
+  RandomFormulaOptions opts;
+  opts.variant = Variant::MinusMinus;
+  opts.graded = true;
+  opts.max_depth = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_connected_graph(7, 3, 3, grng);
+    opts.delta = g.max_degree();
+    opts.num_props = g.max_degree();
+    const Formula f = random_formula(frng, opts);
+    const auto m = compile_formula(f, Variant::MinusMinus, g.max_degree());
+    const PortNumbering p = PortNumbering::random(g, grng);
+    const auto fast = execute(*m, p);
+    const auto slow = reference_execute(*m, p, 64);
+    EXPECT_EQ(fast.final_states, slow) << f.to_string();
+  }
+}
+
+TEST(Remark1, CompiledRuntimeIndependentOfGraphSize) {
+  // "Constant time" means constant for each fixed Delta: the same
+  // compiled machine takes md+1 rounds on C4 and on C4000 alike.
+  const Formula f = Formula::diamond(
+      {0, 0}, Formula::diamond({0, 0}, Formula::prop(2), 2));
+  const auto m = compile_formula(f, Variant::MinusMinus, 2);
+  int expected = -1;
+  for (const int n : {4, 40, 400}) {
+    const auto r = execute(*m, PortNumbering::identity(cycle_graph(n)));
+    ASSERT_TRUE(r.stopped);
+    if (expected < 0) expected = r.rounds;
+    EXPECT_EQ(r.rounds, expected) << n;
+  }
+  EXPECT_EQ(expected, f.modal_depth() + 1);
+}
+
+}  // namespace
+}  // namespace wm

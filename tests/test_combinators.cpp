@@ -1,0 +1,139 @@
+#include "runtime/combinators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/machines.hpp"
+#include "compile/formula_compiler.hpp"
+#include "core/synthesis.hpp"
+#include "graph/generators.hpp"
+#include "logic/parser.hpp"
+#include "problems/catalogue.hpp"
+#include "runtime/engine.hpp"
+
+namespace wm {
+namespace {
+
+/// SB countdown machine stopping after k rounds with output k.
+LambdaMachine countdown(int k) {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [k](int) {
+    return k == 0 ? Value::integer(0)
+                  : Value::pair(Value::str("c"), Value::integer(k));
+  };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value&, int) { return Value::integer(9); };
+  m.transition_fn = [k](const Value& s, const Value&, int) {
+    const auto left = s.at(1).as_int();
+    if (left == 1) return Value::integer(k);
+    return Value::pair(Value::str("c"), Value::integer(left - 1));
+  };
+  return m;
+}
+
+TEST(Product, RequiresMatchingClasses) {
+  EXPECT_THROW(product_machine({}), std::invalid_argument);
+  EXPECT_THROW(product_machine({odd_odd_machine(), leaf_picker_machine()}),
+               std::invalid_argument);
+}
+
+TEST(Product, ComponentOutputsCombineAsTuple) {
+  auto a = std::make_shared<LambdaMachine>(countdown(1));
+  auto b = std::make_shared<LambdaMachine>(countdown(3));
+  const auto prod = product_machine({a, b});
+  const auto r = execute(*prod, PortNumbering::identity(cycle_graph(4)));
+  ASSERT_TRUE(r.stopped);
+  EXPECT_EQ(r.rounds, 3);  // staggered stopping: max of the components
+  for (const Value& s : r.final_states) {
+    EXPECT_EQ(s, Value::pair(Value::integer(1), Value::integer(3)));
+  }
+}
+
+TEST(Product, MatchesStandaloneRunsComponentwise) {
+  // Compiled formula machines (the synthesis use case): the product's
+  // component results equal each machine run on its own.
+  const Formula f1 = parse_formula("<*,*>>=2 q1");
+  const Formula f2 = parse_formula("~<*,*> q3 & q2");
+  const auto m1 = compile_formula(f1, Variant::MinusMinus, 3,
+                                  AlgebraicClass::multiset_broadcast());
+  const auto m2 = compile_formula(f2, Variant::MinusMinus, 3,
+                                  AlgebraicClass::multiset_broadcast());
+  const auto prod = product_machine({m1, m2});
+  EXPECT_EQ(prod->algebraic_class(), AlgebraicClass::multiset_broadcast());
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(8, 3, 3, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto rp = execute(*prod, p);
+    const auto r1 = execute(*m1, p);
+    const auto r2 = execute(*m2, p);
+    ASSERT_TRUE(rp.stopped);
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(rp.final_states[v],
+                Value::pair(r1.final_states[v], r2.final_states[v]));
+    }
+  }
+}
+
+TEST(Product, BinaryCombinerEncodesBits) {
+  const auto c = binary_combiner();
+  EXPECT_EQ(c({Value::integer(1), Value::integer(0), Value::integer(1)}),
+            Value::integer(5));
+  EXPECT_EQ(first_one_combiner()({Value::integer(0), Value::integer(1)}),
+            Value::integer(2));
+  EXPECT_EQ(first_one_combiner()({Value::integer(0), Value::integer(0)}),
+            Value::integer(0));
+}
+
+TEST(MultiSynthesis, ThreeColouringOfAnAsymmetricPath) {
+  const auto problem = three_colouring_problem();
+  const std::vector<PortNumbering> scope{PortNumbering::identity(path_graph(5))};
+  const auto result = synthesise_multivalued(*problem, scope, ProblemClass::VV);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->value_formulas.size(), 3u);
+  const auto r = execute(*result->machine, scope[0]);
+  ASSERT_TRUE(r.stopped);
+  EXPECT_TRUE(problem->valid(path_graph(5), r.outputs_as_ints()));
+}
+
+TEST(MultiSynthesis, ThreeColouringImpossibleOnSymmetricOddCycle) {
+  const auto problem = three_colouring_problem();
+  const std::vector<PortNumbering> scope{
+      PortNumbering::symmetric_regular(cycle_graph(5))};
+  EXPECT_FALSE(
+      synthesise_multivalued(*problem, scope, ProblemClass::VVc).has_value());
+}
+
+TEST(MultiSynthesis, BinaryProblemsAgreeWithBinarySynthesis) {
+  const auto problem = leaf_in_star_problem();
+  std::vector<PortNumbering> scope;
+  for (int k = 2; k <= 3; ++k) {
+    scope.push_back(PortNumbering::identity(star_graph(k)));
+  }
+  const auto multi = synthesise_multivalued(*problem, scope, ProblemClass::SV);
+  ASSERT_TRUE(multi.has_value());
+  for (const PortNumbering& p : scope) {
+    const auto r = execute(*multi->machine, p);
+    EXPECT_TRUE(problem->valid(p.graph(), r.outputs_as_ints()));
+  }
+}
+
+TEST(MultiSynthesis, ColouringSweepOnSeveralInstances) {
+  // One shared colouring program must handle several instances at once.
+  const auto problem = three_colouring_problem();
+  std::vector<PortNumbering> scope{PortNumbering::identity(path_graph(4)),
+                                   PortNumbering::identity(star_graph(3))};
+  DecisionOptions opts;
+  opts.max_assignments = 1u << 24;
+  const auto result =
+      synthesise_multivalued(*problem, scope, ProblemClass::VV, opts);
+  ASSERT_TRUE(result.has_value());
+  for (const PortNumbering& p : scope) {
+    const auto r = execute(*result->machine, p);
+    ASSERT_TRUE(r.stopped);
+    EXPECT_TRUE(problem->valid(p.graph(), r.outputs_as_ints()));
+  }
+}
+
+}  // namespace
+}  // namespace wm

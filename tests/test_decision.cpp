@@ -1,0 +1,151 @@
+#include "core/decision.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "problems/catalogue.hpp"
+
+namespace wm {
+namespace {
+
+std::vector<PortNumbering> star_scope(int kmax) {
+  // Identity numberings only: refinement in the ported views separates
+  // each leaf (distinct centre ports), so the block count — and with it
+  // the exhaustive colouring space — stays small.
+  std::vector<PortNumbering> scope;
+  for (int k = 2; k <= kmax; ++k) {
+    scope.push_back(PortNumbering::identity(star_graph(k)));
+  }
+  return scope;
+}
+
+TEST(Decision, Theorem11DecidedMechanically) {
+  // Leaf-in-star: solvable in SV at one round, unsolvable in VB at ANY
+  // number of rounds (fixpoint refinement) — Theorem 11 as computation.
+  const auto problem = leaf_in_star_problem();
+  const auto scope = star_scope(4);
+  {
+    DecisionOptions opts;
+    opts.rounds = 1;
+    const Decision d = decide_solvable(*problem, scope, ProblemClass::SV, opts);
+    EXPECT_TRUE(d.solvable);
+  }
+  {
+    const Decision d = decide_solvable(*problem, scope, ProblemClass::VB);
+    EXPECT_FALSE(d.solvable);
+    EXPECT_GT(d.assignments_tried, 0u);
+  }
+  // ... and in the broadcast-weaker classes too.
+  for (const ProblemClass c : {ProblemClass::MB, ProblemClass::SB}) {
+    EXPECT_FALSE(decide_solvable(*problem, scope, c).solvable);
+  }
+  // Vector classes solve it as well (SV ⊆ MV ⊆ VV).
+  for (const ProblemClass c : {ProblemClass::MV, ProblemClass::VV}) {
+    EXPECT_TRUE(decide_solvable(*problem, scope, c).solvable);
+  }
+}
+
+TEST(Decision, ZeroRoundsCannotPickALeaf) {
+  // At t = 0 only degrees are known — the leaves are indistinguishable,
+  // so even SV fails; one round is genuinely needed.
+  DecisionOptions opts;
+  opts.rounds = 0;
+  const Decision d = decide_solvable(*leaf_in_star_problem(), star_scope(3),
+                                     ProblemClass::SV, opts);
+  EXPECT_FALSE(d.solvable);
+}
+
+TEST(Decision, MisUnsolvableOnSymmetricCycleEvenInVVc) {
+  // Section 3.1: the MIS witness scope — a symmetric consistent cycle.
+  const SeparationWitness w = mis_cycle_witness(6);
+  const Decision d = decide_solvable(*w.problem, {w.numbering},
+                                     ProblemClass::VVc);
+  EXPECT_FALSE(d.solvable);
+  EXPECT_EQ(d.blocks, 1);
+  // On an asymmetric numbering of a path, MIS IS solvable (all blocks
+  // distinct lets the colouring pick any maximal independent set).
+  const Decision d2 = decide_solvable(*maximal_independent_set_problem(),
+                                      {PortNumbering::identity(path_graph(4))},
+                                      ProblemClass::VV);
+  EXPECT_TRUE(d2.solvable);
+}
+
+TEST(Decision, ThreeColouringOfOddCycleNeedsSymmetryBreaking) {
+  // A symmetric odd cycle cannot be 3-coloured anonymously (one block,
+  // but adjacent nodes would share the colour).
+  const Graph g = cycle_graph(5);
+  const PortNumbering p = PortNumbering::symmetric_regular(g);
+  const Decision d = decide_solvable(*three_colouring_problem(), {p},
+                                     ProblemClass::VVc);
+  EXPECT_FALSE(d.solvable);
+  // With an asymmetric numbering the fixpoint refinement separates all
+  // nodes and a valid colouring assignment exists.
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const PortNumbering q = PortNumbering::random(g, rng);
+    const Decision dq =
+        decide_solvable(*three_colouring_problem(), {q}, ProblemClass::VV);
+    if (dq.blocks == g.num_nodes()) {
+      EXPECT_TRUE(dq.solvable);
+    }
+  }
+}
+
+TEST(Decision, Theorem17MechanisedOnFig9a) {
+  // Symmetry breaking on the class-G graph: solvable in VV on any
+  // consistent numbering (local types split the nodes), unsolvable on
+  // the Lemma 15 symmetric numbering — which is exactly why VVc (which
+  // only ever faces consistent numberings) is stronger than VV.
+  const auto problem = symmetry_break_problem();
+  const Graph g = fig9a_graph();
+  Rng rng(1);
+  {
+    const std::vector<PortNumbering> consistent{
+        PortNumbering::random_consistent(g, rng)};
+    const Decision d = decide_solvable(*problem, consistent, ProblemClass::VV);
+    EXPECT_TRUE(d.solvable);
+  }
+  {
+    const std::vector<PortNumbering> symmetric{
+        PortNumbering::symmetric_regular(g)};
+    const Decision d = decide_solvable(*problem, symmetric, ProblemClass::VV);
+    EXPECT_FALSE(d.solvable);
+    EXPECT_EQ(d.blocks, 1);
+  }
+}
+
+TEST(Decision, SolutionAssignmentIsReturned) {
+  const auto problem = leaf_in_star_problem();
+  const auto scope = star_scope(3);
+  const Decision d = decide_solvable(*problem, scope, ProblemClass::SV);
+  ASSERT_TRUE(d.solvable);
+  EXPECT_EQ(static_cast<int>(d.block_output.size()), d.blocks);
+}
+
+TEST(Decision, BudgetGuard) {
+  // Force a tiny budget: many blocks with a 3-letter alphabet.
+  DecisionOptions opts;
+  opts.max_assignments = 2;
+  EXPECT_THROW(decide_solvable(*three_colouring_problem(),
+                               {PortNumbering::identity(path_graph(5))},
+                               ProblemClass::VV, opts),
+               DecisionBudgetError);
+}
+
+TEST(Decision, EulerianDecisionSolvableFromParitiesOnConnectedScope) {
+  // On connected graphs, "all degrees even" decides Eulerian-ness; the
+  // decision procedure finds the corresponding block colouring at t=0.
+  std::vector<PortNumbering> scope;
+  for (const Graph& g : {cycle_graph(4), cycle_graph(5), path_graph(4),
+                         complete_graph(5), star_graph(3)}) {
+    scope.push_back(PortNumbering::identity(g));
+  }
+  DecisionOptions opts;
+  opts.rounds = 0;
+  const Decision d = decide_solvable(*eulerian_decision_problem(), scope,
+                                     ProblemClass::SB, opts);
+  EXPECT_TRUE(d.solvable);
+}
+
+}  // namespace
+}  // namespace wm

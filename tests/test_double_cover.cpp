@@ -1,0 +1,118 @@
+#include "graph/double_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace wm {
+namespace {
+
+TEST(DoubleCover, StructureOfCycleCover) {
+  const Graph g = cycle_graph(5);
+  const DoubleCover dc = bipartite_double_cover(g);
+  EXPECT_EQ(dc.graph.num_nodes(), 10);
+  EXPECT_EQ(dc.graph.num_edges(), 2 * g.num_edges());
+  EXPECT_TRUE(bipartition(dc.graph).has_value());
+  EXPECT_TRUE(dc.graph.is_regular(2));
+  // The double cover of an odd cycle is one big even cycle (connected).
+  EXPECT_TRUE(is_connected(dc.graph));
+}
+
+TEST(DoubleCover, BipartiteGraphCoverDisconnects) {
+  // The double cover of a connected bipartite graph has two components.
+  const Graph g = cycle_graph(6);
+  const DoubleCover dc = bipartite_double_cover(g);
+  EXPECT_EQ(connected_components(dc.graph).size(), 2u);
+}
+
+TEST(DoubleCover, CopyIndexing) {
+  const Graph g = path_graph(3);
+  const DoubleCover dc = bipartite_double_cover(g);
+  EXPECT_EQ(dc.copy(1, 1), 1);
+  EXPECT_EQ(dc.copy(1, 2), 4);
+  EXPECT_EQ(dc.original(4), 1);
+  EXPECT_EQ(dc.side[1], 0);
+  EXPECT_EQ(dc.side[4], 1);
+}
+
+TEST(OneFactorise, RegularBipartiteDecomposes) {
+  const Graph g = complete_bipartite(4, 4);
+  std::vector<int> side(8, 0);
+  for (int v = 4; v < 8; ++v) side[v] = 1;
+  const auto factors = one_factorise_bipartite(g, side);
+  ASSERT_EQ(factors.size(), 4u);
+  // Factors are disjoint perfect matchings covering all edges.
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& f : factors) {
+    EXPECT_EQ(f.size(), 4u);
+    std::set<NodeId> touched;
+    for (const Edge& e : f) {
+      EXPECT_TRUE(g.has_edge(e.u, e.v));
+      EXPECT_TRUE(seen.insert({e.u, e.v}).second) << "edge reused";
+      touched.insert(e.u);
+      touched.insert(e.v);
+    }
+    EXPECT_EQ(touched.size(), 8u);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), g.num_edges());
+}
+
+TEST(OneFactorise, RejectsIrregular) {
+  const Graph g = complete_bipartite(2, 3);
+  std::vector<int> side(5, 0);
+  for (int v = 2; v < 5; ++v) side[v] = 1;
+  EXPECT_THROW(one_factorise_bipartite(g, side), std::invalid_argument);
+}
+
+/// Checks the Lemma 15 factor structure for a regular graph: each f_i is
+/// a permutation of V mapping every node to one of its neighbours, and
+/// for every node the k images enumerate its neighbourhood exactly.
+void check_factors(const Graph& g) {
+  const int k = g.max_degree();
+  const auto factors = regular_graph_factors(g);
+  ASSERT_EQ(static_cast<int>(factors.size()), k);
+  const int n = g.num_nodes();
+  for (const auto& f : factors) {
+    std::vector<int> hit(static_cast<std::size_t>(n), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_GE(f[v], 0);
+      EXPECT_TRUE(g.has_edge(v, f[v]));
+      ++hit[f[v]];
+    }
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(hit[v], 1) << "not a permutation";
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    std::set<NodeId> images;
+    for (const auto& f : factors) images.insert(f[v]);
+    EXPECT_EQ(static_cast<int>(images.size()), k)
+        << "images must cover the whole neighbourhood";
+  }
+}
+
+TEST(RegularFactors, Cycle) { check_factors(cycle_graph(7)); }
+TEST(RegularFactors, Petersen) { check_factors(petersen_graph()); }
+TEST(RegularFactors, CompleteK5) { check_factors(complete_graph(5)); }
+TEST(RegularFactors, Hypercube) { check_factors(hypercube(3)); }
+
+TEST(RegularFactors, Fig9aGraphHasFactorsDespiteNoOneFactor) {
+  // Lemma 15 only needs the *double cover* to 1-factorise; the graph
+  // itself has no perfect matching.
+  check_factors(fig9a_graph());
+}
+
+TEST(RegularFactors, RandomRegular) {
+  Rng rng(77);
+  for (int k : {3, 4, 5}) {
+    check_factors(random_regular_graph(12, k, rng));
+  }
+}
+
+TEST(RegularFactors, RejectsIrregular) {
+  EXPECT_THROW(regular_graph_factors(path_graph(3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,178 @@
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "runtime/state_machine.hpp"
+
+namespace wm {
+namespace {
+
+/// Stops immediately with output = degree.
+LambdaMachine degree_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int d) { return Value::integer(d); };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value&, int) { return Value::unit(); };
+  m.transition_fn = [](const Value& s, const Value&, int) { return s; };
+  return m;
+}
+
+/// Counts down k rounds (broadcasting a token), then outputs 1.
+LambdaMachine countdown_machine(int k) {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [k](int) {
+    return k == 0 ? Value::integer(1) : Value::pair(Value::str("c"), Value::integer(k));
+  };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value&, int) { return Value::integer(0); };
+  m.transition_fn = [](const Value& s, const Value&, int) {
+    const auto left = s.at(1).as_int();
+    if (left == 1) return Value::integer(1);
+    return Value::pair(Value::str("c"), Value::integer(left - 1));
+  };
+  return m;
+}
+
+/// Never stops — for max_rounds handling.
+LambdaMachine diverging_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int) { return Value::str("loop"); };
+  m.stopping_fn = [](const Value&) { return false; };
+  m.message_fn = [](const Value&, int) { return Value::integer(0); };
+  m.transition_fn = [](const Value& s, const Value&, int) { return s; };
+  return m;
+}
+
+/// Vector machine that records its first-round inbox as its output state
+/// (stringified), used to check delivery and canonicalisation.
+LambdaMachine inbox_recorder(AlgebraicClass cls) {
+  LambdaMachine m;
+  m.cls = cls;
+  m.init_fn = [](int d) { return Value::pair(Value::str("w"), Value::integer(d)); };
+  m.stopping_fn = [](const Value& s) {
+    return !s.is_tuple() || s.size() == 0 || !s.at(0).is_str();
+  };
+  m.message_fn = [](const Value& s, int port) {
+    // Send (degree, port) so the receiver can identify sender port info.
+    return Value::pair(s.at(1), Value::integer(port));
+  };
+  m.transition_fn = [](const Value&, const Value& inbox, int) { return inbox; };
+  return m;
+}
+
+TEST(Engine, TimeZeroStop) {
+  const Graph g = star_graph(3);
+  const auto r = execute(degree_machine(), PortNumbering::identity(g));
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{3, 1, 1, 1}));
+}
+
+TEST(Engine, CountdownRuntime) {
+  const Graph g = cycle_graph(4);
+  for (int k : {1, 2, 5}) {
+    const auto r = execute(countdown_machine(k), PortNumbering::identity(g));
+    EXPECT_TRUE(r.stopped);
+    EXPECT_EQ(r.rounds, k);
+  }
+}
+
+TEST(Engine, MaxRoundsAborts) {
+  const Graph g = cycle_graph(3);
+  ExecutionOptions opts;
+  opts.max_rounds = 10;
+  const auto r = execute(diverging_machine(), PortNumbering::identity(g), opts);
+  EXPECT_FALSE(r.stopped);
+  EXPECT_EQ(r.rounds, 10);
+}
+
+TEST(Engine, TraceRecordsEveryRound) {
+  const Graph g = cycle_graph(3);
+  ExecutionOptions opts;
+  opts.record_trace = true;
+  const auto r = execute(countdown_machine(3), PortNumbering::identity(g), opts);
+  ASSERT_EQ(r.trace.size(), 4u);  // x_0 .. x_3
+  EXPECT_EQ(r.trace.back(), r.final_states);
+}
+
+TEST(Engine, VectorInboxIsOrderedByInPort) {
+  // Path 0-1-2: node 1 receives one message per in-port, in port order.
+  const Graph g = path_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const auto r = execute(inbox_recorder(AlgebraicClass::vector()), p);
+  EXPECT_TRUE(r.stopped);
+  const Value& inbox1 = r.final_states[1];
+  ASSERT_TRUE(inbox1.is_tuple());
+  ASSERT_EQ(inbox1.size(), 2u);
+  // In-port 1 of node 1 hears node 0 (degree 1, sent via its port 1);
+  // in-port 2 hears node 2.
+  EXPECT_EQ(inbox1.at(0), Value::pair(Value::integer(1), Value::integer(1)));
+  EXPECT_EQ(inbox1.at(1), Value::pair(Value::integer(1), Value::integer(1)));
+}
+
+TEST(Engine, MultisetInboxCanonicalised) {
+  const Graph g = star_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const auto r = execute(inbox_recorder(AlgebraicClass::multiset()), p);
+  const Value& centre = r.final_states[0];
+  ASSERT_TRUE(centre.is_mset());
+  // Three leaves, each degree 1 sending via port 1: multiset of three
+  // identical pairs.
+  EXPECT_EQ(centre,
+            Value::mset({Value::pair(Value::integer(1), Value::integer(1)),
+                         Value::pair(Value::integer(1), Value::integer(1)),
+                         Value::pair(Value::integer(1), Value::integer(1))}));
+}
+
+TEST(Engine, SetInboxDropsMultiplicity) {
+  const Graph g = star_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const auto r = execute(inbox_recorder(AlgebraicClass::set()), p);
+  const Value& centre = r.final_states[0];
+  ASSERT_TRUE(centre.is_set());
+  EXPECT_EQ(centre.size(), 1u);  // three identical messages collapse
+}
+
+TEST(Engine, BroadcastSendsSameMessageEverywhere) {
+  // A broadcast machine's mu is evaluated once; receivers on a path get
+  // the same content regardless of port.
+  LambdaMachine m = inbox_recorder(AlgebraicClass::vector_broadcast());
+  const Graph g = star_graph(2);  // path of 3 via star-2: centre + 2 leaves
+  const auto r = execute(m, PortNumbering::identity(g));
+  const Value& leaf1 = r.final_states[1];
+  const Value& leaf2 = r.final_states[2];
+  // Both leaves hear the centre's single broadcast (degree 2, "port 1").
+  EXPECT_EQ(leaf1, leaf2);
+  ASSERT_EQ(leaf1.size(), 1u);
+  EXPECT_EQ(leaf1.at(0), Value::pair(Value::integer(2), Value::integer(1)));
+}
+
+TEST(Engine, MessageStatsAccumulate) {
+  const Graph g = cycle_graph(4);
+  const auto r = execute(countdown_machine(3), PortNumbering::identity(g));
+  // 3 rounds, 8 directed deliveries per round, each message size 1.
+  EXPECT_EQ(r.stats.messages_sent, 24u);
+  EXPECT_EQ(r.stats.total_size, 24u);
+  EXPECT_EQ(r.stats.max_size, 1u);
+}
+
+TEST(Engine, ValueSizeIsStructural) {
+  EXPECT_EQ(value_size(Value::integer(5)), 1u);
+  EXPECT_EQ(value_size(Value::pair(Value::integer(1), Value::integer(2))), 3u);
+  EXPECT_EQ(value_size(Value::tuple({Value::pair(Value::unit(), Value::unit())})),
+            4u);
+}
+
+TEST(Engine, StoppedNodesSendNoMessages) {
+  // Degree machine stops at time 0: nothing is ever sent.
+  const Graph g = cycle_graph(5);
+  const auto r = execute(degree_machine(), PortNumbering::identity(g));
+  EXPECT_EQ(r.stats.messages_sent, 0u);
+}
+
+}  // namespace
+}  // namespace wm

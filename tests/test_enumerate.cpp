@@ -1,0 +1,77 @@
+#include "graph/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Enumerate, CountsAllGraphsOnThreeNodes) {
+  EnumerateOptions opts;
+  opts.connected_only = false;
+  std::size_t count = 0;
+  enumerate_graphs(3, opts, [&](const Graph&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 8u);  // 2^3 edge subsets
+}
+
+TEST(Enumerate, CountsConnectedLabelledGraphs) {
+  // Known sequence (OEIS A001187): 1, 1, 4, 38, 728 for n = 1, 2, 3, 4, 5.
+  const std::size_t expected[] = {1, 1, 4, 38, 728};
+  for (int n = 1; n <= 5; ++n) {
+    EnumerateOptions opts;
+    std::size_t count = 0;
+    enumerate_graphs(n, opts, [&](const Graph& g) {
+      EXPECT_TRUE(is_connected(g));
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, expected[n - 1]) << "n=" << n;
+  }
+}
+
+TEST(Enumerate, DegreeBoundsRespected) {
+  EnumerateOptions opts;
+  opts.connected_only = true;
+  opts.max_degree = 2;
+  enumerate_graphs(5, opts, [&](const Graph& g) {
+    EXPECT_LE(g.max_degree(), 2);
+    return true;
+  });
+  opts.min_degree = 2;
+  // Connected graphs on 5 nodes with all degrees exactly 2 = 5-cycles.
+  std::size_t cycles = 0;
+  enumerate_graphs(5, opts, [&](const Graph& g) {
+    EXPECT_TRUE(g.is_regular(2));
+    ++cycles;
+    return true;
+  });
+  EXPECT_EQ(cycles, 12u);  // (5-1)!/2 labelled 5-cycles
+}
+
+TEST(Enumerate, EarlyStop) {
+  EnumerateOptions opts;
+  opts.connected_only = false;
+  int seen = 0;
+  enumerate_graphs(4, opts, [&](const Graph&) { return ++seen < 5; });
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(Enumerate, ModuloRefinementVisitsFewer) {
+  EnumerateOptions opts;
+  std::size_t all = 0, reduced = 0;
+  enumerate_graphs(5, opts, [&](const Graph&) {
+    ++all;
+    return true;
+  });
+  reduced = enumerate_graphs_modulo_refinement(5, opts,
+                                               [&](const Graph&) { return true; });
+  EXPECT_LT(reduced, all);
+  EXPECT_GT(reduced, 0u);
+}
+
+}  // namespace
+}  // namespace wm

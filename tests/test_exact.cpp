@@ -1,0 +1,75 @@
+#include "graph/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace wm {
+namespace {
+
+int brute_force_vc(const Graph& g) {
+  const int n = g.num_nodes();
+  int best = n;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<int> s(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) s[v] = (mask >> v) & 1;
+    if (is_vertex_cover(g, s)) {
+      best = std::min<int>(best, __builtin_popcountll(mask));
+    }
+  }
+  return best;
+}
+
+TEST(ExactVC, KnownValues) {
+  EXPECT_EQ(minimum_vertex_cover_size(cycle_graph(4)), 2);
+  EXPECT_EQ(minimum_vertex_cover_size(cycle_graph(5)), 3);
+  EXPECT_EQ(minimum_vertex_cover_size(star_graph(5)), 1);
+  EXPECT_EQ(minimum_vertex_cover_size(complete_graph(5)), 4);
+  EXPECT_EQ(minimum_vertex_cover_size(petersen_graph()), 6);
+  EXPECT_EQ(minimum_vertex_cover_size(Graph(3)), 0);
+}
+
+TEST(ExactVC, ReturnedCoverIsValidAndMinimum) {
+  for (const Graph& g : {cycle_graph(7), petersen_graph(), grid_graph(3, 3)}) {
+    const auto cover = minimum_vertex_cover(g);
+    EXPECT_TRUE(is_vertex_cover(g, cover));
+    const int size = static_cast<int>(
+        std::count(cover.begin(), cover.end(), 1));
+    EXPECT_EQ(size, minimum_vertex_cover_size(g));
+  }
+}
+
+TEST(ExactVC, AgreesWithBruteForceOnSmallGraphs) {
+  EnumerateOptions opts;
+  opts.connected_only = false;
+  enumerate_graphs(5, opts, [&](const Graph& g) {
+    EXPECT_EQ(minimum_vertex_cover_size(g), brute_force_vc(g)) << g.to_string();
+    return true;
+  });
+}
+
+TEST(ExactMis, ComplementOfVC) {
+  EXPECT_EQ(maximum_independent_set_size(cycle_graph(5)), 2);
+  EXPECT_EQ(maximum_independent_set_size(petersen_graph()), 4);
+  EXPECT_EQ(maximum_independent_set_size(complete_graph(4)), 1);
+}
+
+TEST(Chromatic, KnownValues) {
+  EXPECT_EQ(chromatic_number(Graph(4)), 1);
+  EXPECT_EQ(chromatic_number(path_graph(4)), 2);
+  EXPECT_EQ(chromatic_number(cycle_graph(6)), 2);
+  EXPECT_EQ(chromatic_number(cycle_graph(7)), 3);
+  EXPECT_EQ(chromatic_number(complete_graph(5)), 5);
+  EXPECT_EQ(chromatic_number(petersen_graph()), 3);
+}
+
+TEST(Chromatic, KColourable) {
+  EXPECT_TRUE(is_k_colourable(cycle_graph(5), 3));
+  EXPECT_FALSE(is_k_colourable(cycle_graph(5), 2));
+  EXPECT_TRUE(is_k_colourable(Graph(0), 0));
+}
+
+}  // namespace
+}  // namespace wm

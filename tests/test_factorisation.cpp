@@ -1,0 +1,123 @@
+#include "graph/factorisation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace wm {
+namespace {
+
+void check_circuit(const Graph& g, const std::vector<NodeId>& circuit,
+                   NodeId start) {
+  ASSERT_FALSE(circuit.empty());
+  EXPECT_EQ(circuit.front(), start);
+  EXPECT_EQ(circuit.back(), start);
+  // Every consecutive pair is an edge, and each edge is used exactly once.
+  std::map<std::pair<NodeId, NodeId>, int> used;
+  for (std::size_t i = 0; i + 1 < circuit.size(); ++i) {
+    const NodeId a = circuit[i], b = circuit[i + 1];
+    ASSERT_TRUE(g.has_edge(a, b)) << a << "-" << b;
+    ++used[{std::min(a, b), std::max(a, b)}];
+  }
+  int reachable_edges = 0;
+  const auto dist = bfs_distances(g, start);
+  for (const Edge& e : g.edges()) {
+    if (dist[e.u] >= 0) ++reachable_edges;
+  }
+  EXPECT_EQ(static_cast<int>(used.size()), reachable_edges);
+  for (const auto& [e, count] : used) EXPECT_EQ(count, 1);
+}
+
+TEST(Eulerian, CircuitOnCycle) {
+  const Graph g = cycle_graph(6);
+  const auto c = eulerian_circuit(g);
+  ASSERT_TRUE(c.has_value());
+  check_circuit(g, *c, 0);
+  EXPECT_EQ(c->size(), 7u);
+}
+
+TEST(Eulerian, CircuitOnK5) {
+  const Graph g = complete_graph(5);
+  const auto c = eulerian_circuit(g, 2);
+  ASSERT_TRUE(c.has_value());
+  check_circuit(g, *c, 2);
+}
+
+TEST(Eulerian, NoCircuitWithOddDegrees) {
+  EXPECT_FALSE(eulerian_circuit(path_graph(3)).has_value());
+  EXPECT_FALSE(eulerian_circuit(complete_graph(4)).has_value());
+}
+
+TEST(Eulerian, IsolatedStartIsTrivial) {
+  Graph g(3);
+  g.add_edge(1, 2);
+  const auto c = eulerian_circuit(g, 0);  // node 0 is isolated
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, (std::vector<NodeId>{0}));
+}
+
+TEST(Eulerian, OtherComponentIgnored) {
+  // Component of 0 is a triangle; a distant path with odd degrees must
+  // not block the circuit.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  const auto c = eulerian_circuit(g, 0);
+  ASSERT_TRUE(c.has_value());
+  check_circuit(g, *c, 0);
+  EXPECT_FALSE(eulerian_circuit(g, 3).has_value());
+}
+
+void check_two_factorisation(const Graph& g) {
+  const int k = g.max_degree() / 2;
+  const auto factors = two_factorisation(g);
+  ASSERT_EQ(static_cast<int>(factors.size()), k);
+  std::map<std::pair<NodeId, NodeId>, int> covered;
+  for (const auto& f : factors) {
+    EXPECT_TRUE(is_two_factor(g, f));
+    for (const Edge& e : f) ++covered[{e.u, e.v}];
+  }
+  // Factors partition the edge set.
+  EXPECT_EQ(static_cast<int>(covered.size()), g.num_edges());
+  for (const auto& [e, count] : covered) EXPECT_EQ(count, 1);
+}
+
+TEST(Petersen1891, CycleIsItsOwnTwoFactor) { check_two_factorisation(cycle_graph(7)); }
+TEST(Petersen1891, K5) { check_two_factorisation(complete_graph(5)); }
+TEST(Petersen1891, K7) { check_two_factorisation(complete_graph(7)); }
+TEST(Petersen1891, FourRegularFamilies) {
+  Rng rng(5);
+  check_two_factorisation(random_regular_graph(12, 4, rng));
+  check_two_factorisation(hypercube(4));           // 4-regular
+  check_two_factorisation(complete_bipartite(4, 4));  // 4-regular
+}
+TEST(Petersen1891, DisconnectedUnionOfTriangles) {
+  Graph g(6);
+  for (int i = 0; i < 3; ++i) {
+    g.add_edge(i, (i + 1) % 3);
+    g.add_edge(3 + i, 3 + (i + 1) % 3);
+  }
+  check_two_factorisation(g);
+}
+
+TEST(Petersen1891, RejectsOddRegular) {
+  EXPECT_THROW(two_factorisation(petersen_graph()), std::invalid_argument);
+  EXPECT_THROW(two_factorisation(path_graph(3)), std::invalid_argument);
+}
+
+TEST(Petersen1891, IsTwoFactorPredicate) {
+  const Graph g = cycle_graph(4);
+  EXPECT_TRUE(is_two_factor(g, g.edges()));
+  EXPECT_FALSE(is_two_factor(g, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_two_factor(g, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 1}}));
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,135 @@
+// Theorem 2 at the problem level, property-tested: for any GML formula
+// psi, the canonical problem Pi_Psi (Section 4.3) is in MB(1) with
+// locality md(psi) — and in SB(1) if psi is ungraded. The converse
+// bound also shows up: random graded formulas regularly produce
+// problems whose SB locality is strictly worse or unsolvable.
+#include <gtest/gtest.h>
+
+#include "compile/formula_compiler.hpp"
+#include "core/solvability.hpp"
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+#include "logic/random_formula.hpp"
+#include "logic/simplify.hpp"
+#include "problems/catalogue.hpp"
+#include "runtime/engine.hpp"
+
+namespace wm {
+namespace {
+
+constexpr int kDelta = 3;
+
+std::vector<ScopedInstance> small_scope(const Problem& problem, int max_n) {
+  std::vector<ScopedInstance> scope;
+  EnumerateOptions opts;
+  opts.connected_only = false;
+  opts.max_degree = kDelta;
+  for (int n = 1; n <= max_n; ++n) {
+    enumerate_graphs(n, opts, [&](const Graph& g) {
+      scope.push_back(instance_for(problem, PortNumbering::identity(g)));
+      return true;
+    });
+  }
+  return scope;
+}
+
+TEST(FormulaProblems, ValidatorMatchesModelChecker) {
+  const Formula psi = Formula::diamond({0, 0}, Formula::prop(1), 2);
+  const auto problem = formula_problem(psi, kDelta);
+  // Star-3 centre has 3 degree-1 neighbours: psi true only there.
+  EXPECT_TRUE(problem->valid(star_graph(3), {1, 0, 0, 0}));
+  EXPECT_FALSE(problem->valid(star_graph(3), {0, 0, 0, 0}));
+  EXPECT_THROW((void)problem->valid(star_graph(5), {0, 0, 0, 0, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(formula_problem(Formula::diamond({1, 1}, Formula::tru()), 3),
+               std::invalid_argument);
+}
+
+TEST(FormulaProblems, CompiledMachineSolvesItsOwnProblem) {
+  Rng rng(1);
+  RandomFormulaOptions opts;
+  opts.variant = Variant::MinusMinus;
+  opts.delta = kDelta;
+  opts.num_props = kDelta;
+  opts.graded = true;
+  opts.max_depth = 2;
+  Rng grng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Formula psi = random_formula(rng, opts);
+    const auto problem = formula_problem(psi, kDelta);
+    const auto machine = compile_formula(psi, Variant::MinusMinus, kDelta);
+    for (int i = 0; i < 3; ++i) {
+      const Graph g = random_connected_graph(7, kDelta, 3, grng);
+      const PortNumbering p = PortNumbering::random(g, grng);
+      const auto r = execute(*machine, p);
+      ASSERT_TRUE(r.stopped);
+      EXPECT_TRUE(problem->valid(g, r.outputs_as_ints())) << psi.to_string();
+    }
+  }
+}
+
+TEST(FormulaProblems, GradedFormulaProblemsAreInMbWithLocalityMd) {
+  // The solvability analyser must certify Pi_Psi in MB with min rounds
+  // <= md(psi) on an exhaustive small scope.
+  Rng rng(3);
+  RandomFormulaOptions opts;
+  opts.variant = Variant::MinusMinus;
+  opts.delta = kDelta;
+  opts.num_props = kDelta;
+  opts.graded = true;
+  opts.max_depth = 2;
+  int interesting = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const Formula psi = simplify(random_formula(rng, opts));
+    const auto problem = formula_problem(psi, kDelta);
+    const auto scope = small_scope(*problem, 4);
+    const SolvabilityReport r =
+        analyse_solvability(scope, ProblemClass::MB, kDelta);
+    ASSERT_TRUE(r.min_rounds.has_value()) << psi.to_string();
+    EXPECT_LE(*r.min_rounds, psi.modal_depth()) << psi.to_string();
+    if (psi.modal_depth() > 0 && *r.min_rounds > 0) ++interesting;
+  }
+  EXPECT_GT(interesting, 0);
+}
+
+TEST(FormulaProblems, UngradedFormulaProblemsAreInSb) {
+  Rng rng(4);
+  RandomFormulaOptions opts;
+  opts.variant = Variant::MinusMinus;
+  opts.delta = kDelta;
+  opts.num_props = kDelta;
+  opts.graded = false;
+  opts.max_depth = 2;
+  for (int trial = 0; trial < 12; ++trial) {
+    const Formula psi = simplify(random_formula(rng, opts));
+    const auto problem = formula_problem(psi, kDelta);
+    const auto scope = small_scope(*problem, 4);
+    const SolvabilityReport r =
+        analyse_solvability(scope, ProblemClass::SB, kDelta);
+    ASSERT_TRUE(r.min_rounds.has_value()) << psi.to_string();
+    EXPECT_LE(*r.min_rounds, psi.modal_depth()) << psi.to_string();
+  }
+}
+
+TEST(FormulaProblems, CountingFormulaEscapesSb) {
+  // <*,*>_{>=2} q3 (at least two degree-3 neighbours) cannot be decided
+  // from the SET of messages: a scope containing both a K4 node (three
+  // q3-neighbours) and a node with exactly one q3-neighbour that is
+  // otherwise SB-indistinguishable makes SB fail. The Theorem 13
+  // biregular witness provides exactly that.
+  const Formula psi = Formula::diamond({0, 0}, Formula::prop(3), 2);
+  const auto problem = formula_problem(psi, kDelta);
+  auto scope = small_scope(*problem, 5);
+  scope.push_back(
+      instance_for(*problem, PortNumbering::identity(thm13_witness().graph)));
+  const SolvabilityReport sb =
+      analyse_solvability(scope, ProblemClass::SB, kDelta);
+  EXPECT_FALSE(sb.min_rounds.has_value());
+  const SolvabilityReport mb =
+      analyse_solvability(scope, ProblemClass::MB, kDelta);
+  ASSERT_TRUE(mb.min_rounds.has_value());
+  EXPECT_EQ(*mb.min_rounds, 1);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,127 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/matching.hpp"
+#include "graph/properties.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Generators, Star) {
+  const Graph g = star_graph(4);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.degree(0), 4);
+  for (int leaf = 1; leaf <= 4; ++leaf) EXPECT_EQ(g.degree(leaf), 1);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = complete_graph(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_TRUE(g.is_regular(4));
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = complete_bipartite(2, 3);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_TRUE(bipartition(g).has_value());
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(3);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(bipartition(g).has_value());
+}
+
+TEST(Generators, Grid) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Petersen) {
+  const Graph g = petersen_graph();
+  EXPECT_EQ(g.num_nodes(), 10);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(has_one_factor(g));  // Petersen does have a perfect matching
+  EXPECT_FALSE(bipartition(g).has_value());
+}
+
+TEST(Generators, Fig9aGraphMatchesPaper) {
+  // Figure 9a: 16 nodes, 3-regular, connected, no 1-factor.
+  const Graph g = fig9a_graph();
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(has_one_factor(g));
+}
+
+TEST(Generators, ClassGFamily) {
+  for (int k : {3, 5, 7}) {
+    const Graph g = class_g_graph(k);
+    EXPECT_EQ(g.num_nodes(), 1 + k * (k + 2)) << "k=" << k;
+    EXPECT_TRUE(g.is_regular(k)) << "k=" << k;
+    EXPECT_TRUE(is_connected(g)) << "k=" << k;
+    EXPECT_FALSE(has_one_factor(g)) << "k=" << k;
+  }
+  EXPECT_THROW(class_g_graph(4), std::invalid_argument);
+  EXPECT_THROW(class_g_graph(1), std::invalid_argument);
+}
+
+TEST(Generators, RandomBoundedDegreeRespectsBound) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_bounded_degree_graph(20, 4, 0.3, rng);
+    EXPECT_LE(g.max_degree(), 4);
+  }
+}
+
+TEST(Generators, RandomRegularIsRegularAndConnected) {
+  Rng rng(43);
+  for (int k : {2, 3, 4}) {
+    const Graph g = random_regular_graph(12, k, rng);
+    EXPECT_TRUE(g.is_regular(k));
+    EXPECT_TRUE(is_connected(g));
+  }
+  EXPECT_THROW(random_regular_graph(5, 3, rng), std::invalid_argument);
+}
+
+TEST(Generators, RandomConnectedIsConnectedWithinDegreeBound) {
+  Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(15, 4, 5, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_LE(g.max_degree(), 4);
+    EXPECT_GE(g.num_edges(), 14);
+  }
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const Graph g1 = random_connected_graph(10, 3, 3, a);
+  const Graph g2 = random_connected_graph(10, 3, 3, b);
+  EXPECT_EQ(g1, g2);
+}
+
+}  // namespace
+}  // namespace wm

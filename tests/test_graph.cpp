@@ -1,0 +1,114 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wm {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+TEST(Graph, AddEdgeUpdatesBothEndpoints) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 0);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, AdjacencySorted) {
+  Graph g(4);
+  g.add_edge(1, 3);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  const std::vector<NodeId> expected{0, 2, 3};
+  EXPECT_EQ(g.neighbours(1), expected);
+}
+
+TEST(Graph, NeighbourIndex) {
+  Graph g(4);
+  g.add_edge(1, 3);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.neighbour_index(1, 0), 0);
+  EXPECT_EQ(g.neighbour_index(1, 3), 1);
+  EXPECT_EQ(g.neighbour_index(1, 2), -1);
+}
+
+TEST(Graph, FromEdgesAndEdgesRoundtrip) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  // edges() returns edges sorted by (u, v).
+  const std::vector<Edge> sorted{{0, 1}, {0, 2}, {1, 2}};
+  EXPECT_EQ(g.edges(), sorted);
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(Graph, DegreeSequenceSortedDescending) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const std::vector<int> expected{3, 1, 1, 1};
+  EXPECT_EQ(g.degree_sequence(), expected);
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_EQ(g.min_degree(), 1);
+}
+
+TEST(Graph, IsRegular) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_FALSE(g.is_regular(3));
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const Graph h = g.induced_subgraph({1, 2, 3});
+  EXPECT_EQ(h.num_nodes(), 3);
+  EXPECT_EQ(h.num_edges(), 2);
+  EXPECT_TRUE(h.has_edge(0, 1));  // 1-2
+  EXPECT_TRUE(h.has_edge(1, 2));  // 2-3
+}
+
+TEST(Graph, Relabelled) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const Graph h = g.relabelled({2, 0, 1});
+  EXPECT_TRUE(h.has_edge(2, 0));
+  EXPECT_EQ(h.num_edges(), 1);
+}
+
+TEST(Graph, EqualityIsStructural) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+  b.add_edge(1, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GraphDeathTest, RejectsSelfLoopAndDuplicates) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_DEATH(g.add_edge(1, 1), "self-loop");
+  EXPECT_DEATH(g.add_edge(1, 0), "duplicate");
+  EXPECT_DEATH(g.add_edge(0, 9), "out of range");
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,112 @@
+#include "logic/kripke.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Kripke, BasicModelOps) {
+  KripkeModel k(3, 2);
+  k.add_edge({0, 0}, 0, 1);
+  k.add_edge({0, 0}, 0, 2);
+  k.set_prop(1, 0);
+  EXPECT_TRUE(k.prop_holds(1, 0));
+  EXPECT_FALSE(k.prop_holds(1, 1));
+  EXPECT_EQ(k.successors({0, 0}, 0), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(k.successors({0, 0}, 1).empty());
+  EXPECT_TRUE(k.successors({1, 1}, 0).empty());  // unregistered relation
+}
+
+TEST(Kripke, FromGraphMinusMinusIsSymmetricEdgeRelation) {
+  const Graph g = path_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const KripkeModel k = kripke_from_graph(p, Variant::MinusMinus);
+  // R(*,*) interpreted as a symmetric relation = E.
+  EXPECT_EQ(k.successors({0, 0}, 0), (std::vector<int>{1}));
+  EXPECT_EQ(k.successors({0, 0}, 1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(k.successors({0, 0}, 2), (std::vector<int>{1}));
+  // Degree propositions.
+  EXPECT_TRUE(k.prop_holds(1, 0));
+  EXPECT_TRUE(k.prop_holds(2, 1));
+  EXPECT_FALSE(k.prop_holds(1, 1));
+}
+
+TEST(Kripke, FromGraphPlusPlusRelationDirections) {
+  // Path 0-1-2 with identity numbering: node 1's out-port 1 -> node 0's
+  // in-port 1, out-port 2 -> node 2's in-port 1.
+  const Graph g = path_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const KripkeModel k = kripke_from_graph(p, Variant::PlusPlus);
+  // R(i,j) = {(u,v) : p((v,j)) = (u,i)} — u hears v.
+  // p((1,1)) = (0,1): so (0,1) in R(1,1).
+  EXPECT_EQ(k.successors({1, 1}, 0), (std::vector<int>{1}));
+  // p((1,2)) = (2,1): so (2,1) in R(1,2).
+  EXPECT_EQ(k.successors({1, 2}, 2), (std::vector<int>{1}));
+  // Node 1 hears node 0 via (1,1) and node 2 via (2,1).
+  EXPECT_EQ(k.successors({1, 1}, 1), (std::vector<int>{0}));
+  EXPECT_EQ(k.successors({2, 1}, 1), (std::vector<int>{2}));
+  // Every in-port has exactly one feeding relation entry.
+  int total = 0;
+  for (const Modality& alpha : k.modalities()) {
+    for (int v = 0; v < k.num_states(); ++v) {
+      total += static_cast<int>(k.successors(alpha, v).size());
+    }
+  }
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+TEST(Kripke, FromGraphSignatureRegistration) {
+  const Graph g = cycle_graph(4);
+  const PortNumbering p = PortNumbering::identity(g);
+  EXPECT_EQ(kripke_from_graph(p, Variant::PlusPlus).modalities().size(), 4u);
+  EXPECT_EQ(kripke_from_graph(p, Variant::MinusPlus).modalities().size(), 2u);
+  EXPECT_EQ(kripke_from_graph(p, Variant::PlusMinus).modalities().size(), 2u);
+  EXPECT_EQ(kripke_from_graph(p, Variant::MinusMinus).modalities().size(), 1u);
+}
+
+TEST(Kripke, FromGraphWithLargerDelta) {
+  const Graph g = path_graph(2);
+  const PortNumbering p = PortNumbering::identity(g);
+  const KripkeModel k = kripke_from_graph(p, Variant::PlusPlus, 3);
+  EXPECT_EQ(k.num_props(), 3);
+  EXPECT_EQ(k.modalities().size(), 9u);
+  EXPECT_THROW(kripke_from_graph(p, Variant::PlusPlus, 0), std::invalid_argument);
+}
+
+TEST(Kripke, UnionsInMinusPlusView) {
+  // Star: all leaves send via their out-port 1 into distinct centre
+  // in-ports; in K_{-,+} the centre's R(*,1)-successors are all leaves.
+  const Graph g = star_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const KripkeModel k = kripke_from_graph(p, Variant::MinusPlus);
+  EXPECT_EQ(k.successors({0, 1}, 0), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(k.successors({0, 2}, 0).empty());  // leaves have no port 2
+}
+
+TEST(Kripke, DisjointUnion) {
+  const Graph g = path_graph(2);
+  const PortNumbering p = PortNumbering::identity(g);
+  const KripkeModel a = kripke_from_graph(p, Variant::MinusMinus);
+  const KripkeModel u = KripkeModel::disjoint_union(a, a);
+  EXPECT_EQ(u.num_states(), 4);
+  EXPECT_EQ(u.successors({0, 0}, 2), (std::vector<int>{3}));
+  EXPECT_TRUE(u.prop_holds(1, 2));
+}
+
+TEST(Kripke, IsolatedNodesHaveNoProps) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  Graph h(3);
+  h.add_edge(0, 1);  // node 2 isolated
+  const KripkeModel k =
+      kripke_from_graph(PortNumbering::identity(h), Variant::MinusMinus);
+  EXPECT_FALSE(k.prop_holds(1, 2));
+  EXPECT_TRUE(k.prop_holds(1, 0));
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,279 @@
+#include "labelled/labelled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algorithms/machines.hpp"
+#include "bisim/bisimulation.hpp"
+#include "core/classification.hpp"
+#include "cover/views.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+#include <set>
+#include "labelled/leader_election.hpp"
+#include "logic/model_checker.hpp"
+#include "problems/catalogue.hpp"
+#include "runtime/engine.hpp"
+
+namespace wm {
+namespace {
+
+/// SBo machine over labelled graphs: broadcast own label, output 1 iff
+/// some neighbour has label 1. Degree-oblivious init — this is exactly
+/// the setting where Remark 2 says SBo becomes non-trivial.
+LabelledLambdaMachine neighbour_has_one_machine() {
+  LabelledLambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int, const Value& input) {
+    return Value::pair(Value::str("w"), input);  // ignores the degree
+  };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) { return s.at(1); };
+  m.transition_fn = [](const Value&, const Value& inbox, int) {
+    return Value::boolean(inbox.contains(Value::integer(1)));
+  };
+  return m;
+}
+
+TEST(Labelled, ExecutionUsesInputs) {
+  const Graph g = path_graph(4);
+  const PortNumbering p = PortNumbering::identity(g);
+  const std::vector<Value> inputs{Value::integer(1), Value::integer(0),
+                                  Value::integer(0), Value::integer(0)};
+  const auto r = execute_labelled(neighbour_has_one_machine(), p, inputs);
+  ASSERT_TRUE(r.stopped);
+  // Only node 1 is adjacent to the label-1 node 0.
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{0, 1, 0, 0}));
+}
+
+TEST(Labelled, InputCountValidated) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(execute_labelled(neighbour_has_one_machine(),
+                                PortNumbering::identity(g),
+                                {Value::integer(0)}),
+               std::invalid_argument);
+}
+
+TEST(Labelled, IgnoreLabelsAdapterMatchesUnlabelledRun) {
+  Rng rng(1);
+  const Graph g = random_connected_graph(8, 3, 3, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  const auto lifted = ignore_labels(odd_odd_machine());
+  const std::vector<Value> inputs(static_cast<std::size_t>(g.num_nodes()),
+                                  Value::str("whatever"));
+  const auto r1 = execute_labelled(*lifted, p, inputs);
+  const auto r2 = execute(*odd_odd_machine(), p);
+  EXPECT_EQ(r1.final_states, r2.final_states);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+}
+
+TEST(Labelled, KripkeWithLabelPropositions) {
+  const Graph g = path_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const std::vector<int> labels{1, 0, 1};
+  const KripkeModel k =
+      kripke_from_labelled_graph(p, Variant::MinusMinus, labels, 2);
+  const int delta = g.max_degree();
+  // Degree props survive; label props live above them.
+  EXPECT_TRUE(k.prop_holds(1, 0));               // deg(0) = 1
+  EXPECT_TRUE(k.prop_holds(delta + 1 + 1, 0));   // label 1 at node 0
+  EXPECT_TRUE(k.prop_holds(delta + 1 + 0, 1));   // label 0 at node 1
+  EXPECT_FALSE(k.prop_holds(delta + 1 + 1, 1));
+  // "my label is 1 and some neighbour's label is 1" is expressible.
+  const Formula psi = Formula::conj(
+      Formula::prop(delta + 2),
+      Formula::diamond({0, 0}, Formula::prop(delta + 2)));
+  const auto truth = model_check(k, psi);
+  EXPECT_EQ(truth, (std::vector<bool>{false, false, false}));
+  const KripkeModel k2 =
+      kripke_from_labelled_graph(p, Variant::MinusMinus, {1, 1, 0}, 2);
+  const auto truth2 = model_check(k2, psi);
+  EXPECT_EQ(truth2, (std::vector<bool>{true, true, false}));
+}
+
+TEST(Labelled, SeparationsTransferToLabelledGraphs) {
+  // Section 3.4: a separation on unlabelled graphs is a separation on
+  // labelled ones — with constant labels, the label propositions refine
+  // nothing, so the bisimilarity half of every witness is unchanged.
+  for (const auto& w : {thm13_witness(), thm11_witness(3)}) {
+    const Variant variant = kripke_variant_for(w.excluded_from);
+    const std::vector<int> labels(
+        static_cast<std::size_t>(w.graph.num_nodes()), 0);
+    const KripkeModel k =
+        kripke_from_labelled_graph(w.numbering, variant, labels, 1);
+    const Partition part = coarsest_bisimulation(k);
+    for (std::size_t i = 1; i < w.x.size(); ++i) {
+      EXPECT_TRUE(part.same_block(w.x[0], w.x[i])) << w.name;
+    }
+  }
+}
+
+TEST(Labelled, NonConstantLabelsCanBreakWitnesses) {
+  // ... and with informative labels the same nodes become separable:
+  // label the Theorem 13 witness nodes differently.
+  const SeparationWitness w = thm13_witness();
+  std::vector<int> labels(static_cast<std::size_t>(w.graph.num_nodes()), 0);
+  labels[6] = 1;
+  const KripkeModel k =
+      kripke_from_labelled_graph(w.numbering, Variant::MinusMinus, labels, 2);
+  const Partition part = coarsest_bisimulation(k);
+  EXPECT_FALSE(part.same_block(0, 6));
+}
+
+// --- Leader election ---------------------------------------------------------
+
+TEST(LeaderElection, SingleNode) {
+  const Graph g(1);
+  EXPECT_EQ(elect_leaders(PortNumbering::identity(g)), (std::vector<int>{1}));
+}
+
+TEST(LeaderElection, AsymmetricGraphsElectExactlyOne) {
+  Rng rng(5);
+  int asymmetric_seen = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_connected_graph(7, 3, 2, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto classes = view_classes(p);
+    const int distinct =
+        *std::max_element(classes.begin(), classes.end()) + 1;
+    const auto leaders = elect_leaders(p);
+    const int count = std::accumulate(leaders.begin(), leaders.end(), 0);
+    if (distinct == g.num_nodes()) {
+      ++asymmetric_seen;
+      EXPECT_EQ(count, 1) << "all views distinct -> unique leader";
+    }
+    // In general the leaders are exactly the maximum view class.
+    const auto vs = stable_views(p);
+    const Value maxview = *std::max_element(vs.begin(), vs.end());
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(leaders[v] == 1, vs[v] == maxview);
+    }
+  }
+  EXPECT_GT(asymmetric_seen, 5);  // the sweep hit genuinely asymmetric cases
+}
+
+TEST(LeaderElection, SymmetricGraphElectsEverybody) {
+  // On a perfectly symmetric (G, p) every node is in the max view class:
+  // leader election fails exactly as the impossibility theory dictates.
+  const Graph g = cycle_graph(6);
+  const PortNumbering p = PortNumbering::symmetric_regular(g);
+  const auto leaders = elect_leaders(p);
+  EXPECT_EQ(std::accumulate(leaders.begin(), leaders.end(), 0), 6);
+}
+
+TEST(LeaderElection, StarAlwaysElectsTheCentreOrAUniqueLeaf) {
+  // On stars, the centre's view differs from every leaf's; leaves may
+  // tie among themselves. With identity numbering all leaves look alike
+  // EXCEPT for the in-port at the centre... which is invisible to the
+  // leaf views of depth 0 but visible at depth >= 1 via the centre's
+  // out-port tags. Exactly one node ends up maximal.
+  for (int k : {2, 3, 5}) {
+    const auto leaders = elect_leaders(PortNumbering::identity(star_graph(k)));
+    EXPECT_EQ(std::accumulate(leaders.begin(), leaders.end(), 0), 1) << k;
+  }
+}
+
+// --- Section 3.1 (a): greedy colouring with unique identifiers --------------
+
+TEST(GreedyColouring, ProperColouringWithinDeltaPlusOne) {
+  Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = random_connected_graph(10, 4, 6, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto colours = greedy_colouring(p);
+    EXPECT_TRUE(is_proper_colouring(g, colours, g.max_degree() + 1))
+        << g.to_string();
+  }
+}
+
+TEST(GreedyColouring, StructuredFamilies) {
+  for (const Graph& g : {path_graph(7), cycle_graph(8), star_graph(5),
+                         complete_graph(5), petersen_graph()}) {
+    const PortNumbering p = PortNumbering::identity(g);
+    const auto colours = greedy_colouring(p);
+    EXPECT_TRUE(is_proper_colouring(g, colours, g.max_degree() + 1));
+  }
+  // Complete graphs need exactly Delta + 1 = n colours.
+  const auto kcols = greedy_colouring(PortNumbering::identity(complete_graph(4)));
+  std::set<int> distinct(kcols.begin(), kcols.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(GreedyColouring, IsolatedNodesGetColourOne) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto colours = greedy_colouring(PortNumbering::identity(g));
+  EXPECT_EQ(colours[2], 1);
+  EXPECT_NE(colours[0], colours[1]);
+}
+
+TEST(GreedyColouring, SolvesWhatAnonymousAlgorithmsCannot) {
+  // 3-colouring the symmetric odd cycle is impossible anonymously (see
+  // test_decision), but trivial with ids — the paper's point about the
+  // strictly stronger models of Section 3.1.
+  const Graph g = cycle_graph(5);
+  const PortNumbering p = PortNumbering::symmetric_regular(g);
+  const auto colours = greedy_colouring(p);
+  EXPECT_TRUE(is_proper_colouring(g, colours, 3));
+}
+
+// --- Section 3.1: MIS is beyond all seven classes ---------------------------
+
+TEST(MisWitness, MisNotInVVc) {
+  for (int n : {4, 6, 8}) {
+    const SeparationWitness w = mis_cycle_witness(n);
+    ASSERT_TRUE(w.numbering.is_consistent());  // that's the point: even VVc
+    const SeparationCheck c = check_separation(w);
+    EXPECT_TRUE(c.x_bisimilar) << n;
+    EXPECT_TRUE(c.partition_is_bisim) << n;
+    EXPECT_TRUE(c.solutions_split_x) << n;
+    EXPECT_EQ(c.num_blocks, 1);
+  }
+  EXPECT_THROW(mis_cycle_witness(5), std::invalid_argument);
+}
+
+TEST(MisWitness, MisSolvableWithLabels) {
+  // With unique identifiers as local inputs (the stronger model of
+  // Section 3.1a), a trivial greedy-by-id machine solves MIS — run a
+  // 2-phase-per-wave algorithm: nodes whose id is a local maximum among
+  // undecided neighbours join; neighbours of joined nodes leave.
+  LabelledLambdaMachine m;
+  m.cls = AlgebraicClass::multiset_broadcast();
+  m.init_fn = [](int, const Value& input) {
+    return Value::pair(Value::str("u"), input);  // undecided, with id
+  };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) {
+    return Value::pair(s.at(0), s.at(1));  // (status, id)
+  };
+  m.transition_fn = [](const Value& s, const Value& inbox, int) -> Value {
+    const Value& my_id = s.at(1);
+    bool neighbour_joined = false;
+    bool local_max = true;
+    for (const Value& msg : inbox.items()) {
+      if (msg.is_unit()) continue;  // decided-out neighbour
+      if (msg.at(0).as_str() == "in") neighbour_joined = true;
+      if (msg.at(0).as_str() == "u" && msg.at(1) > my_id) local_max = false;
+    }
+    if (s.at(0).as_str() == "in") return Value::integer(1);
+    if (neighbour_joined) return Value::integer(0);
+    if (local_max) return Value::pair(Value::str("in"), my_id);
+    return s;
+  };
+  Rng rng(9);
+  const auto problem = maximal_independent_set_problem();
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = random_connected_graph(9, 3, 4, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    std::vector<Value> ids;
+    for (int v = 0; v < g.num_nodes(); ++v) ids.push_back(Value::integer(v + 1));
+    const auto r = execute_labelled(m, p, ids);
+    ASSERT_TRUE(r.stopped);
+    EXPECT_TRUE(problem->valid(g, r.outputs_as_ints())) << g.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace wm

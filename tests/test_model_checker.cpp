@@ -1,0 +1,147 @@
+#include "logic/model_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bisim/bisimulation.hpp"
+#include "graph/generators.hpp"
+#include "logic/random_formula.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+KripkeModel path_model() {
+  return kripke_from_graph(PortNumbering::identity(path_graph(3)),
+                           Variant::MinusMinus);
+}
+
+TEST(ModelChecker, Atoms) {
+  const KripkeModel k = path_model();
+  EXPECT_EQ(model_check(k, Formula::tru()),
+            (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(model_check(k, Formula::fls()),
+            (std::vector<bool>{false, false, false}));
+  // q1 = "degree 1": endpoints.
+  EXPECT_EQ(model_check(k, Formula::prop(1)),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(ModelChecker, Connectives) {
+  const KripkeModel k = path_model();
+  const Formula q1 = Formula::prop(1), q2 = Formula::prop(2);
+  EXPECT_EQ(model_check(k, Formula::negate(q1)),
+            (std::vector<bool>{false, true, false}));
+  EXPECT_EQ(model_check(k, Formula::conj(q1, q2)),
+            (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(model_check(k, Formula::disj(q1, q2)),
+            (std::vector<bool>{true, true, true}));
+}
+
+TEST(ModelChecker, DiamondAndBox) {
+  const KripkeModel k = path_model();
+  // <*,*> q2 — "some neighbour has degree 2": true at the endpoints.
+  const Formula dq2 = Formula::diamond({0, 0}, Formula::prop(2));
+  EXPECT_EQ(model_check(k, dq2), (std::vector<bool>{true, false, true}));
+  // [*,*] q1 — "all neighbours have degree 1": true at the middle node.
+  const Formula bq1 = Formula::box({0, 0}, Formula::prop(1));
+  EXPECT_EQ(model_check(k, bq1), (std::vector<bool>{false, true, false}));
+}
+
+TEST(ModelChecker, GradedDiamonds) {
+  const KripkeModel k = kripke_from_graph(
+      PortNumbering::identity(star_graph(3)), Variant::MinusMinus);
+  // Centre has 3 degree-1 neighbours.
+  const Formula g2 = Formula::diamond({0, 0}, Formula::prop(1), 2);
+  const Formula g3 = Formula::diamond({0, 0}, Formula::prop(1), 3);
+  const Formula g4 = Formula::diamond({0, 0}, Formula::prop(1), 4);
+  EXPECT_TRUE(model_check_at(k, g2, 0));
+  EXPECT_TRUE(model_check_at(k, g3, 0));
+  EXPECT_FALSE(model_check_at(k, g4, 0));
+  EXPECT_FALSE(model_check_at(k, g2, 1));  // a leaf has one neighbour
+}
+
+TEST(ModelChecker, ModalDepthTwo) {
+  const KripkeModel k = path_model();
+  // <>(<> q2): "a neighbour has a neighbour of degree 2" — middle node's
+  // neighbours (endpoints) each see the middle (degree 2): true at 1;
+  // endpoints' neighbour is the middle, which sees no degree-2 node...
+  const Formula f =
+      Formula::diamond({0, 0}, Formula::diamond({0, 0}, Formula::prop(2)));
+  EXPECT_EQ(model_check(k, f), (std::vector<bool>{false, true, false}));
+}
+
+TEST(ModelChecker, EmptyRelationDiamondIsFalseBoxIsTrue) {
+  KripkeModel k(2, 1);
+  k.ensure_relation({0, 0});
+  EXPECT_FALSE(model_check_at(k, Formula::diamond({0, 0}, Formula::tru()), 0));
+  EXPECT_TRUE(model_check_at(k, Formula::box({0, 0}, Formula::fls()), 0));
+}
+
+class CheckerAgreement : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(CheckerAgreement, MemoisedMatchesNaive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 31);
+  Rng grng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = random_connected_graph(8, 3, 3, grng);
+    const PortNumbering p = PortNumbering::random(g, grng);
+    const KripkeModel k = kripke_from_graph(p, GetParam());
+    RandomFormulaOptions opts;
+    opts.variant = GetParam();
+    opts.delta = g.max_degree();
+    opts.num_props = g.max_degree();
+    opts.graded = true;
+    opts.max_depth = 3;
+    const Formula f = random_formula(rng, opts);
+    EXPECT_EQ(model_check(k, f), model_check_naive(k, f)) << f.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, CheckerAgreement,
+                         ::testing::Values(Variant::PlusPlus, Variant::MinusPlus,
+                                           Variant::PlusMinus,
+                                           Variant::MinusMinus));
+
+class Fact1Property : public ::testing::TestWithParam<Variant> {};
+
+// Fact 1: bisimilar states satisfy the same (ungraded) formulas;
+// g-bisimilar states satisfy the same graded formulas.
+TEST_P(Fact1Property, BisimilarStatesAgreeOnFormulas) {
+  Rng rng(91);
+  Rng grng(92);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_connected_graph(9, 3, 4, grng);
+    const PortNumbering p = PortNumbering::random(g, grng);
+    const KripkeModel k = kripke_from_graph(p, GetParam());
+    for (const bool graded : {false, true}) {
+      const Partition part = graded ? coarsest_graded_bisimulation(k)
+                                    : coarsest_bisimulation(k);
+      RandomFormulaOptions opts;
+      opts.variant = GetParam();
+      opts.delta = g.max_degree();
+      opts.num_props = g.max_degree();
+      opts.graded = graded;
+      opts.max_depth = 4;
+      for (int i = 0; i < 10; ++i) {
+        const Formula f = random_formula(rng, opts);
+        const auto truth = model_check(k, f);
+        for (int u = 0; u < k.num_states(); ++u) {
+          for (int v = u + 1; v < k.num_states(); ++v) {
+            if (part.same_block(u, v)) {
+              EXPECT_EQ(truth[u], truth[v])
+                  << "Fact 1 violated by " << f.to_string();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, Fact1Property,
+                         ::testing::Values(Variant::PlusPlus, Variant::MinusPlus,
+                                           Variant::PlusMinus,
+                                           Variant::MinusMinus));
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,165 @@
+#include "port/port_numbering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace wm {
+namespace {
+
+TEST(PortNumbering, IdentityIsValidAndConsistent) {
+  for (const Graph& g : {path_graph(4), cycle_graph(5), star_graph(3),
+                         petersen_graph()}) {
+    const PortNumbering p = PortNumbering::identity(g);
+    EXPECT_TRUE(p.is_valid());
+    EXPECT_TRUE(p.is_consistent());
+  }
+}
+
+TEST(PortNumbering, ForwardBackwardInverse) {
+  Rng rng(3);
+  const Graph g = random_connected_graph(10, 4, 6, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  EXPECT_TRUE(p.is_valid());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int i = 1; i <= g.degree(v); ++i) {
+      EXPECT_EQ(p.backward(p.forward({v, i})), (PortRef{v, i}));
+      EXPECT_EQ(p.forward(p.backward({v, i})), (PortRef{v, i}));
+    }
+  }
+}
+
+TEST(PortNumbering, ForwardCoversAllNeighbours) {
+  Rng rng(4);
+  const Graph g = cycle_graph(6);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::set<NodeId> targets;
+    for (int i = 1; i <= g.degree(v); ++i) {
+      targets.insert(p.forward({v, i}).node);
+    }
+    const std::set<NodeId> expected(g.neighbours(v).begin(),
+                                    g.neighbours(v).end());
+    EXPECT_EQ(targets, expected);  // A(p) = A(G)
+  }
+}
+
+TEST(PortNumbering, RandomConsistentIsConsistent) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(8, 3, 4, rng);
+    const PortNumbering p = PortNumbering::random_consistent(g, rng);
+    EXPECT_TRUE(p.is_valid());
+    EXPECT_TRUE(p.is_consistent());
+  }
+}
+
+TEST(PortNumbering, RandomGeneralUsuallyInconsistent) {
+  Rng rng(6);
+  int inconsistent = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = cycle_graph(6);
+    if (!PortNumbering::random(g, rng).is_consistent()) ++inconsistent;
+  }
+  EXPECT_GT(inconsistent, 10);
+}
+
+TEST(PortNumbering, OutAndInPortAccessors) {
+  const Graph g = path_graph(3);  // 0-1-2
+  const PortNumbering p = PortNumbering::identity(g);
+  // Node 1 has neighbours {0, 2}; identity assigns ports in sorted order.
+  EXPECT_EQ(p.out_port(1, 0), 1);
+  EXPECT_EQ(p.out_port(1, 2), 2);
+  EXPECT_EQ(p.in_port(1, 0), 1);
+  EXPECT_EQ(p.out_neighbour(1, 2), 2);
+  EXPECT_EQ(p.in_neighbour(1, 1), 0);
+  EXPECT_THROW(p.out_port(0, 2), std::invalid_argument);
+}
+
+TEST(PortNumbering, FromPermutationsValidation) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(
+      PortNumbering::from_permutations(g, {{1}, {1, 1}, {1}}, {{1}, {1, 2}, {1}}),
+      std::invalid_argument);
+  EXPECT_THROW(PortNumbering::from_permutations(g, {{1}}, {{1}}),
+               std::invalid_argument);
+}
+
+TEST(PortNumbering, EnumerateConsistentCounts) {
+  // A consistent numbering = independent permutation per node:
+  // star k: centre k!, leaves 1 -> k! total.
+  std::size_t count =
+      for_each_consistent_port_numbering(star_graph(3), [](const PortNumbering& p) {
+        EXPECT_TRUE(p.is_consistent());
+        return true;
+      });
+  EXPECT_EQ(count, 6u);
+  // Triangle: 2!^3 = 8.
+  count = for_each_consistent_port_numbering(complete_graph(3),
+                                             [](const PortNumbering&) { return true; });
+  EXPECT_EQ(count, 8u);
+}
+
+TEST(PortNumbering, EnumerateGeneralCounts) {
+  // General numberings: out x in permutations: star 3 -> (3!)^2 = 36.
+  std::size_t count = for_each_port_numbering(star_graph(3), [](const PortNumbering& p) {
+    EXPECT_TRUE(p.is_valid());
+    return true;
+  });
+  EXPECT_EQ(count, 36u);
+}
+
+TEST(PortNumbering, EnumerationEarlyStop) {
+  int seen = 0;
+  for_each_port_numbering(complete_graph(3),
+                          [&](const PortNumbering&) { return ++seen < 3; });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(PortNumbering, SymmetricRegularStructure) {
+  // Lemma 15 numbering: p((v,i)) = (f_i(v), i) — out-port i always lands
+  // on in-port i.
+  for (const Graph& g : {cycle_graph(5), petersen_graph(), fig9a_graph()}) {
+    const PortNumbering p = PortNumbering::symmetric_regular(g);
+    EXPECT_TRUE(p.is_valid());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (int i = 1; i <= g.degree(v); ++i) {
+        EXPECT_EQ(p.forward({v, i}).index, i);
+      }
+    }
+  }
+}
+
+TEST(PortNumbering, SymmetricRegularOnFig9aIsInconsistent) {
+  // Lemma 16: a consistent symmetric numbering would force a 1-factor;
+  // fig9a has none, so the Lemma 15 numbering must be inconsistent.
+  const PortNumbering p = PortNumbering::symmetric_regular(fig9a_graph());
+  EXPECT_FALSE(p.is_consistent());
+}
+
+TEST(PortNumbering, LocalTypesUnderConsistentNumbering) {
+  const Graph g = star_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  // Leaves connect to distinct centre in-ports: their types differ.
+  std::set<std::vector<int>> types;
+  for (int leaf = 1; leaf <= 3; ++leaf) {
+    types.insert(p.local_type(leaf, 3));
+  }
+  EXPECT_EQ(types.size(), 3u);
+  // Centre type: out-port i of the centre lands on a leaf's only port (1).
+  EXPECT_EQ(p.local_type(0, 3), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(PortNumbering, Equality) {
+  const Graph g = path_graph(3);
+  EXPECT_EQ(PortNumbering::identity(g), PortNumbering::identity(g));
+  Rng rng(8);
+  const PortNumbering q = PortNumbering::random(g, rng);
+  // Probably different from identity; just ensure == is callable/sane.
+  EXPECT_EQ(q, q);
+}
+
+}  // namespace
+}  // namespace wm

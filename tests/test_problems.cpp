@@ -1,0 +1,132 @@
+#include "problems/catalogue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Problems, LeafInStarOnStars) {
+  const auto p = leaf_in_star_problem();
+  const Graph g = star_graph(3);
+  EXPECT_TRUE(p->valid(g, {0, 1, 0, 0}));
+  EXPECT_TRUE(p->valid(g, {0, 0, 0, 1}));
+  EXPECT_FALSE(p->valid(g, {0, 0, 0, 0}));  // no leaf picked
+  EXPECT_FALSE(p->valid(g, {0, 1, 1, 0}));  // two leaves
+  EXPECT_FALSE(p->valid(g, {1, 0, 0, 0}));  // centre picked
+}
+
+TEST(Problems, LeafInStarUnconstrainedOffStars) {
+  const auto p = leaf_in_star_problem();
+  const Graph g = cycle_graph(4);
+  EXPECT_TRUE(p->valid(g, {0, 0, 0, 0}));
+  EXPECT_TRUE(p->valid(g, {1, 1, 1, 1}));
+  // The 1-star (single edge) is not a "k-star with k > 1": unconstrained.
+  EXPECT_TRUE(p->valid(star_graph(1), {1, 1}));
+}
+
+TEST(Problems, OddOddUniqueSolution) {
+  const auto p = odd_odd_problem();
+  // Path 0-1-2: degrees 1,2,1. Node 0: nbr deg {2} -> 0 odd -> 0.
+  // Node 1: nbrs deg {1,1} -> 2 odd -> 0. Node 2 -> 0.
+  EXPECT_TRUE(p->valid(path_graph(3), {0, 0, 0}));
+  EXPECT_FALSE(p->valid(path_graph(3), {1, 0, 0}));
+  // Path 0-1: each node has one odd-degree neighbour -> 1.
+  EXPECT_TRUE(p->valid(path_graph(2), {1, 1}));
+  // K4: every node has 3 odd-degree neighbours -> all 1.
+  EXPECT_TRUE(p->valid(complete_graph(4), {1, 1, 1, 1}));
+}
+
+TEST(Problems, ClassGMembership) {
+  EXPECT_TRUE(in_class_g(fig9a_graph()));
+  EXPECT_TRUE(in_class_g(class_g_graph(5)));
+  EXPECT_FALSE(in_class_g(petersen_graph()));    // has a 1-factor
+  EXPECT_FALSE(in_class_g(cycle_graph(5)));      // even k
+  EXPECT_FALSE(in_class_g(complete_graph(4)));   // has a 1-factor
+  EXPECT_FALSE(in_class_g(path_graph(4)));       // not regular
+  // Disconnected union of two fig9a graphs is NOT in G (not connected).
+  Graph two(32);
+  const Graph f = fig9a_graph();
+  for (const Edge& e : f.edges()) {
+    two.add_edge(e.u, e.v);
+    two.add_edge(16 + e.u, 16 + e.v);
+  }
+  EXPECT_FALSE(in_class_g(two));
+}
+
+TEST(Problems, SymmetryBreakSemantics) {
+  const auto p = symmetry_break_problem();
+  const Graph g = fig9a_graph();
+  std::vector<int> constant(16, 1);
+  EXPECT_FALSE(p->valid(g, constant));
+  std::vector<int> mixed(16, 0);
+  mixed[3] = 1;
+  EXPECT_TRUE(p->valid(g, mixed));
+  // Off class G: anything goes.
+  EXPECT_TRUE(p->valid(petersen_graph(), std::vector<int>(10, 1)));
+}
+
+TEST(Problems, MisVerifier) {
+  const auto p = maximal_independent_set_problem();
+  EXPECT_TRUE(p->valid(cycle_graph(4), {1, 0, 1, 0}));
+  EXPECT_FALSE(p->valid(cycle_graph(4), {1, 1, 0, 0}));
+  EXPECT_FALSE(p->valid(cycle_graph(4), {1, 0, 0, 0}));
+}
+
+TEST(Problems, ThreeColouringVerifier) {
+  const auto p = three_colouring_problem();
+  EXPECT_EQ(p->output_alphabet(), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(p->valid(cycle_graph(5), {1, 2, 1, 2, 3}));
+  EXPECT_FALSE(p->valid(cycle_graph(5), {1, 2, 1, 2, 1}));
+}
+
+TEST(Problems, EulerianDecision) {
+  const auto p = eulerian_decision_problem();
+  EXPECT_TRUE(p->valid(cycle_graph(4), {1, 1, 1, 1}));
+  EXPECT_FALSE(p->valid(cycle_graph(4), {1, 1, 1, 0}));  // must all accept
+  EXPECT_TRUE(p->valid(path_graph(3), {1, 1, 0}));       // someone rejects
+  EXPECT_FALSE(p->valid(path_graph(3), {1, 1, 1}));
+}
+
+TEST(Problems, ApproxVertexCover) {
+  const auto p = approx_vertex_cover_problem();
+  const Graph g = star_graph(4);  // OPT = 1
+  EXPECT_TRUE(p->valid(g, {1, 0, 0, 0, 0}));
+  EXPECT_TRUE(p->valid(g, {1, 1, 0, 0, 0}));            // size 2 <= 2*1
+  EXPECT_FALSE(p->valid(g, {1, 1, 1, 0, 0}));           // size 3 > 2
+  EXPECT_FALSE(p->valid(g, {0, 1, 1, 1, 0}));           // not a cover
+  const auto strict = approx_vertex_cover_problem(1, 1);
+  EXPECT_TRUE(strict->valid(g, {1, 0, 0, 0, 0}));
+  EXPECT_FALSE(strict->valid(g, {1, 1, 0, 0, 0}));
+}
+
+TEST(Problems, IsolatedAndParity) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(isolated_node_problem()->valid(g, {0, 0, 1}));
+  EXPECT_FALSE(isolated_node_problem()->valid(g, {0, 0, 0}));
+  EXPECT_TRUE(degree_parity_problem()->valid(path_graph(3), {1, 0, 1}));
+  EXPECT_FALSE(degree_parity_problem()->valid(path_graph(3), {0, 0, 1}));
+}
+
+TEST(Problems, ForEachOutputEnumeratesAlphabetPower) {
+  const auto p = three_colouring_problem();
+  std::size_t count = for_each_output(*p, path_graph(2),
+                                      [](const std::vector<int>&) { return true; });
+  EXPECT_EQ(count, 9u);  // 3^2
+}
+
+TEST(Problems, EverySolutionSplitsBruteForce) {
+  // On the 3-star, every valid leaf-in-star solution splits the leaves.
+  EXPECT_TRUE(every_solution_splits(*leaf_in_star_problem(), star_graph(3),
+                                    {1, 2, 3}));
+  // But not the pair {centre, leaf}: solutions split it too (centre=0,
+  // exactly one leaf=1... the chosen leaf differs from centre; but a
+  // solution with S(leaf2)=1 does NOT split {centre, leaf1}).
+  EXPECT_FALSE(every_solution_splits(*leaf_in_star_problem(), star_graph(3),
+                                     {0, 1}));
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,95 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Properties, Connectivity) {
+  EXPECT_TRUE(is_connected(cycle_graph(5)));
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_TRUE(is_connected(Graph(0)));
+}
+
+TEST(Properties, ConnectedComponents) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto comps = connected_components(g);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(comps[2], (std::vector<NodeId>{4}));
+}
+
+TEST(Properties, BipartitionOnEvenCycle) {
+  const auto col = bipartition(cycle_graph(6));
+  ASSERT_TRUE(col.has_value());
+  const Graph g = cycle_graph(6);
+  for (const Edge& e : g.edges()) EXPECT_NE((*col)[e.u], (*col)[e.v]);
+}
+
+TEST(Properties, NoBipartitionOnOddCycle) {
+  EXPECT_FALSE(bipartition(cycle_graph(5)).has_value());
+  EXPECT_FALSE(bipartition(complete_graph(3)).has_value());
+}
+
+TEST(Properties, Eulerian) {
+  EXPECT_TRUE(is_eulerian(cycle_graph(5)));
+  EXPECT_TRUE(is_eulerian(complete_graph(5)));   // all degrees 4
+  EXPECT_FALSE(is_eulerian(complete_graph(4)));  // degrees 3
+  EXPECT_FALSE(is_eulerian(path_graph(3)));
+  // Disconnected with two cycles is not Eulerian.
+  Graph g(6);
+  for (int i = 0; i < 3; ++i) g.add_edge(i, (i + 1) % 3);
+  for (int i = 0; i < 3; ++i) g.add_edge(3 + i, 3 + (i + 1) % 3);
+  EXPECT_FALSE(is_eulerian(g));
+  // Isolated nodes do not spoil Eulerianness.
+  Graph h(4);
+  h.add_edge(0, 1);
+  h.add_edge(1, 2);
+  h.add_edge(2, 0);
+  EXPECT_TRUE(is_eulerian(h));
+}
+
+TEST(Properties, IndependentSetPredicates) {
+  const Graph g = cycle_graph(4);
+  EXPECT_TRUE(is_independent_set(g, {1, 0, 1, 0}));
+  EXPECT_FALSE(is_independent_set(g, {1, 1, 0, 0}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {1, 0, 1, 0}));
+  EXPECT_FALSE(is_maximal_independent_set(g, {1, 0, 0, 0}));  // extendable
+  EXPECT_FALSE(is_maximal_independent_set(g, {0, 0, 0, 0}));
+}
+
+TEST(Properties, VertexCoverPredicate) {
+  const Graph g = cycle_graph(4);
+  EXPECT_TRUE(is_vertex_cover(g, {1, 0, 1, 0}));
+  EXPECT_FALSE(is_vertex_cover(g, {1, 0, 0, 0}));
+  EXPECT_TRUE(is_vertex_cover(g, {1, 1, 1, 1}));
+}
+
+TEST(Properties, ProperColouring) {
+  const Graph g = cycle_graph(4);
+  EXPECT_TRUE(is_proper_colouring(g, {1, 2, 1, 2}, 2));
+  EXPECT_FALSE(is_proper_colouring(g, {1, 1, 2, 2}, 2));
+  EXPECT_FALSE(is_proper_colouring(g, {1, 3, 1, 3}, 2));  // colour > k
+}
+
+TEST(Properties, BfsDistances) {
+  const Graph g = path_graph(4);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3}));
+  Graph h(3);
+  h.add_edge(0, 1);
+  const auto d2 = bfs_distances(h, 0);
+  EXPECT_EQ(d2[2], -1);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,202 @@
+// Deep property tests of the foundational layers: total-order axioms of
+// Value, parser robustness under fuzzing, and engine edge cases — the
+// invariants every higher layer silently relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "logic/parser.hpp"
+#include "logic/random_formula.hpp"
+#include "port/port_numbering.hpp"
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+#include "util/rng.hpp"
+#include "util/value.hpp"
+
+namespace wm {
+namespace {
+
+Value random_value(Rng& rng, int depth) {
+  const int r = static_cast<int>(rng.below(depth > 0 ? 6 : 3));
+  switch (r) {
+    case 0:
+      return Value::unit();
+    case 1:
+      return Value::integer(rng.range(-3, 3));
+    case 2:
+      return Value::str(std::string(1, static_cast<char>('a' + rng.below(3))));
+    default: {
+      ValueVec kids;
+      const std::size_t n = rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        kids.push_back(random_value(rng, depth - 1));
+      }
+      if (r == 3) return Value::tuple(std::move(kids));
+      if (r == 4) return Value::set(std::move(kids));
+      return Value::mset(std::move(kids));
+    }
+  }
+}
+
+TEST(ValueOrder, Trichotomy) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Value a = random_value(rng, 3);
+    const Value b = random_value(rng, 3);
+    const int lt = a < b, gt = a > b, eq = a == b;
+    EXPECT_EQ(lt + gt + eq, 1) << a << " vs " << b;
+  }
+}
+
+TEST(ValueOrder, Transitivity) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    Value v[3] = {random_value(rng, 3), random_value(rng, 3),
+                  random_value(rng, 3)};
+    std::sort(v, v + 3);
+    EXPECT_LE(v[0], v[1]);
+    EXPECT_LE(v[1], v[2]);
+    EXPECT_LE(v[0], v[2]);
+  }
+}
+
+TEST(ValueOrder, ConsistentWithEquality) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Value a = random_value(rng, 3);
+    const Value b = random_value(rng, 3);
+    EXPECT_EQ(a == b, (a <=> b) == std::strong_ordering::equal);
+    if (a == b) {
+      EXPECT_EQ(a.hash(), b.hash());
+    }
+  }
+}
+
+TEST(ValueOrder, CanonicalisationIsOrderIndependent) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    ValueVec items;
+    const std::size_t n = 1 + rng.below(5);
+    for (std::size_t j = 0; j < n; ++j) items.push_back(random_value(rng, 2));
+    auto shuffled = items;
+    rng.shuffle(shuffled);
+    EXPECT_EQ(Value::set(items), Value::set(shuffled));
+    EXPECT_EQ(Value::mset(items), Value::mset(shuffled));
+  }
+}
+
+TEST(ParserFuzz, MutatedFormulasNeverCrash) {
+  Rng rng(5);
+  RandomFormulaOptions opts;
+  opts.graded = true;
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string text = random_formula(rng, opts).to_string();
+    // Mutate: delete, duplicate or replace a random character.
+    const int mutations = 1 + static_cast<int>(rng.below(3));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const std::size_t pos = rng.below(text.size());
+      switch (rng.below(3)) {
+        case 0:
+          text.erase(pos, 1);
+          break;
+        case 1:
+          text.insert(pos, 1, text[pos]);
+          break;
+        default:
+          text[pos] = static_cast<char>("<>*&|~q123()T F"[rng.below(15)]);
+          break;
+      }
+    }
+    try {
+      (void)parse_formula(text);
+      ++parsed;
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 500);
+  EXPECT_GT(rejected, 50);  // mutations do break most inputs
+}
+
+TEST(ParserFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    const std::size_t len = rng.below(30);
+    for (std::size_t j = 0; j < len; ++j) {
+      text += static_cast<char>(32 + rng.below(95));
+    }
+    try {
+      (void)parse_formula(text);
+    } catch (const ParseError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(EngineEdge, EmptyGraph) {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int) { return Value::integer(0); };
+  m.stopping_fn = [](const Value&) { return true; };
+  m.message_fn = [](const Value&, int) { return Value::unit(); };
+  m.transition_fn = [](const Value& s, const Value&, int) { return s; };
+  const Graph g(0);
+  const auto r = execute(m, PortNumbering::identity(g));
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_TRUE(r.final_states.empty());
+}
+
+TEST(EngineEdge, ExecuteWithStatesValidatesCount) {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int) { return Value::integer(0); };
+  m.stopping_fn = [](const Value&) { return true; };
+  m.message_fn = [](const Value&, int) { return Value::unit(); };
+  m.transition_fn = [](const Value& s, const Value&, int) { return s; };
+  const Graph g = path_graph(3);
+  EXPECT_THROW(
+      execute_with_states(m, PortNumbering::identity(g), {Value::integer(1)}),
+      std::invalid_argument);
+}
+
+TEST(EngineEdge, ExternalStatesOverrideInit) {
+  // A machine whose init would never stop, seeded with stopping states.
+  LambdaMachine m;
+  m.cls = AlgebraicClass::set_broadcast();
+  m.init_fn = [](int) { return Value::str("never"); };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value&, int) { return Value::integer(0); };
+  m.transition_fn = [](const Value& s, const Value&, int) { return s; };
+  const Graph g = path_graph(2);
+  const auto r = execute_with_states(m, PortNumbering::identity(g),
+                                     {Value::integer(7), Value::integer(8)});
+  EXPECT_TRUE(r.stopped);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_EQ(r.outputs_as_ints(), (std::vector<int>{7, 8}));
+}
+
+TEST(EngineEdge, DeterministicAcrossRuns) {
+  Rng rng(7);
+  const Graph g = random_connected_graph(8, 3, 4, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  LambdaMachine m;
+  m.cls = AlgebraicClass::multiset();
+  m.init_fn = [](int d) { return Value::pair(Value::str("s"), Value::integer(d)); };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) { return s.at(1); };
+  m.transition_fn = [](const Value&, const Value& inbox, int) {
+    std::int64_t acc = 0;
+    for (const Value& v : inbox.items()) acc += v.is_unit() ? 0 : v.as_int();
+    return Value::integer(acc);
+  };
+  const auto r1 = execute(m, p);
+  const auto r2 = execute(m, p);
+  EXPECT_EQ(r1.final_states, r2.final_states);
+  EXPECT_EQ(r1.stats.messages_sent, r2.stats.messages_sent);
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,87 @@
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wm {
+namespace {
+
+TEST(Rational, NormalisesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+  const Rational neg(3, -9);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 3);
+  const Rational zero(0, 17);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+}
+
+TEST(Rational, MinHelper) {
+  EXPECT_EQ(Rational::min(Rational(1, 2), Rational(1, 3)), Rational(1, 3));
+}
+
+TEST(Rational, Predicates) {
+  EXPECT_TRUE(Rational(0).is_zero());
+  EXPECT_FALSE(Rational(1, 5).is_zero());
+  EXPECT_TRUE(Rational(-1, 5).is_negative());
+  EXPECT_FALSE(Rational(1, 5).is_negative());
+}
+
+TEST(Rational, FloorToPow2) {
+  EXPECT_EQ(Rational(1).floor_to_pow2(), Rational(1));
+  EXPECT_EQ(Rational(3, 4).floor_to_pow2(), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 3).floor_to_pow2(), Rational(1, 4));
+  EXPECT_EQ(Rational(1, 4).floor_to_pow2(), Rational(1, 4));
+  EXPECT_THROW(Rational(0).floor_to_pow2(), std::domain_error);
+  EXPECT_THROW(Rational(3, 2).floor_to_pow2(), std::domain_error);
+}
+
+TEST(Rational, LargeIntermediatesReducedIn128Bits) {
+  // Sums whose raw cross-multiplied numerators exceed 64 bits but whose
+  // reduced forms fit.
+  const Rational a(1, 3037000493LL);  // large prime-ish denominator
+  const Rational sum = a + a;
+  EXPECT_EQ(sum, Rational(2, 3037000493LL));
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3).to_string(), "3");
+  EXPECT_EQ(Rational(-1, 2).to_string(), "-1/2");
+}
+
+TEST(Rational, PackingStyleAccumulation) {
+  // Mimics the vertex-cover packing inner loop: repeated r -= min(...).
+  Rational r(1);
+  for (int k = 2; k <= 6; ++k) {
+    r -= Rational(1, k * 7);
+  }
+  EXPECT_GT(r, Rational(0));
+  EXPECT_LT(r, Rational(1));
+}
+
+}  // namespace
+}  // namespace wm

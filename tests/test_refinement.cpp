@@ -1,0 +1,109 @@
+#include "transform/refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Refinement, TraceShape) {
+  const Graph g = cycle_graph(5);
+  const PortNumbering p = PortNumbering::identity(g);
+  const RefinementTrace t = run_refinement(p, 4);
+  ASSERT_EQ(t.beta.size(), 5u);
+  ASSERT_EQ(t.bset.size(), 5u);
+  EXPECT_EQ(t.beta[0][0], Value::unit());
+  EXPECT_EQ(t.bset[0][0], Value::set({}));
+  // beta_t = (beta_{t-1}, B_{t-1}).
+  for (int r = 1; r <= 4; ++r) {
+    for (int v = 0; v < 5; ++v) {
+      EXPECT_EQ(t.beta[r][v], Value::pair(t.beta[r - 1][v], t.bset[r - 1][v]));
+    }
+  }
+}
+
+TEST(Refinement, Lemma6HoldsAfterTwoDeltaRounds) {
+  // The heart of Theorem 4: keys are distinct by round 2*Delta — checked
+  // on every connected graph with <= 5 nodes under identity and random
+  // numberings, and on structured families.
+  Rng rng(1);
+  EnumerateOptions opts;
+  opts.max_degree = 4;
+  for (int n = 2; n <= 5; ++n) {
+    enumerate_graphs(n, opts, [&](const Graph& g) {
+      const int delta = g.max_degree();
+      for (const PortNumbering& p :
+           {PortNumbering::identity(g), PortNumbering::random(g, rng)}) {
+        const RefinementTrace t = run_refinement(p, 2 * delta);
+        EXPECT_TRUE(neighbour_keys_distinct(p, t.beta[2 * delta]))
+            << g.to_string();
+      }
+      return true;
+    });
+  }
+}
+
+TEST(Refinement, Lemma6OnStructuredFamilies) {
+  Rng rng(2);
+  for (const Graph& g : {star_graph(5), cycle_graph(9), petersen_graph(),
+                         complete_graph(5), grid_graph(3, 3), fig9a_graph()}) {
+    const int delta = g.max_degree();
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const int needed = rounds_until_keys_distinct(p, 2 * delta);
+    ASSERT_GE(needed, 0) << "keys not distinct within 2*Delta";
+    EXPECT_LE(needed, 2 * delta);
+  }
+}
+
+TEST(Refinement, StarNeedsNoPrologue) {
+  // On a star the out-port component of the key alone separates the
+  // centre's neighbours... the leaves all use out-port 1, but each leaf
+  // has only ONE neighbour, and the centre's neighbours (the leaves) all
+  // send (beta, 1, 1) — identical! Keys only become distinct once the
+  // betas diverge. Verify the prologue is genuinely needed here.
+  const Graph g = star_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const RefinementTrace t = run_refinement(p, 6);
+  EXPECT_FALSE(neighbour_keys_distinct(p, t.beta[0]));
+  const int needed = rounds_until_keys_distinct(p, 6);
+  ASSERT_GE(needed, 1);
+  EXPECT_LE(needed, 6);
+}
+
+TEST(Refinement, RoundZeroDistinctnessDependsOnTheNumbering) {
+  // A single edge is trivially distinct at round 0 (one neighbour each).
+  EXPECT_EQ(rounds_until_keys_distinct(PortNumbering::identity(path_graph(2)), 1),
+            0);
+  // On K5 with the identity numbering every neighbour of node 0 uses its
+  // out-port 1 towards 0 (0 is everyone's smallest neighbour), so the
+  // keys coincide until the betas diverge — the prologue is essential.
+  const Graph k5 = complete_graph(5);
+  const PortNumbering p = PortNumbering::identity(k5);
+  const RefinementTrace t = run_refinement(p, 1);
+  EXPECT_FALSE(neighbour_keys_distinct(p, t.beta[0]));
+  EXPECT_GE(rounds_until_keys_distinct(p, 10), 1);
+}
+
+TEST(Refinement, MonotoneOnceDistinctStaysDistinct) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(8, 4, 4, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const int delta = g.max_degree();
+    const RefinementTrace t = run_refinement(p, 2 * delta);
+    bool was_distinct = false;
+    for (int r = 0; r <= 2 * delta; ++r) {
+      const bool now = neighbour_keys_distinct(p, t.beta[r]);
+      if (was_distinct) {
+        EXPECT_TRUE(now) << "distinctness lost at round " << r;
+      }
+      was_distinct = was_distinct || now;
+    }
+    EXPECT_TRUE(was_distinct);
+  }
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,104 @@
+#include "logic/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compile/extract.hpp"
+#include "algorithms/machines.hpp"
+#include "bisim/distinguish.hpp"
+#include "core/classification.hpp"
+#include "graph/generators.hpp"
+#include "logic/model_checker.hpp"
+#include "logic/parser.hpp"
+#include "logic/random_formula.hpp"
+#include "port/port_numbering.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Simplify, ConstantFolding) {
+  EXPECT_EQ(simplify(parse_formula("~T")), Formula::fls());
+  EXPECT_EQ(simplify(parse_formula("~F")), Formula::tru());
+  EXPECT_EQ(simplify(parse_formula("~~q1")), Formula::prop(1));
+  EXPECT_EQ(simplify(parse_formula("T & q1")), Formula::prop(1));
+  EXPECT_EQ(simplify(parse_formula("q1 & F")), Formula::fls());
+  EXPECT_EQ(simplify(parse_formula("q1 | T")), Formula::tru());
+  EXPECT_EQ(simplify(parse_formula("F | q1")), Formula::prop(1));
+  EXPECT_EQ(simplify(parse_formula("q1 & q1")), Formula::prop(1));
+  EXPECT_EQ(simplify(parse_formula("q1 | q1")), Formula::prop(1));
+  EXPECT_EQ(simplify(parse_formula("<*,*> F")), Formula::fls());
+  EXPECT_EQ(simplify(parse_formula("[*,*] T")), Formula::tru());
+}
+
+TEST(Simplify, CascadesThroughLayers) {
+  // ~( (T & q1) & ~~q1 ) -> ~q1 ... (q1 & q1 -> q1, then ~q1).
+  const Formula f = parse_formula("~((T & q1) & ~~q1)");
+  EXPECT_EQ(simplify(f), Formula::negate(Formula::prop(1)));
+  // <*,*>>=2 (F | F) -> F.
+  EXPECT_EQ(simplify(parse_formula("<*,*>>=2 (F | F)")), Formula::fls());
+}
+
+TEST(Simplify, Idempotent) {
+  Rng rng(1);
+  RandomFormulaOptions opts;
+  opts.graded = true;
+  for (int i = 0; i < 100; ++i) {
+    const Formula f = random_formula(rng, opts);
+    const Formula s = simplify(f);
+    EXPECT_EQ(simplify(s), s);
+    EXPECT_LE(s.size(), f.size());
+    EXPECT_LE(s.modal_depth(), f.modal_depth());
+  }
+}
+
+class SimplifyPreservesSemantics : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(SimplifyPreservesSemantics, OnRandomModels) {
+  Rng frng(static_cast<std::uint64_t>(GetParam()) + 5);
+  Rng grng(6);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = random_connected_graph(7, 3, 3, grng);
+    const PortNumbering p = PortNumbering::random(g, grng);
+    const KripkeModel k = kripke_from_graph(p, GetParam());
+    RandomFormulaOptions opts;
+    opts.variant = GetParam();
+    opts.delta = g.max_degree();
+    opts.num_props = g.max_degree();
+    opts.graded = true;
+    opts.max_depth = 4;
+    const Formula f = random_formula(frng, opts);
+    EXPECT_EQ(model_check(k, f), model_check(k, simplify(f))) << f.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SimplifyPreservesSemantics,
+                         ::testing::Values(Variant::PlusPlus, Variant::MinusPlus,
+                                           Variant::PlusMinus,
+                                           Variant::MinusMinus));
+
+TEST(Simplify, ShrinksExtractedFormulas) {
+  ExtractionOptions opts;
+  opts.delta = 3;
+  opts.rounds = 1;
+  const Formula psi = extract_formula(*odd_odd_machine(), opts);
+  const Formula s = simplify(psi);
+  EXPECT_LE(s.size(), psi.size());
+  // Semantics preserved on the theorem 13 witness model.
+  const SeparationWitness w = thm13_witness();
+  const KripkeModel k = kripke_from_graph(w.numbering, Variant::MinusMinus, 3);
+  EXPECT_EQ(model_check(k, psi), model_check(k, s));
+}
+
+TEST(Simplify, ShrinksDistinguishingFormulas) {
+  const SeparationWitness w = thm13_witness();
+  const KripkeModel k = kripke_from_graph(w.numbering, Variant::MinusMinus);
+  const auto f = distinguishing_formula(k, 0, 6, /*graded=*/true);
+  ASSERT_TRUE(f.has_value());
+  const Formula s = simplify(*f);
+  EXPECT_LE(s.size(), f->size());
+  const auto truth = model_check(k, s);
+  EXPECT_TRUE(truth[0]);
+  EXPECT_FALSE(truth[6]);
+}
+
+}  // namespace
+}  // namespace wm

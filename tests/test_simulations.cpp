@@ -1,0 +1,354 @@
+#include "transform/simulations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "algorithms/machines.hpp"
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "problems/catalogue.hpp"
+#include "runtime/engine.hpp"
+
+namespace wm {
+namespace {
+
+/// A Vector machine with genuinely port-dependent behaviour: after 2
+/// rounds each node outputs the sum over in-ports i of i * (message at
+/// port i), where round-1 messages are out-port numbers and round-2
+/// messages are the previous round-1 inbox sums. Exercises both state
+/// evolution and ordered delivery.
+LambdaMachine port_weighted_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::vector();
+  m.init_fn = [](int d) {
+    return Value::triple(Value::str("p"), Value::integer(0), Value::integer(d));
+  };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int port) {
+    return Value::integer(s.at(1).as_int() + port);
+  };
+  m.transition_fn = [](const Value& s, const Value& inbox, int) {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < inbox.size(); ++i) {
+      const Value& msg = inbox.at(i);
+      sum += static_cast<std::int64_t>(i + 1) * (msg.is_unit() ? 0 : msg.as_int());
+    }
+    if (s.at(1).as_int() != 0) return Value::integer(sum);  // second round
+    return Value::triple(Value::str("p"), Value::integer(sum == 0 ? -1 : sum),
+                         s.at(2));
+  };
+  return m;
+}
+
+/// A Broadcast (VB) machine: gossip the minimum of received values for T
+/// rounds, seeded with the node degree; output the final minimum. Output
+/// depends only on the graph, never on ports — ideal for Theorem 9.
+LambdaMachine min_gossip_machine(int rounds) {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::vector_broadcast();
+  m.init_fn = [rounds](int d) {
+    return Value::triple(Value::str("g"), Value::integer(rounds),
+                         Value::integer(d));
+  };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) { return s.at(2); };
+  m.transition_fn = [](const Value& s, const Value& inbox, int) {
+    std::int64_t best = s.at(2).as_int();
+    for (const Value& msg : inbox.items()) {
+      if (!msg.is_unit()) best = std::min(best, msg.as_int());
+    }
+    const auto left = s.at(1).as_int() - 1;
+    if (left == 0) return Value::integer(best);
+    return Value::triple(Value::str("g"), Value::integer(left),
+                         Value::integer(best));
+  };
+  return m;
+}
+
+/// A Multiset machine: two rounds of "histogram of neighbour degrees",
+/// output = (sum of degrees seen) * 10 + (own degree). Port-independent
+/// by construction but uses multiplicities.
+LambdaMachine degree_sum_machine() {
+  LambdaMachine m;
+  m.cls = AlgebraicClass::multiset();
+  m.init_fn = [](int d) { return Value::pair(Value::str("s"), Value::integer(d)); };
+  m.stopping_fn = [](const Value& s) { return s.is_int(); };
+  m.message_fn = [](const Value& s, int) { return s.at(1); };
+  m.transition_fn = [](const Value& s, const Value& inbox, int) {
+    std::int64_t sum = 0;
+    for (const Value& msg : inbox.items()) {
+      if (!msg.is_unit()) sum += msg.as_int();
+    }
+    return Value::integer(sum * 10 + s.at(1).as_int());
+  };
+  return m;
+}
+
+TEST(Theorem8, MultisetSimulationOfVectorMachine) {
+  // The wrapped machine must be Multiset class and produce an output that
+  // the original machine produces under SOME port numbering — for
+  // graph-determined outputs we simply require equality.
+  auto a = std::make_shared<LambdaMachine>(port_weighted_machine());
+  const auto b = to_multiset_machine(a);
+  EXPECT_EQ(b->algebraic_class(), AlgebraicClass::multiset());
+
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_connected_graph(8, 3, 3, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto ra = execute(*a, p);
+    const auto rb = execute(*b, p);
+    ASSERT_TRUE(ra.stopped);
+    ASSERT_TRUE(rb.stopped);
+    // Theorem 8: ZERO round overhead.
+    EXPECT_EQ(ra.rounds, rb.rounds);
+    // The simulated execution corresponds to a port numbering p' in P_T
+    // that shares p's out-ports. The multiset of outputs must therefore
+    // match the multiset over reassignments of in-ports; verify the
+    // canonical invariant: outputs agree with running `a` under the
+    // numbering reconstructed by sorting — here we check a necessary
+    // condition: each node's output appears among the outputs `a`
+    // produces over sampled in-port reassignments.
+    // For this machine outputs depend on in-port order, so we check the
+    // weaker-but-exact guarantee directly: rb is a valid output of the
+    // canonical problem "outputs produced by a on (G, p') for some p'
+    // compatible with p's out-ports". We verify it by exhaustively
+    // enumerating in-port permutations on small graphs below.
+    (void)ra;
+  }
+}
+
+TEST(Theorem8, SimulatedOutputRealisedBySomeCompatibleNumbering) {
+  // Exhaustive: on small graphs, the Multiset-simulated output equals the
+  // Vector machine's output for at least one port numbering that agrees
+  // with p on out-ports (the paper's family P_0 ⊇ P_1 ⊇ ... ⊇ P_T).
+  auto a = std::make_shared<LambdaMachine>(port_weighted_machine());
+  const auto b = to_multiset_machine(a);
+  EnumerateOptions opts;
+  opts.max_degree = 3;
+  enumerate_graphs(4, opts, [&](const Graph& g) {
+    Rng rng(7);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto rb = execute(*b, p);
+    // Freeze p's out-ports; enumerate all in-port assignments.
+    const int n = g.num_nodes();
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId u : g.neighbours(v)) out[v].push_back(p.out_port(v, u));
+    }
+    std::vector<std::vector<int>> in(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      in[v].resize(static_cast<std::size_t>(g.degree(v)));
+      std::iota(in[v].begin(), in[v].end(), 1);
+    }
+    bool realised = false;
+    std::function<void(int)> rec = [&](int v) {
+      if (realised) return;
+      if (v == n) {
+        auto out_copy = out;
+        auto in_copy = in;
+        const PortNumbering q =
+            PortNumbering::from_permutations(g, out_copy, in_copy);
+        if (execute(*a, q).final_states == rb.final_states) realised = true;
+        return;
+      }
+      std::sort(in[v].begin(), in[v].end());
+      do {
+        rec(v + 1);
+      } while (!realised && std::next_permutation(in[v].begin(), in[v].end()));
+    };
+    rec(0);
+    EXPECT_TRUE(realised) << g.to_string();
+    return true;
+  });
+}
+
+TEST(Theorem8, GraphDeterminedOutputsPreservedExactly) {
+  // A Vector-mode machine whose output is oblivious to ports: the
+  // simulation must reproduce its output exactly on every (G, p).
+  LambdaMachine vec = degree_sum_machine();
+  vec.cls = AlgebraicClass::vector();
+  auto a = std::make_shared<LambdaMachine>(vec);
+  const auto b = to_multiset_machine(a);
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = random_connected_graph(9, 4, 4, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    EXPECT_EQ(execute(*a, p).final_states, execute(*b, p).final_states);
+  }
+}
+
+TEST(Theorem9, BroadcastMachineBecomesMultisetBroadcast) {
+  auto a = std::make_shared<LambdaMachine>(min_gossip_machine(3));
+  const auto b = to_multiset_machine(a);
+  EXPECT_EQ(b->algebraic_class(), AlgebraicClass::multiset_broadcast());
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = random_connected_graph(8, 3, 5, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto ra = execute(*a, p);
+    const auto rb = execute(*b, p);
+    EXPECT_EQ(ra.final_states, rb.final_states);
+    EXPECT_EQ(ra.rounds, rb.rounds);  // zero overhead
+  }
+}
+
+TEST(Theorem8, RejectsNonVectorSource) {
+  auto a = std::make_shared<LambdaMachine>(degree_sum_machine());
+  EXPECT_THROW(to_multiset_machine(to_multiset_machine(
+                   std::make_shared<LambdaMachine>(port_weighted_machine()))),
+               std::invalid_argument);
+  (void)a;
+}
+
+TEST(Theorem4, SetSimulationOfMultisetMachine) {
+  auto a = std::make_shared<LambdaMachine>(degree_sum_machine());
+  for (int delta : {3, 4}) {
+    const auto b = to_set_machine(a, delta);
+    EXPECT_EQ(b->algebraic_class(), AlgebraicClass::set());
+    Rng rng(11);
+    for (int trial = 0; trial < 15; ++trial) {
+      const Graph g = random_connected_graph(8, delta, 4, rng);
+      const PortNumbering p = PortNumbering::random(g, rng);
+      const auto ra = execute(*a, p);
+      const auto rb = execute(*b, p);
+      ASSERT_TRUE(rb.stopped);
+      // Theorem 4: identical output, exactly 2*Delta extra rounds.
+      EXPECT_EQ(ra.final_states, rb.final_states);
+      EXPECT_EQ(rb.rounds, ra.rounds + 2 * delta);
+    }
+  }
+}
+
+TEST(Theorem4, WorksWhenMessagesCollideHeavily) {
+  // On a star, all leaves send identical payloads — the prologue keys
+  // must disambiguate multiplicities for the centre.
+  auto a = std::make_shared<LambdaMachine>(degree_sum_machine());
+  for (int k : {2, 3, 5}) {
+    const Graph g = star_graph(k);
+    const auto b = to_set_machine(a, k);
+    const PortNumbering p = PortNumbering::identity(g);
+    EXPECT_EQ(execute(*a, p).final_states, execute(*b, p).final_states) << k;
+  }
+}
+
+TEST(Theorem4, ExhaustiveOnSmallGraphsAndNumberings) {
+  auto a = std::make_shared<LambdaMachine>(degree_sum_machine());
+  const auto b = to_set_machine(a, 3);
+  EnumerateOptions opts;
+  opts.max_degree = 3;
+  opts.connected_only = false;
+  enumerate_graphs(4, opts, [&](const Graph& g) {
+    // Skip graphs with too many port numberings to keep the test fast.
+    long long combos = 1;
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      long long fact = 1;
+      for (int i = 2; i <= g.degree(v); ++i) fact *= i;
+      combos *= fact * fact;
+    }
+    if (combos > 2000) return true;
+    for_each_port_numbering(g, [&](const PortNumbering& p) {
+      EXPECT_EQ(execute(*a, p).final_states, execute(*b, p).final_states);
+      return true;
+    });
+    return true;
+  });
+}
+
+TEST(Theorem4, RejectsWrongSourceClass) {
+  auto vb = std::make_shared<LambdaMachine>(min_gossip_machine(2));
+  EXPECT_THROW(to_set_machine(vb, 3), std::invalid_argument);
+}
+
+TEST(Remark3, VectorToSetComposition) {
+  // VV = SV via the composition (for graph-determined outputs, exact).
+  auto a = std::make_shared<LambdaMachine>(min_gossip_machine(2));
+  // min_gossip is Broadcast — use degree_sum's Vector twin instead:
+  LambdaMachine vec = degree_sum_machine();
+  vec.cls = AlgebraicClass::vector();
+  vec.transition_fn = [](const Value& s, const Value& inbox, int) {
+    std::int64_t sum = 0;
+    for (const Value& msg : inbox.items()) {
+      if (!msg.is_unit()) sum += msg.as_int();
+    }
+    return Value::integer(sum * 10 + s.at(1).as_int());
+  };
+  auto v = std::make_shared<LambdaMachine>(vec);
+  const auto s = vector_to_set_machine(v, 3);
+  EXPECT_EQ(s->algebraic_class(), AlgebraicClass::set());
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(7, 3, 3, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    EXPECT_EQ(execute(*v, p).final_states, execute(*s, p).final_states);
+  }
+}
+
+TEST(Theorem9, InPortSensitiveVbMachineRealisedByCompatibleNumbering) {
+  // port_one_parity reads in-port 1, so the wrapped MB machine may
+  // produce the output of a reassigned numbering — but it must be the
+  // output of SOME numbering agreeing with p on out-ports (broadcast
+  // machines have no out-port dependence, so: any in-port reassignment).
+  auto a = port_one_parity_machine();
+  const auto b = to_multiset_machine(a);
+  EnumerateOptions opts;
+  opts.max_degree = 3;
+  enumerate_graphs(4, opts, [&](const Graph& g) {
+    Rng rng(13);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto rb = execute(*b, p);
+    const int n = g.num_nodes();
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId u : g.neighbours(v)) out[v].push_back(p.out_port(v, u));
+    }
+    std::vector<std::vector<int>> in(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      in[v].resize(static_cast<std::size_t>(g.degree(v)));
+      std::iota(in[v].begin(), in[v].end(), 1);
+    }
+    bool realised = false;
+    std::function<void(int)> rec = [&](int v) {
+      if (realised) return;
+      if (v == n) {
+        auto out_copy = out;
+        auto in_copy = in;
+        const PortNumbering q =
+            PortNumbering::from_permutations(g, out_copy, in_copy);
+        if (execute(*a, q).final_states == rb.final_states) realised = true;
+        return;
+      }
+      std::sort(in[v].begin(), in[v].end());
+      do {
+        rec(v + 1);
+      } while (!realised && std::next_permutation(in[v].begin(), in[v].end()));
+    };
+    rec(0);
+    EXPECT_TRUE(realised) << g.to_string();
+    return true;
+  });
+}
+
+TEST(Theorem9, VertexCoverStoryFromThePaper) {
+  // Section 3.3: the VB vertex-cover algorithm + Theorem 9 = an MB
+  // algorithm. Both must produce valid 2-approximations.
+  auto vb = vertex_cover_packing_vb_machine();
+  const auto mb = to_multiset_machine(vb);
+  EXPECT_EQ(mb->algebraic_class(), AlgebraicClass::multiset_broadcast());
+  const auto problem = approx_vertex_cover_problem();
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(8, 3, 3, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto r = execute(*mb, p);
+    ASSERT_TRUE(r.stopped);
+    EXPECT_TRUE(problem->valid(g, r.outputs_as_ints()));
+  }
+}
+
+}  // namespace
+}  // namespace wm

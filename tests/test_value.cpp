@@ -1,0 +1,132 @@
+#include "util/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wm {
+namespace {
+
+TEST(Value, DefaultIsUnit) {
+  Value v;
+  EXPECT_TRUE(v.is_unit());
+  EXPECT_EQ(v, Value::unit());
+}
+
+TEST(Value, IntRoundtrip) {
+  EXPECT_EQ(Value::integer(42).as_int(), 42);
+  EXPECT_EQ(Value::integer(-7).as_int(), -7);
+  EXPECT_EQ(Value::boolean(true).as_int(), 1);
+  EXPECT_EQ(Value::boolean(false).as_int(), 0);
+}
+
+TEST(Value, StrRoundtrip) {
+  EXPECT_EQ(Value::str("hello").as_str(), "hello");
+}
+
+TEST(Value, TuplePreservesOrderAndDuplicates) {
+  const Value t = Value::tuple({Value::integer(2), Value::integer(1),
+                                Value::integer(2)});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.at(0).as_int(), 2);
+  EXPECT_EQ(t.at(1).as_int(), 1);
+  EXPECT_EQ(t.at(2).as_int(), 2);
+}
+
+TEST(Value, SetSortsAndDeduplicates) {
+  const Value s = Value::set({Value::integer(3), Value::integer(1),
+                              Value::integer(3), Value::integer(2)});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.at(0).as_int(), 1);
+  EXPECT_EQ(s.at(1).as_int(), 2);
+  EXPECT_EQ(s.at(2).as_int(), 3);
+}
+
+TEST(Value, MultisetSortsKeepsDuplicates) {
+  const Value m = Value::mset({Value::integer(3), Value::integer(1),
+                               Value::integer(3)});
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at(0).as_int(), 1);
+  EXPECT_EQ(m.at(1).as_int(), 3);
+  EXPECT_EQ(m.at(2).as_int(), 3);
+  EXPECT_EQ(m.count(Value::integer(3)), 2u);
+  EXPECT_EQ(m.count(Value::integer(1)), 1u);
+  EXPECT_EQ(m.count(Value::integer(9)), 0u);
+}
+
+TEST(Value, SetOfMsetOfMatchPaperSemantics) {
+  // Figure 3: vector (a, b, a) -> multiset {a, a, b} -> set {a, b}.
+  const Value a = Value::str("a"), b = Value::str("b");
+  const ValueVec inbox{a, b, a};
+  EXPECT_EQ(multiset_of(inbox), Value::mset({a, a, b}));
+  EXPECT_EQ(set_of(inbox), Value::set({a, b}));
+  // Different vectors with the same multiset canonicalise identically.
+  EXPECT_EQ(multiset_of({a, b, a}), multiset_of({a, a, b}));
+  EXPECT_NE(Value::tuple({a, b, a}), Value::tuple({a, a, b}));
+}
+
+TEST(Value, OrderingIsTotalAndKindFirst) {
+  const Value u = Value::unit();
+  const Value i = Value::integer(0);
+  const Value s = Value::str("");
+  const Value t = Value::tuple({});
+  EXPECT_LT(u, i);
+  EXPECT_LT(i, s);
+  EXPECT_LT(s, t);
+  EXPECT_LT(Value::integer(1), Value::integer(2));
+  EXPECT_LT(Value::str("a"), Value::str("b"));
+}
+
+TEST(Value, TupleOrderingIsLexicographic) {
+  const Value short_tuple = Value::tuple({Value::integer(1)});
+  const Value longer = Value::tuple({Value::integer(1), Value::integer(0)});
+  EXPECT_LT(short_tuple, longer);  // prefix < extension
+  EXPECT_LT(Value::tuple({Value::integer(1), Value::integer(2)}),
+            Value::tuple({Value::integer(2), Value::integer(0)}));
+}
+
+TEST(Value, EqualityAndHashAgree) {
+  const Value a = Value::tuple({Value::integer(1), Value::set({Value::str("x")})});
+  const Value b = Value::tuple({Value::integer(1), Value::set({Value::str("x")})});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Value, ContainsOnCollections) {
+  const Value s = Value::set({Value::integer(1), Value::integer(5)});
+  EXPECT_TRUE(s.contains(Value::integer(5)));
+  EXPECT_FALSE(s.contains(Value::integer(2)));
+  const Value t = Value::tuple({Value::integer(7)});
+  EXPECT_TRUE(t.contains(Value::integer(7)));
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(Value::unit().to_string(), "()");
+  EXPECT_EQ(Value::integer(3).to_string(), "3");
+  EXPECT_EQ(Value::str("hi").to_string(), "\"hi\"");
+  EXPECT_EQ(Value::tuple({Value::integer(1), Value::integer(2)}).to_string(),
+            "(1, 2)");
+  EXPECT_EQ(Value::set({Value::integer(2), Value::integer(1)}).to_string(),
+            "{1, 2}");
+  EXPECT_EQ(Value::mset({Value::integer(1), Value::integer(1)}).to_string(),
+            "{|1, 1|}");
+}
+
+TEST(Value, NestedStructuresCompare) {
+  const Value deep1 = Value::pair(Value::mset({Value::integer(1)}),
+                                  Value::tuple({Value::unit()}));
+  const Value deep2 = Value::pair(Value::mset({Value::integer(2)}),
+                                  Value::tuple({Value::unit()}));
+  EXPECT_LT(deep1, deep2);
+}
+
+TEST(Value, SharedStructureIsCheap) {
+  // Build a deeply nested chain; copies must not blow up.
+  Value v = Value::unit();
+  for (int i = 0; i < 10000; ++i) v = Value::pair(Value::integer(i), v);
+  const Value copy = v;  // O(1)
+  EXPECT_EQ(copy, v);
+}
+
+}  // namespace
+}  // namespace wm

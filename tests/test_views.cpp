@@ -1,0 +1,152 @@
+#include "cover/views.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bisim/bisimulation.hpp"
+#include "graph/generators.hpp"
+#include "logic/kripke.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Views, DepthZeroIsDegree) {
+  const Graph g = star_graph(3);
+  const auto vs = views(PortNumbering::identity(g), 0);
+  EXPECT_EQ(vs[0], Value::integer(3));
+  EXPECT_EQ(vs[1], Value::integer(1));
+}
+
+TEST(Views, DepthOneStructure) {
+  // Path 0-1-2 with identity numbering: node 0's depth-1 view is
+  // (1, ((1, 2))) — one in-port fed by node 1 via its out-port 1,
+  // node 1 having degree 2.
+  const Graph g = path_graph(3);
+  const PortNumbering p = PortNumbering::identity(g);
+  const Value v0 = view_of(p, 0, 1);
+  EXPECT_EQ(v0,
+            Value::pair(Value::integer(1),
+                        Value::tuple({Value::pair(Value::integer(1),
+                                                  Value::integer(2))})));
+}
+
+TEST(Views, PortNumbersBreakMirrorSymmetry) {
+  // In the degree-only K_{-,-} world the path P5 folds by reflection
+  // (0 ~ 4, 1 ~ 3), but full views SEE the port numbers: the identity
+  // numbering is not reflection-invariant, so a VV algorithm can tell
+  // the two endpoints apart — while broadcast views cannot.
+  const Graph g = path_graph(5);
+  const PortNumbering p = PortNumbering::identity(g);
+  const auto vs = stable_views(p);
+  EXPECT_NE(vs[0], vs[4]);
+  EXPECT_NE(vs[0], vs[1]);
+  const auto bv = broadcast_views(p, 4);
+  EXPECT_EQ(bv[0], bv[4]);
+  EXPECT_EQ(bv[1], bv[3]);
+  EXPECT_NE(bv[0], bv[1]);
+}
+
+class ViewBisimEquivalence : public ::testing::TestWithParam<int> {};
+
+// The central correspondence: depth-t views coincide exactly with
+// t-round bounded bisimilarity in K_{+,+}.
+TEST_P(ViewBisimEquivalence, ViewEqualityMatchesBoundedBisimulation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Graph g = random_connected_graph(9, 3, 4, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  const KripkeModel k = kripke_from_graph(p, Variant::PlusPlus);
+  for (int t = 0; t <= 5; ++t) {
+    const auto vs = views(p, t);
+    const Partition part = coarsest_bisimulation(k, t);
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      for (int v = u + 1; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(vs[u] == vs[v], part.same_block(u, v))
+            << "t=" << t << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewBisimEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Views, StableViewClassesMatchFullBisimulation) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = random_connected_graph(8, 3, 4, rng);
+    const PortNumbering p = PortNumbering::random(g, rng);
+    const auto classes = view_classes(p);
+    const Partition part =
+        coarsest_bisimulation(kripke_from_graph(p, Variant::PlusPlus));
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      for (int v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(classes[u] == classes[v], part.same_block(u, v));
+      }
+    }
+  }
+}
+
+TEST(Views, NorrisStabilisation) {
+  // Equality at depth n-1 persists at depth n and n+5.
+  Rng rng(11);
+  const Graph g = random_connected_graph(8, 3, 3, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  const int n = g.num_nodes();
+  const auto base = views(p, n - 1);
+  for (int extra : {1, 5}) {
+    const auto deeper = views(p, n - 1 + extra);
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        EXPECT_EQ(base[u] == base[v], deeper[u] == deeper[v]);
+      }
+    }
+  }
+}
+
+TEST(Views, SymmetricRegularNumberingGivesOneViewClass) {
+  for (const Graph& g : {cycle_graph(5), petersen_graph(), fig9a_graph()}) {
+    const PortNumbering p = PortNumbering::symmetric_regular(g);
+    const auto classes = view_classes(p);
+    EXPECT_EQ(*std::max_element(classes.begin(), classes.end()), 0);
+  }
+}
+
+TEST(Views, BroadcastViewsMatchGradedBisimulationOnKmm) {
+  Rng rng(13);
+  const Graph g = random_connected_graph(9, 3, 4, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  const KripkeModel k = kripke_from_graph(p, Variant::MinusMinus);
+  for (int t = 0; t <= 4; ++t) {
+    const auto vs = broadcast_views(p, t);
+    const Partition part = coarsest_graded_bisimulation(k, t);
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      for (int v = u + 1; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(vs[u] == vs[v], part.same_block(u, v)) << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Views, BroadcastViewsCoarserThanFullViews) {
+  Rng rng(17);
+  const Graph g = random_connected_graph(8, 3, 4, rng);
+  const PortNumbering p = PortNumbering::random(g, rng);
+  const auto bv = broadcast_views(p, 4);
+  const auto fv = views(p, 4);
+  std::set<Value> b(bv.begin(), bv.end()), f(fv.begin(), fv.end());
+  EXPECT_LE(b.size(), f.size());
+}
+
+TEST(Views, LargeSymmetricGraphIsFast) {
+  // The interning keeps stable-view computation polynomial even though
+  // view trees are exponentially large.
+  const Graph g = cycle_graph(64);
+  const PortNumbering p = PortNumbering::symmetric_regular(g);
+  const auto classes = view_classes(p);
+  EXPECT_EQ(*std::max_element(classes.begin(), classes.end()), 0);
+}
+
+}  // namespace
+}  // namespace wm
