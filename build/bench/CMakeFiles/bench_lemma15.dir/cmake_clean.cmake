@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma15.dir/bench_lemma15.cpp.o"
+  "CMakeFiles/bench_lemma15.dir/bench_lemma15.cpp.o.d"
+  "bench_lemma15"
+  "bench_lemma15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_portnumbering.dir/bench_portnumbering.cpp.o"
+  "CMakeFiles/bench_portnumbering.dir/bench_portnumbering.cpp.o.d"
+  "bench_portnumbering"
+  "bench_portnumbering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portnumbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quotient.dir/bench_quotient.cpp.o"
+  "CMakeFiles/bench_quotient.dir/bench_quotient.cpp.o.d"
+  "bench_quotient"
+  "bench_quotient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quotient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_separations.dir/bench_separations.cpp.o"
+  "CMakeFiles/bench_separations.dir/bench_separations.cpp.o.d"
+  "bench_separations"
+  "bench_separations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_compile.dir/bench_thm2_compile.cpp.o"
+  "CMakeFiles/bench_thm2_compile.dir/bench_thm2_compile.cpp.o.d"
+  "bench_thm2_compile"
+  "bench_thm2_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm4_overhead.dir/bench_thm4_overhead.cpp.o"
+  "CMakeFiles/bench_thm4_overhead.dir/bench_thm4_overhead.cpp.o.d"
+  "bench_thm4_overhead"
+  "bench_thm4_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm4_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

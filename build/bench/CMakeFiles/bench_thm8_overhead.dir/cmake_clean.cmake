@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm8_overhead.dir/bench_thm8_overhead.cpp.o"
+  "CMakeFiles/bench_thm8_overhead.dir/bench_thm8_overhead.cpp.o.d"
+  "bench_thm8_overhead"
+  "bench_thm8_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm8_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vertex_cover.dir/bench_vertex_cover.cpp.o"
+  "CMakeFiles/bench_vertex_cover.dir/bench_vertex_cover.cpp.o.d"
+  "bench_vertex_cover"
+  "bench_vertex_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vertex_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beeping_demo.dir/beeping_demo.cpp.o"
+  "CMakeFiles/beeping_demo.dir/beeping_demo.cpp.o.d"
+  "beeping_demo"
+  "beeping_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beeping_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_playground.dir/logic_playground.cpp.o"
+  "CMakeFiles/logic_playground.dir/logic_playground.cpp.o.d"
+  "logic_playground"
+  "logic_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_machine.dir/run_machine.cpp.o"
+  "CMakeFiles/run_machine.dir/run_machine.cpp.o.d"
+  "run_machine"
+  "run_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separations_tour.dir/separations_tour.cpp.o"
+  "CMakeFiles/separations_tour.dir/separations_tour.cpp.o.d"
+  "separations_tour"
+  "separations_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separations_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

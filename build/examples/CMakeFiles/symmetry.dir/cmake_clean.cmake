@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry.dir/symmetry.cpp.o"
+  "CMakeFiles/symmetry.dir/symmetry.cpp.o.d"
+  "symmetry"
+  "symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

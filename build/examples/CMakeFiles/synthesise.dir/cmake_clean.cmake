@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesise.dir/synthesise.cpp.o"
+  "CMakeFiles/synthesise.dir/synthesise.cpp.o.d"
+  "synthesise"
+  "synthesise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_cover.dir/vertex_cover.cpp.o"
+  "CMakeFiles/vertex_cover.dir/vertex_cover.cpp.o.d"
+  "vertex_cover"
+  "vertex_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

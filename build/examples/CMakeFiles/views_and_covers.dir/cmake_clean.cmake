@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/views_and_covers.dir/views_and_covers.cpp.o"
+  "CMakeFiles/views_and_covers.dir/views_and_covers.cpp.o.d"
+  "views_and_covers"
+  "views_and_covers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/views_and_covers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for views_and_covers.
+# This may be replaced when dependencies are built.

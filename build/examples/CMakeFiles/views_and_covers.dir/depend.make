@@ -1,0 +1,2 @@
+# Empty dependencies file for views_and_covers.
+# This may be replaced when dependencies are built.

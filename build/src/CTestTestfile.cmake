@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("graph")
+subdirs("port")
+subdirs("runtime")
+subdirs("logic")
+subdirs("bisim")
+subdirs("cover")
+subdirs("labelled")
+subdirs("compile")
+subdirs("transform")
+subdirs("problems")
+subdirs("algorithms")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_algorithms.dir/machines.cpp.o"
+  "CMakeFiles/wm_algorithms.dir/machines.cpp.o.d"
+  "libwm_algorithms.a"
+  "libwm_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bisim/bisimulation.cpp" "src/bisim/CMakeFiles/wm_bisim.dir/bisimulation.cpp.o" "gcc" "src/bisim/CMakeFiles/wm_bisim.dir/bisimulation.cpp.o.d"
+  "/root/repo/src/bisim/definability.cpp" "src/bisim/CMakeFiles/wm_bisim.dir/definability.cpp.o" "gcc" "src/bisim/CMakeFiles/wm_bisim.dir/definability.cpp.o.d"
+  "/root/repo/src/bisim/distinguish.cpp" "src/bisim/CMakeFiles/wm_bisim.dir/distinguish.cpp.o" "gcc" "src/bisim/CMakeFiles/wm_bisim.dir/distinguish.cpp.o.d"
+  "/root/repo/src/bisim/quotient.cpp" "src/bisim/CMakeFiles/wm_bisim.dir/quotient.cpp.o" "gcc" "src/bisim/CMakeFiles/wm_bisim.dir/quotient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/wm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/port/CMakeFiles/wm_port.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_bisim.dir/bisimulation.cpp.o"
+  "CMakeFiles/wm_bisim.dir/bisimulation.cpp.o.d"
+  "CMakeFiles/wm_bisim.dir/definability.cpp.o"
+  "CMakeFiles/wm_bisim.dir/definability.cpp.o.d"
+  "CMakeFiles/wm_bisim.dir/distinguish.cpp.o"
+  "CMakeFiles/wm_bisim.dir/distinguish.cpp.o.d"
+  "CMakeFiles/wm_bisim.dir/quotient.cpp.o"
+  "CMakeFiles/wm_bisim.dir/quotient.cpp.o.d"
+  "libwm_bisim.a"
+  "libwm_bisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_bisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_compile.dir/extract.cpp.o"
+  "CMakeFiles/wm_compile.dir/extract.cpp.o.d"
+  "CMakeFiles/wm_compile.dir/formula_compiler.cpp.o"
+  "CMakeFiles/wm_compile.dir/formula_compiler.cpp.o.d"
+  "libwm_compile.a"
+  "libwm_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_core.dir/classification.cpp.o"
+  "CMakeFiles/wm_core.dir/classification.cpp.o.d"
+  "CMakeFiles/wm_core.dir/decision.cpp.o"
+  "CMakeFiles/wm_core.dir/decision.cpp.o.d"
+  "CMakeFiles/wm_core.dir/solvability.cpp.o"
+  "CMakeFiles/wm_core.dir/solvability.cpp.o.d"
+  "CMakeFiles/wm_core.dir/synthesis.cpp.o"
+  "CMakeFiles/wm_core.dir/synthesis.cpp.o.d"
+  "libwm_core.a"
+  "libwm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_cover.dir/covering.cpp.o"
+  "CMakeFiles/wm_cover.dir/covering.cpp.o.d"
+  "CMakeFiles/wm_cover.dir/views.cpp.o"
+  "CMakeFiles/wm_cover.dir/views.cpp.o.d"
+  "libwm_cover.a"
+  "libwm_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

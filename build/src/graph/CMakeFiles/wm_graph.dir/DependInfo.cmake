@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/double_cover.cpp" "src/graph/CMakeFiles/wm_graph.dir/double_cover.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/double_cover.cpp.o.d"
+  "/root/repo/src/graph/enumerate.cpp" "src/graph/CMakeFiles/wm_graph.dir/enumerate.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/enumerate.cpp.o.d"
+  "/root/repo/src/graph/exact.cpp" "src/graph/CMakeFiles/wm_graph.dir/exact.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/exact.cpp.o.d"
+  "/root/repo/src/graph/factorisation.cpp" "src/graph/CMakeFiles/wm_graph.dir/factorisation.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/factorisation.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/wm_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/wm_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/graph/CMakeFiles/wm_graph.dir/isomorphism.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/graph/CMakeFiles/wm_graph.dir/matching.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/matching.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/graph/CMakeFiles/wm_graph.dir/properties.cpp.o" "gcc" "src/graph/CMakeFiles/wm_graph.dir/properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_graph.dir/double_cover.cpp.o"
+  "CMakeFiles/wm_graph.dir/double_cover.cpp.o.d"
+  "CMakeFiles/wm_graph.dir/enumerate.cpp.o"
+  "CMakeFiles/wm_graph.dir/enumerate.cpp.o.d"
+  "CMakeFiles/wm_graph.dir/exact.cpp.o"
+  "CMakeFiles/wm_graph.dir/exact.cpp.o.d"
+  "CMakeFiles/wm_graph.dir/factorisation.cpp.o"
+  "CMakeFiles/wm_graph.dir/factorisation.cpp.o.d"
+  "CMakeFiles/wm_graph.dir/generators.cpp.o"
+  "CMakeFiles/wm_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/wm_graph.dir/graph.cpp.o"
+  "CMakeFiles/wm_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/wm_graph.dir/isomorphism.cpp.o"
+  "CMakeFiles/wm_graph.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/wm_graph.dir/matching.cpp.o"
+  "CMakeFiles/wm_graph.dir/matching.cpp.o.d"
+  "CMakeFiles/wm_graph.dir/properties.cpp.o"
+  "CMakeFiles/wm_graph.dir/properties.cpp.o.d"
+  "libwm_graph.a"
+  "libwm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

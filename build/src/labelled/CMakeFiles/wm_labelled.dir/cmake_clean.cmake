@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_labelled.dir/labelled.cpp.o"
+  "CMakeFiles/wm_labelled.dir/labelled.cpp.o.d"
+  "CMakeFiles/wm_labelled.dir/leader_election.cpp.o"
+  "CMakeFiles/wm_labelled.dir/leader_election.cpp.o.d"
+  "libwm_labelled.a"
+  "libwm_labelled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_labelled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

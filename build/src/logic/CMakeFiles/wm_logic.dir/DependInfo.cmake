@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/formula.cpp" "src/logic/CMakeFiles/wm_logic.dir/formula.cpp.o" "gcc" "src/logic/CMakeFiles/wm_logic.dir/formula.cpp.o.d"
+  "/root/repo/src/logic/kripke.cpp" "src/logic/CMakeFiles/wm_logic.dir/kripke.cpp.o" "gcc" "src/logic/CMakeFiles/wm_logic.dir/kripke.cpp.o.d"
+  "/root/repo/src/logic/model_checker.cpp" "src/logic/CMakeFiles/wm_logic.dir/model_checker.cpp.o" "gcc" "src/logic/CMakeFiles/wm_logic.dir/model_checker.cpp.o.d"
+  "/root/repo/src/logic/parser.cpp" "src/logic/CMakeFiles/wm_logic.dir/parser.cpp.o" "gcc" "src/logic/CMakeFiles/wm_logic.dir/parser.cpp.o.d"
+  "/root/repo/src/logic/random_formula.cpp" "src/logic/CMakeFiles/wm_logic.dir/random_formula.cpp.o" "gcc" "src/logic/CMakeFiles/wm_logic.dir/random_formula.cpp.o.d"
+  "/root/repo/src/logic/simplify.cpp" "src/logic/CMakeFiles/wm_logic.dir/simplify.cpp.o" "gcc" "src/logic/CMakeFiles/wm_logic.dir/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/port/CMakeFiles/wm_port.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

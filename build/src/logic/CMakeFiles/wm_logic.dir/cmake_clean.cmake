@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_logic.dir/formula.cpp.o"
+  "CMakeFiles/wm_logic.dir/formula.cpp.o.d"
+  "CMakeFiles/wm_logic.dir/kripke.cpp.o"
+  "CMakeFiles/wm_logic.dir/kripke.cpp.o.d"
+  "CMakeFiles/wm_logic.dir/model_checker.cpp.o"
+  "CMakeFiles/wm_logic.dir/model_checker.cpp.o.d"
+  "CMakeFiles/wm_logic.dir/parser.cpp.o"
+  "CMakeFiles/wm_logic.dir/parser.cpp.o.d"
+  "CMakeFiles/wm_logic.dir/random_formula.cpp.o"
+  "CMakeFiles/wm_logic.dir/random_formula.cpp.o.d"
+  "CMakeFiles/wm_logic.dir/simplify.cpp.o"
+  "CMakeFiles/wm_logic.dir/simplify.cpp.o.d"
+  "libwm_logic.a"
+  "libwm_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwm_logic.a"
+)

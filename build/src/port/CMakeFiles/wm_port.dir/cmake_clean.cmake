@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_port.dir/port_numbering.cpp.o"
+  "CMakeFiles/wm_port.dir/port_numbering.cpp.o.d"
+  "libwm_port.a"
+  "libwm_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

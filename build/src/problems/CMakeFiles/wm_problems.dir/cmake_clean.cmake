@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_problems.dir/catalogue.cpp.o"
+  "CMakeFiles/wm_problems.dir/catalogue.cpp.o.d"
+  "libwm_problems.a"
+  "libwm_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

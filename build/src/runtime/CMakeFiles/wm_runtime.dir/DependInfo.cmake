@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/class_checker.cpp" "src/runtime/CMakeFiles/wm_runtime.dir/class_checker.cpp.o" "gcc" "src/runtime/CMakeFiles/wm_runtime.dir/class_checker.cpp.o.d"
+  "/root/repo/src/runtime/combinators.cpp" "src/runtime/CMakeFiles/wm_runtime.dir/combinators.cpp.o" "gcc" "src/runtime/CMakeFiles/wm_runtime.dir/combinators.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/wm_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/wm_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/state_machine.cpp" "src/runtime/CMakeFiles/wm_runtime.dir/state_machine.cpp.o" "gcc" "src/runtime/CMakeFiles/wm_runtime.dir/state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/port/CMakeFiles/wm_port.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_runtime.dir/class_checker.cpp.o"
+  "CMakeFiles/wm_runtime.dir/class_checker.cpp.o.d"
+  "CMakeFiles/wm_runtime.dir/combinators.cpp.o"
+  "CMakeFiles/wm_runtime.dir/combinators.cpp.o.d"
+  "CMakeFiles/wm_runtime.dir/engine.cpp.o"
+  "CMakeFiles/wm_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/wm_runtime.dir/state_machine.cpp.o"
+  "CMakeFiles/wm_runtime.dir/state_machine.cpp.o.d"
+  "libwm_runtime.a"
+  "libwm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

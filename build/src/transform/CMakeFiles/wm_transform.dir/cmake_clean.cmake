@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_transform.dir/beeping.cpp.o"
+  "CMakeFiles/wm_transform.dir/beeping.cpp.o.d"
+  "CMakeFiles/wm_transform.dir/refinement.cpp.o"
+  "CMakeFiles/wm_transform.dir/refinement.cpp.o.d"
+  "CMakeFiles/wm_transform.dir/simulations.cpp.o"
+  "CMakeFiles/wm_transform.dir/simulations.cpp.o.d"
+  "libwm_transform.a"
+  "libwm_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wm_util.dir/rational.cpp.o"
+  "CMakeFiles/wm_util.dir/rational.cpp.o.d"
+  "CMakeFiles/wm_util.dir/rng.cpp.o"
+  "CMakeFiles/wm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wm_util.dir/value.cpp.o"
+  "CMakeFiles/wm_util.dir/value.cpp.o.d"
+  "libwm_util.a"
+  "libwm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

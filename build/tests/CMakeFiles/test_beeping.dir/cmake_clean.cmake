@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beeping.dir/test_beeping.cpp.o"
+  "CMakeFiles/test_beeping.dir/test_beeping.cpp.o.d"
+  "test_beeping"
+  "test_beeping.pdb"
+  "test_beeping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bisim.dir/test_bisim.cpp.o"
+  "CMakeFiles/test_bisim.dir/test_bisim.cpp.o.d"
+  "test_bisim"
+  "test_bisim.pdb"
+  "test_bisim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

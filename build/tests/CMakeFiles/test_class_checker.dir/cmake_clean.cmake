@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_class_checker.dir/test_class_checker.cpp.o"
+  "CMakeFiles/test_class_checker.dir/test_class_checker.cpp.o.d"
+  "test_class_checker"
+  "test_class_checker.pdb"
+  "test_class_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_class_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_definability.dir/test_definability.cpp.o"
+  "CMakeFiles/test_definability.dir/test_definability.cpp.o.d"
+  "test_definability"
+  "test_definability.pdb"
+  "test_definability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_definability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distinguish.dir/test_distinguish.cpp.o"
+  "CMakeFiles/test_distinguish.dir/test_distinguish.cpp.o.d"
+  "test_distinguish"
+  "test_distinguish.pdb"
+  "test_distinguish[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distinguish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

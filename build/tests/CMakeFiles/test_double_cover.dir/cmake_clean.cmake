@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_double_cover.dir/test_double_cover.cpp.o"
+  "CMakeFiles/test_double_cover.dir/test_double_cover.cpp.o.d"
+  "test_double_cover"
+  "test_double_cover.pdb"
+  "test_double_cover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_double_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factorisation.dir/test_factorisation.cpp.o"
+  "CMakeFiles/test_factorisation.dir/test_factorisation.cpp.o.d"
+  "test_factorisation"
+  "test_factorisation.pdb"
+  "test_factorisation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factorisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

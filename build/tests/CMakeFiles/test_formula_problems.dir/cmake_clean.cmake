@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formula_problems.dir/test_formula_problems.cpp.o"
+  "CMakeFiles/test_formula_problems.dir/test_formula_problems.cpp.o.d"
+  "test_formula_problems"
+  "test_formula_problems.pdb"
+  "test_formula_problems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formula_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kripke.dir/test_kripke.cpp.o"
+  "CMakeFiles/test_kripke.dir/test_kripke.cpp.o.d"
+  "test_kripke"
+  "test_kripke.pdb"
+  "test_kripke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kripke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

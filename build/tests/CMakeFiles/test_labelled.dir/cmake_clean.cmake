@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labelled.dir/test_labelled.cpp.o"
+  "CMakeFiles/test_labelled.dir/test_labelled.cpp.o.d"
+  "test_labelled"
+  "test_labelled.pdb"
+  "test_labelled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labelled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port_numbering.dir/test_port_numbering.cpp.o"
+  "CMakeFiles/test_port_numbering.dir/test_port_numbering.cpp.o.d"
+  "test_port_numbering"
+  "test_port_numbering.pdb"
+  "test_port_numbering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port_numbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_deep.dir/test_properties_deep.cpp.o"
+  "CMakeFiles/test_properties_deep.dir/test_properties_deep.cpp.o.d"
+  "test_properties_deep"
+  "test_properties_deep.pdb"
+  "test_properties_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

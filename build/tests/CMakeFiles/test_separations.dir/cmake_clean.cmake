@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_separations.dir/test_separations.cpp.o"
+  "CMakeFiles/test_separations.dir/test_separations.cpp.o.d"
+  "test_separations"
+  "test_separations.pdb"
+  "test_separations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_separations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

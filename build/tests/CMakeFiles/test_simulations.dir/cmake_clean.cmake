@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulations.dir/test_simulations.cpp.o"
+  "CMakeFiles/test_simulations.dir/test_simulations.cpp.o.d"
+  "test_simulations"
+  "test_simulations.pdb"
+  "test_simulations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_solvability.cpp" "tests/CMakeFiles/test_solvability.dir/test_solvability.cpp.o" "gcc" "tests/CMakeFiles/test_solvability.dir/test_solvability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/wm_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/wm_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/wm_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/wm_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/labelled/CMakeFiles/wm_labelled.dir/DependInfo.cmake"
+  "/root/repo/build/src/cover/CMakeFiles/wm_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/bisim/CMakeFiles/wm_bisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/wm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/port/CMakeFiles/wm_port.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
