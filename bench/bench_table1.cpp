@@ -2,12 +2,22 @@
 // this library's classes, with the beeping row (Afek et al. /
 // Cornejo–Kuhn ≈ SB) backed by a measured simulation: an SB machine run
 // natively vs through the single-bit beeping transformation.
+// Ported to the task-parallel substrate: the measured rows execute
+// concurrently across --threads N workers (instances pre-generated
+// sequentially from the seeded Rng; rows buffered and printed in order,
+// so stdout is byte-identical at any thread count). Perf goes to stderr
+// and BENCH_table1.json.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "graph/generators.hpp"
 #include "port/port_numbering.hpp"
 #include "runtime/engine.hpp"
 #include "transform/beeping.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -32,7 +42,12 @@ LambdaMachine parity_diversity_machine() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = benchutil::parse_threads(argc, argv);
+  ThreadPool pool(threads);
+  std::fprintf(stderr, "[conf]  threads: %d\n", pool.num_threads());
+  const benchutil::Timer total;
+
   std::printf("=== Table 1: prior-work terminology vs this classification "
               "===\n\n");
   std::printf("  %-22s %-34s\n", "class here", "terms in prior work");
@@ -62,21 +77,45 @@ int main() {
   const auto beeping =
       to_beeping_machine(sb, {Value::integer(0), Value::integer(1)});
   Rng rng(11);
-  for (const char* name : {"cycle-9", "star-6", "petersen", "grid-3x4",
-                           "random-10"}) {
+  const std::vector<std::string> names = {"cycle-9", "star-6", "petersen",
+                                          "grid-3x4", "random-10"};
+  // Instances from the seeded Rng in fixed order; executions fan out with
+  // one ExecutionContext per worker, rows printed in order.
+  std::vector<PortNumbering> instances;
+  for (const std::string& name : names) {
     Graph g;
-    if (std::string(name) == "cycle-9") g = cycle_graph(9);
-    else if (std::string(name) == "star-6") g = star_graph(6);
-    else if (std::string(name) == "petersen") g = petersen_graph();
-    else if (std::string(name) == "grid-3x4") g = grid_graph(3, 4);
+    if (name == "cycle-9") g = cycle_graph(9);
+    else if (name == "star-6") g = star_graph(6);
+    else if (name == "petersen") g = petersen_graph();
+    else if (name == "grid-3x4") g = grid_graph(3, 4);
     else g = random_connected_graph(10, 4, 5, rng);
-    const PortNumbering p = PortNumbering::random(g, rng);
-    const auto ra = execute(*sb, p);
-    const auto rb = execute(*beeping, p);
-    std::printf("%-16s %-8s %-12d %-14d %-12zu %-12zu\n", name,
-                ra.final_states == rb.final_states ? "yes" : "NO", ra.rounds,
-                rb.rounds, ra.stats.max_size, rb.stats.max_size);
+    instances.push_back(PortNumbering::random(g, rng));
   }
+  const benchutil::Timer t_rows;
+  std::vector<std::string> rows(names.size());
+  std::vector<ExecutionContext> ctxs(
+      static_cast<std::size_t>(pool.num_threads()));
+  pool.parallel_chunks(
+      0, names.size(),
+      [&](std::uint64_t lo, std::uint64_t hi, int worker) {
+        ExecutionContext& ctx = ctxs[static_cast<std::size_t>(worker)];
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const auto ra = execute(*sb, instances[i], ctx);
+          const auto rb = execute(*beeping, instances[i], ctx);
+          char buf[160];
+          std::snprintf(buf, sizeof buf, "%-16s %-8s %-12d %-14d %-12zu %-12zu\n",
+                        names[i].c_str(),
+                        ra.final_states == rb.final_states ? "yes" : "NO",
+                        ra.rounds, rb.rounds, ra.stats.max_size,
+                        rb.stats.max_size);
+          rows[i] = buf;
+        }
+      },
+      1);
+  const double rows_ms = t_rows.ms();
+  for (const std::string& r : rows) std::fputs(r.c_str(), stdout);
+  benchutil::report_phase("beeping row executions", rows_ms,
+                          names.size() * 2);
   std::printf("\nShape check: outputs identical; beeping rounds = |M| x SB\n");
   std::printf("rounds; beeping messages are a single bit.\n");
 
@@ -87,5 +126,13 @@ int main() {
   std::printf(" - graph problems, not input-output functions;\n");
   std::printf(" - class-vs-class separations, not individual problems;\n");
   std::printf(" - deterministic synchronous model throughout.\n");
+
+  const double wall = total.ms();
+  benchutil::report_phase("total", wall);
+  benchutil::write_bench_json(
+      "table1", static_cast<long long>(names.size()), pool.num_threads(),
+      wall,
+      rows_ms > 0 ? 1000.0 * static_cast<double>(names.size() * 2) / rows_ms
+                  : 0);
   return 0;
 }

@@ -1,0 +1,73 @@
+// Shared plumbing for the parallel-ported benches: --threads parsing,
+// per-phase wall-clock reporting, and the machine-readable
+// BENCH_<name>.json summary tracked across PRs.
+//
+// Convention: witness/result output goes to stdout and is byte-identical
+// at any --threads setting; perf lines (wall-clock, graphs/sec) go to
+// stderr, so diffing stdout across thread counts stays meaningful.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/parallel.hpp"
+
+namespace wm::benchutil {
+
+/// Parses `--threads N` (also `--threads=N`) from argv; any other
+/// arguments are left for the bench. Returns default_thread_count() when
+/// absent, which itself honours the WM_THREADS environment variable.
+inline int parse_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) return std::atoi(argv[i + 1]);
+    if (a.rfind("--threads=", 0) == 0) return std::atoi(a.c_str() + 10);
+  }
+  return default_thread_count();
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-phase perf line on stderr; pass items > 0 for a graphs/sec rate.
+inline void report_phase(const char* label, double ms, std::size_t items = 0) {
+  if (items > 0 && ms > 0) {
+    std::fprintf(stderr, "[phase] %-28s %10.2f ms  %12.0f graphs/sec\n",
+                 label, ms, 1000.0 * static_cast<double>(items) / ms);
+  } else {
+    std::fprintf(stderr, "[phase] %-28s %10.2f ms\n", label, ms);
+  }
+}
+
+/// Writes BENCH_<name>.json in the working directory: the cross-PR perf
+/// trajectory record. `n` is the bench's headline size parameter and
+/// graphs_per_sec its headline throughput (0 if not meaningful).
+inline void write_bench_json(const std::string& name, long long n,
+                             int threads, double wall_ms,
+                             double graphs_per_sec) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\"name\": \"%s\", \"n\": %lld, \"threads\": %d, "
+                 "\"wall_ms\": %.3f, \"graphs_per_sec\": %.3f}\n",
+                 name.c_str(), n, threads, wall_ms, graphs_per_sec);
+    std::fclose(f);
+    std::fprintf(stderr, "[json]  wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[json]  cannot write %s\n", path.c_str());
+  }
+}
+
+}  // namespace wm::benchutil

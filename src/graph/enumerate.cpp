@@ -1,19 +1,55 @@
 #include "graph/enumerate.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
-#include <vector>
 
 #include "graph/properties.hpp"
+#include "util/parallel.hpp"
+#include "util/sharded.hpp"
 
 namespace wm {
 
 namespace {
 
-/// Colour-refinement (1-WL) signature: stable partition colours, sorted.
-/// Graphs with equal signatures are indistinguishable to every anonymous
-/// broadcast algorithm, so for witness searches one representative suffices.
+bool admissible(const Graph& g, const EnumerateOptions& opts) {
+  if (opts.max_degree >= 0 && g.max_degree() > opts.max_degree) return false;
+  if (g.min_degree() < opts.min_degree) return false;
+  if (opts.connected_only && !is_connected(g)) return false;
+  return true;
+}
+
+std::vector<Edge> all_possible_edges(int n) {
+  std::vector<Edge> all_edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) all_edges.push_back({u, v});
+  }
+  return all_edges;
+}
+
+Graph graph_from_mask(int n, const std::vector<Edge>& all_edges,
+                      std::uint64_t mask) {
+  Graph g(n);
+  for (std::size_t i = 0; i < all_edges.size(); ++i) {
+    if (mask & (1ULL << i)) g.add_edge(all_edges[i].u, all_edges[i].v);
+  }
+  return g;
+}
+
+struct SigHash {
+  std::size_t operator()(const std::vector<int>& sig) const noexcept {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (int x : sig) {
+      h ^= static_cast<std::size_t>(x);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
 std::vector<int> refinement_signature(const Graph& g) {
   const int n = g.num_nodes();
   std::vector<int> colour(static_cast<std::size_t>(n));
@@ -46,28 +82,13 @@ std::vector<int> refinement_signature(const Graph& g) {
   return sig;
 }
 
-bool admissible(const Graph& g, const EnumerateOptions& opts) {
-  if (opts.max_degree >= 0 && g.max_degree() > opts.max_degree) return false;
-  if (g.min_degree() < opts.min_degree) return false;
-  if (opts.connected_only && !is_connected(g)) return false;
-  return true;
-}
-
-}  // namespace
-
 std::size_t enumerate_graphs(int n, const EnumerateOptions& opts,
                              const std::function<bool(const Graph&)>& fn) {
-  std::vector<Edge> all_edges;
-  for (int u = 0; u < n; ++u) {
-    for (int v = u + 1; v < n; ++v) all_edges.push_back({u, v});
-  }
+  const std::vector<Edge> all_edges = all_possible_edges(n);
   const std::size_t m = all_edges.size();
   std::size_t visited = 0;
   for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
-    Graph g(n);
-    for (std::size_t i = 0; i < m; ++i) {
-      if (mask & (1ULL << i)) g.add_edge(all_edges[i].u, all_edges[i].v);
-    }
+    const Graph g = graph_from_mask(n, all_edges, mask);
     if (!admissible(g, opts)) continue;
     ++visited;
     if (!fn(g)) break;
@@ -86,6 +107,60 @@ std::size_t enumerate_graphs_modulo_refinement(
     ++visited;
     return fn(g);
   });
+  return visited;
+}
+
+std::size_t enumerate_graphs_parallel(
+    int n, const EnumerateOptions& opts, ThreadPool& pool,
+    const std::function<bool(const Graph&, int worker)>& fn) {
+  const std::vector<Edge> all_edges = all_possible_edges(n);
+  const std::size_t m = all_edges.size();
+  std::atomic<std::size_t> visited{0};
+  // Prefix chunks: each chunk is a contiguous mask range, i.e. all
+  // completions of one high-bit prefix of the edge set.
+  pool.parallel_chunks_until(
+      0, 1ULL << m,
+      [&](std::uint64_t lo, std::uint64_t hi, int worker) {
+        for (std::uint64_t mask = lo; mask < hi; ++mask) {
+          const Graph g = graph_from_mask(n, all_edges, mask);
+          if (!admissible(g, opts)) continue;
+          visited.fetch_add(1, std::memory_order_relaxed);
+          if (!fn(g, worker)) return false;
+        }
+        return true;
+      });
+  return visited.load();
+}
+
+std::size_t enumerate_graphs_modulo_refinement_parallel(
+    int n, const EnumerateOptions& opts, ThreadPool& pool,
+    const std::function<bool(const Graph&)>& fn) {
+  const std::vector<Edge> all_edges = all_possible_edges(n);
+  const std::size_t m = all_edges.size();
+  // Pass 1 (parallel): signature -> lowest admissible edge mask. The
+  // per-key minimum is timing-independent, so the surviving set matches
+  // the sequential variant's first-seen (= lowest-mask) representatives.
+  ShardedMinMap<std::vector<int>, std::uint64_t, SigHash> table;
+  pool.parallel_chunks_until(
+      0, 1ULL << m,
+      [&](std::uint64_t lo, std::uint64_t hi, int) {
+        for (std::uint64_t mask = lo; mask < hi; ++mask) {
+          const Graph g = graph_from_mask(n, all_edges, mask);
+          if (!admissible(g, opts)) continue;
+          table.insert_min(refinement_signature(g), mask);
+        }
+        return true;
+      });
+  // Pass 2 (sequential): replay the representatives in mask order —
+  // deterministic for any thread count, and identical to the order the
+  // sequential variant streams them in.
+  std::vector<std::uint64_t> reps = table.values();
+  std::sort(reps.begin(), reps.end());
+  std::size_t visited = 0;
+  for (const std::uint64_t mask : reps) {
+    ++visited;
+    if (!fn(graph_from_mask(n, all_edges, mask))) break;
+  }
   return visited;
 }
 

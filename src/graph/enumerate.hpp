@@ -4,13 +4,20 @@
 // numberings). The executable analogue checks small scopes exhaustively:
 // this module streams every simple graph on n nodes (optionally connected,
 // degree-bounded), and the separation benches search these for witnesses.
+//
+// All variants return the number of graphs actually passed to `fn`
+// (including the one on which fn returned false, if any) — never the
+// number of candidate edge sets.
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "graph/graph.hpp"
 
 namespace wm {
+
+class ThreadPool;
 
 struct EnumerateOptions {
   bool connected_only = true;
@@ -19,17 +26,50 @@ struct EnumerateOptions {
 };
 
 /// Calls `fn` for every simple graph on n labelled nodes matching the
-/// options. Stops early if fn returns false. Returns the number of graphs
-/// visited. Intended for n <= 7 (2^21 candidate edge sets).
+/// options, in increasing edge-mask order. Stops early if fn returns
+/// false. Returns the number of graphs passed to fn. Intended for n <= 7
+/// (2^21 candidate edge sets).
 std::size_t enumerate_graphs(int n, const EnumerateOptions& opts,
                              const std::function<bool(const Graph&)>& fn);
 
 /// Deduplicated-by-degree-refinement variant: skips graphs whose colour
 /// refinement signature was already seen (a cheap, sound-for-our-purposes
 /// symmetry reduction: bisimulation-based witnesses only depend on the
-/// refinement classes). Visits strictly fewer graphs.
+/// refinement classes). Visits strictly fewer graphs; the representative
+/// of each signature class is the graph with the lowest edge mask.
 std::size_t enumerate_graphs_modulo_refinement(
     int n, const EnumerateOptions& opts,
     const std::function<bool(const Graph&)>& fn);
+
+/// Parallel enumeration over `pool`: partitions the edge-set space into
+/// prefix chunks and streams the admissible graphs to per-thread
+/// consumers — fn(g, worker) with worker in [0, pool.num_threads()),
+/// stable per executing thread for the duration of the call, so consumers
+/// can keep per-thread scratch without locking. Within one worker graphs
+/// arrive in increasing edge-mask order; across workers the interleaving
+/// is unspecified. If any consumer returns false, chunks not yet claimed
+/// are cancelled (in-flight chunks finish), so with more than one thread
+/// the return value may exceed the sequential early-stop count. With
+/// pool.num_threads() == 1 this is exactly enumerate_graphs.
+std::size_t enumerate_graphs_parallel(
+    int n, const EnumerateOptions& opts, ThreadPool& pool,
+    const std::function<bool(const Graph&, int worker)>& fn);
+
+/// Deterministic parallel modulo-refinement enumeration. Discovery is
+/// parallel — a sharded signature -> minimum-edge-mask table built over
+/// `pool` — and the surviving representatives (lowest mask per signature,
+/// i.e. *the same graphs* the sequential variant picks) are then replayed
+/// to `fn` sequentially in increasing mask order. Output is therefore
+/// byte-identical at any thread count. Early stop (fn returning false)
+/// halts the replay; the discovery pass always covers the full space.
+std::size_t enumerate_graphs_modulo_refinement_parallel(
+    int n, const EnumerateOptions& opts, ThreadPool& pool,
+    const std::function<bool(const Graph&)>& fn);
+
+/// Colour-refinement (1-WL) signature: stable partition colours plus the
+/// coloured-edge multiset, sorted. Isomorphism-invariant; equal for any
+/// two graphs no anonymous broadcast algorithm can tell apart. Exposed so
+/// tests can cross-check the parallel and sequential enumerations.
+std::vector<int> refinement_signature(const Graph& g);
 
 }  // namespace wm

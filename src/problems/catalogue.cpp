@@ -1,6 +1,7 @@
 #include "problems/catalogue.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "graph/exact.hpp"
@@ -110,18 +111,25 @@ class SymmetryBreak final : public Problem {
       if (out[v] != 0 && out[v] != 1) return false;
     }
     // Class-G membership costs a blossom run; cache it, since solution
-    // enumeration calls valid() with the same graph 2^n times.
-    if (!cached_ || !(cached_graph_ == g)) {
-      cached_graph_ = g;
-      cached_in_g_ = in_class_g(g);
-      cached_ = true;
+    // enumeration calls valid() with the same graph 2^n times. valid()
+    // must stay callable from concurrent witness searches, hence the lock.
+    bool in_g;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      if (!cached_ || !(cached_graph_ == g)) {
+        cached_graph_ = g;
+        cached_in_g_ = in_class_g(g);
+        cached_ = true;
+      }
+      in_g = cached_in_g_;
     }
-    if (!cached_in_g_) return true;
+    if (!in_g) return true;
     return std::adjacent_find(out.begin(), out.end(),
                               std::not_equal_to<>()) != out.end();
   }
 
  private:
+  mutable std::mutex cache_mu_;
   mutable bool cached_ = false;
   mutable Graph cached_graph_;
   mutable bool cached_in_g_ = false;

@@ -7,6 +7,14 @@ namespace wm {
 ClassCheckReport check_class_invariance(const StateMachine& m,
                                         const PortNumbering& p, Rng& rng,
                                         int trials, int max_rounds) {
+  ExecutionContext ctx;
+  return check_class_invariance(m, p, rng, ctx, trials, max_rounds);
+}
+
+ClassCheckReport check_class_invariance(const StateMachine& m,
+                                        const PortNumbering& p, Rng& rng,
+                                        ExecutionContext& ctx, int trials,
+                                        int max_rounds) {
   if (m.algebraic_class().receive != ReceiveMode::Vector) {
     throw std::invalid_argument(
         "check_class_invariance: requires a Vector-mode machine");
@@ -15,11 +23,15 @@ ClassCheckReport check_class_invariance(const StateMachine& m,
   const int n = g.num_nodes();
   ClassCheckReport report;
 
-  std::vector<Value> state(static_cast<std::size_t>(n));
+  std::vector<Value>& state = ctx.state;
+  state.assign(static_cast<std::size_t>(n), Value());
   for (NodeId v = 0; v < n; ++v) state[v] = m.init(g.degree(v));
 
   const Value m0 = Value::unit();
   const bool broadcast = m.algebraic_class().send == SendMode::Broadcast;
+
+  std::vector<std::vector<Value>>& outgoing = ctx.outgoing;
+  outgoing.resize(static_cast<std::size_t>(n));
 
   for (int t = 0; t < max_rounds; ++t) {
     bool all_stopped = true;
@@ -28,7 +40,6 @@ ClassCheckReport check_class_invariance(const StateMachine& m,
     }
     if (all_stopped) break;
 
-    std::vector<std::vector<Value>> outgoing(static_cast<std::size_t>(n));
     for (NodeId v = 0; v < n; ++v) {
       const int d = g.degree(v);
       outgoing[v].resize(static_cast<std::size_t>(d));
@@ -45,7 +56,8 @@ ClassCheckReport check_class_invariance(const StateMachine& m,
     }
     (void)broadcast;
 
-    std::vector<Value> next(static_cast<std::size_t>(n));
+    std::vector<Value>& next = ctx.next;
+    next.assign(static_cast<std::size_t>(n), Value());
     for (NodeId u = 0; u < n; ++u) {
       if (m.is_stopping(state[u])) {
         next[u] = state[u];

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "port/port_numbering.hpp"
+#include "runtime/engine.hpp"
 #include "runtime/state_machine.hpp"
 #include "util/rng.hpp"
 
@@ -32,5 +33,13 @@ struct ClassCheckReport {
 ClassCheckReport check_class_invariance(const StateMachine& m,
                                         const PortNumbering& p, Rng& rng,
                                         int trials = 8, int max_rounds = 64);
+
+/// Re-entrant variant: all per-run scratch lives in `ctx`, so one machine
+/// can be checked on many (G, p) concurrently — one ExecutionContext and
+/// one Rng per thread.
+ClassCheckReport check_class_invariance(const StateMachine& m,
+                                        const PortNumbering& p, Rng& rng,
+                                        ExecutionContext& ctx, int trials = 8,
+                                        int max_rounds = 64);
 
 }  // namespace wm

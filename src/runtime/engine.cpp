@@ -38,16 +38,32 @@ std::vector<int> ExecutionResult::outputs_as_ints() const {
 
 ExecutionResult execute(const StateMachine& m, const PortNumbering& p,
                         const ExecutionOptions& options) {
+  ExecutionContext ctx;
+  return execute(m, p, ctx, options);
+}
+
+ExecutionResult execute(const StateMachine& m, const PortNumbering& p,
+                        ExecutionContext& ctx,
+                        const ExecutionOptions& options) {
   const Graph& g = p.graph();
   const int n = g.num_nodes();
   std::vector<Value> state(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) state[v] = m.init(g.degree(v));
-  return execute_with_states(m, p, std::move(state), options);
+  return execute_with_states(m, p, std::move(state), ctx, options);
 }
 
 ExecutionResult execute_with_states(const StateMachine& m,
                                     const PortNumbering& p,
                                     std::vector<Value> initial,
+                                    const ExecutionOptions& options) {
+  ExecutionContext ctx;
+  return execute_with_states(m, p, std::move(initial), ctx, options);
+}
+
+ExecutionResult execute_with_states(const StateMachine& m,
+                                    const PortNumbering& p,
+                                    std::vector<Value> initial,
+                                    ExecutionContext& ctx,
                                     const ExecutionOptions& options) {
   const Graph& g = p.graph();
   const int n = g.num_nodes();
@@ -57,7 +73,8 @@ ExecutionResult execute_with_states(const StateMachine& m,
   }
 
   ExecutionResult result;
-  std::vector<Value> state = std::move(initial);
+  std::vector<Value>& state = ctx.state;
+  state = std::move(initial);
   if (options.record_trace) result.trace.push_back(state);
 
   auto all_stopped = [&]() {
@@ -68,9 +85,11 @@ ExecutionResult execute_with_states(const StateMachine& m,
   };
 
   const Value m0 = Value::unit();
-  std::vector<Value> next(static_cast<std::size_t>(n));
+  std::vector<Value>& next = ctx.next;
+  next.assign(static_cast<std::size_t>(n), Value());
   // outgoing[v][i-1]: message v sends to its out-port i this round.
-  std::vector<std::vector<Value>> outgoing(static_cast<std::size_t>(n));
+  std::vector<std::vector<Value>>& outgoing = ctx.outgoing;
+  outgoing.resize(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
     outgoing[v].resize(static_cast<std::size_t>(g.degree(v)));
   }

@@ -1,5 +1,13 @@
 // Synchronous execution of a distributed state machine on a
 // port-numbered graph (Section 1.3).
+//
+// Concurrency contract: the engine keeps all per-run mutable scratch in
+// an explicit ExecutionContext, and StateMachine implementations are
+// required to be const-safe (see state_machine.hpp), so one machine can
+// be executed on many graphs concurrently — one ExecutionContext per
+// thread is the only requirement. The context-free overloads allocate a
+// fresh context per call and stay safe too, at the cost of reallocating
+// the scratch buffers on every run.
 #pragma once
 
 #include <cstddef>
@@ -39,9 +47,26 @@ struct ExecutionResult {
   std::vector<int> outputs_as_ints() const;
 };
 
+/// Per-run mutable scratch of the execution engine: state vectors and
+/// outgoing-message buffers. Reusing one context across many runs on the
+/// same thread avoids reallocating the nested buffers in hot search
+/// loops; contexts must not be shared between threads running
+/// concurrently.
+struct ExecutionContext {
+  std::vector<Value> state;
+  std::vector<Value> next;
+  std::vector<std::vector<Value>> outgoing;
+};
+
 /// Runs machine `m` on (G, p) where p carries its graph. The machine must
 /// accommodate max degree of the graph (A_Delta with Delta >= max deg).
 ExecutionResult execute(const StateMachine& m, const PortNumbering& p,
+                        const ExecutionOptions& options = {});
+
+/// Re-entrant variant with caller-supplied scratch (one context per
+/// thread when executing concurrently).
+ExecutionResult execute(const StateMachine& m, const PortNumbering& p,
+                        ExecutionContext& ctx,
                         const ExecutionOptions& options = {});
 
 /// Variant with externally supplied initial states x_0 (one per node);
@@ -51,6 +76,13 @@ ExecutionResult execute(const StateMachine& m, const PortNumbering& p,
 ExecutionResult execute_with_states(const StateMachine& m,
                                     const PortNumbering& p,
                                     std::vector<Value> initial,
+                                    const ExecutionOptions& options = {});
+
+/// Re-entrant variant of execute_with_states.
+ExecutionResult execute_with_states(const StateMachine& m,
+                                    const PortNumbering& p,
+                                    std::vector<Value> initial,
+                                    ExecutionContext& ctx,
                                     const ExecutionOptions& options = {});
 
 /// Structural size of a value (number of nodes in its tree) — the

@@ -17,6 +17,13 @@
 // Delta with copies of m0. Since z0 gives every node its own degree, the
 // padding carries no information (its content and multiplicity are
 // functions of deg(v) and Delta); we pass exactly deg(v) messages.
+//
+// Concurrency contract: init / is_stopping / message / transition are
+// *pure observers* — implementations must not mutate shared state (not
+// even through `mutable` caches unless internally synchronised). The
+// parallel search substrate executes a single machine object on many
+// graphs concurrently and relies on this; all machines in this library
+// (including the Theorem 4/8/9 transformer wrappers) satisfy it.
 #pragma once
 
 #include <functional>

@@ -14,6 +14,11 @@
 // The round overhead is 0 for Theorems 8/9 and exactly 2*Delta for
 // Theorem 4; the price is message size (the open question of Section
 // 5.4), which bench_thm8_overhead measures.
+//
+// The returned wrappers hold no per-run mutable state — every observer
+// is a pure function of (state, inbox) — so one transformed machine may
+// be executed on many graphs concurrently (the parallel certification in
+// bench_fig5_hierarchy does exactly that).
 #pragma once
 
 #include <memory>

@@ -1,0 +1,239 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+namespace wm {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("WM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  executors_ = threads > 0 ? threads : default_thread_count();
+  const int spawned = executors_ - 1;
+  queues_.resize(static_cast<std::size_t>(spawned > 0 ? spawned : 1));
+  workers_.reserve(static_cast<std::size_t>(spawned));
+  for (int i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) {
+    // Single-executor pool: drain anything submit() deferred.
+    while (run_one_task()) {
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Push onto the shortest deque; idle workers steal from the others,
+    // so placement only affects contention, not completion.
+    std::size_t target = 0;
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+      if (queues_[i].tasks.size() < queues_[target].tasks.size()) target = i;
+    }
+    queues_[target].tasks.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::run_one_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Queue& q : queues_) {
+      if (!q.tasks.empty()) {
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        break;
+      }
+    }
+  }
+  if (!task) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(int index) {
+  const std::size_t self = static_cast<std::size_t>(index);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        // Own deque first (front = oldest of our work)...
+        if (!queues_[self].tasks.empty()) {
+          task = std::move(queues_[self].tasks.front());
+          queues_[self].tasks.pop_front();
+          break;
+        }
+        // ...then steal from the back of the other deques.
+        bool stole = false;
+        for (std::size_t off = 1; off < queues_.size() && !stole; ++off) {
+          Queue& victim = queues_[(self + off) % queues_.size()];
+          if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            stole = true;
+          }
+        }
+        if (stole) break;
+        if (stop_) return;
+        cv_.wait(lock);
+      }
+    }
+    task();
+  }
+}
+
+std::uint64_t ThreadPool::chunk_size(std::uint64_t begin, std::uint64_t end,
+                                     std::uint64_t requested) const {
+  if (requested > 0) return requested;
+  const std::uint64_t span = end - begin;
+  const std::uint64_t per =
+      span / (static_cast<std::uint64_t>(executors_) * 8);
+  return per > 0 ? per : 1;
+}
+
+void ThreadPool::run_chunked(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t chunk,
+    const std::function<bool(std::uint64_t, std::uint64_t, int)>& body) {
+  if (begin >= end) return;
+  const std::uint64_t c = chunk_size(begin, end, chunk);
+
+  struct Job {
+    std::atomic<std::uint64_t> cursor;
+    std::uint64_t end;
+    std::uint64_t chunk;
+    std::atomic<bool> cancelled{false};
+    std::exception_ptr err;
+    std::mutex err_mu;
+  };
+  Job job;
+  job.cursor.store(begin, std::memory_order_relaxed);
+  job.end = end;
+  job.chunk = c;
+
+  auto drive = [&body, &job](int worker) {
+    for (;;) {
+      if (job.cancelled.load(std::memory_order_relaxed)) return;
+      const std::uint64_t lo =
+          job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (lo >= job.end) return;
+      const std::uint64_t hi =
+          job.end - lo < job.chunk ? job.end : lo + job.chunk;
+      try {
+        if (!body(lo, hi, worker)) {
+          job.cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(job.err_mu);
+          if (!job.err) job.err = std::current_exception();
+        }
+        job.cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const int spawned = static_cast<int>(workers_.size());
+  std::atomic<int> outstanding{spawned};
+  for (int w = 0; w < spawned; ++w) {
+    submit([&, w] {
+      drive(w + 1);  // executor ids: 0 = caller, 1.. = workers
+      if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    });
+  }
+  drive(0);
+  if (spawned == 0) {
+    // Single-executor pool: also drain deferred submit() tasks so they
+    // observe the documented "runs inside the next blocking helper" rule.
+    while (run_one_task()) {
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return outstanding.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (job.err) std::rethrow_exception(job.err);
+}
+
+void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
+                              const std::function<void(std::uint64_t)>& body,
+                              std::uint64_t chunk) {
+  run_chunked(begin, end, chunk,
+              [&body](std::uint64_t lo, std::uint64_t hi, int) {
+                for (std::uint64_t i = lo; i < hi; ++i) body(i);
+                return true;
+              });
+}
+
+void ThreadPool::parallel_chunks(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t, std::uint64_t, int)>& body,
+    std::uint64_t chunk) {
+  run_chunked(begin, end, chunk,
+              [&body](std::uint64_t lo, std::uint64_t hi, int worker) {
+                body(lo, hi, worker);
+                return true;
+              });
+}
+
+void ThreadPool::parallel_chunks_until(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<bool(std::uint64_t, std::uint64_t, int)>& body,
+    std::uint64_t chunk) {
+  run_chunked(begin, end, chunk, body);
+}
+
+std::optional<std::uint64_t> ThreadPool::parallel_find_first(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<bool(std::uint64_t)>& pred, std::uint64_t chunk) {
+  constexpr std::uint64_t kNone = std::numeric_limits<std::uint64_t>::max();
+  std::atomic<std::uint64_t> best{kNone};
+  run_chunked(begin, end, chunk,
+              [&](std::uint64_t lo, std::uint64_t hi, int) {
+                // Skip-only cancellation keeps the result deterministic: a
+                // chunk is abandoned only when a strictly lower witness is
+                // already recorded, so the minimum over recorded hits is
+                // the global minimum.
+                if (lo >= best.load(std::memory_order_acquire)) return true;
+                for (std::uint64_t i = lo; i < hi; ++i) {
+                  if (i >= best.load(std::memory_order_acquire)) return true;
+                  if (pred(i)) {
+                    std::uint64_t cur = best.load(std::memory_order_acquire);
+                    while (i < cur && !best.compare_exchange_weak(
+                                          cur, i, std::memory_order_acq_rel)) {
+                    }
+                    return true;
+                  }
+                }
+                return true;
+              });
+  const std::uint64_t found = best.load(std::memory_order_acquire);
+  if (found == kNone) return std::nullopt;
+  return found;
+}
+
+}  // namespace wm

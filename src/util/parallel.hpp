@@ -1,0 +1,153 @@
+// Task-parallel substrate for the exhaustive searches.
+//
+// Every theorem-checking experiment quantifies over all graphs and all
+// port numberings at small scopes, so the hot path is embarrassingly
+// parallel. This module provides the one shared engine for it: a small
+// work-stealing thread pool plus three data-parallel helpers —
+// `parallel_for`, a chunked `parallel_reduce`, and a cancellable
+// `parallel_find_first` whose result is *deterministic* (the witness with
+// the lowest index), so early-stop searches stay reproducible regardless
+// of thread timing.
+//
+// Concurrency contract: the pool never touches user state; the helpers
+// invoke the supplied callable from several threads at once, so the
+// callable must only mutate data it owns (per-index slots, per-worker
+// scratch). Exceptions thrown by a callable cancel the remaining chunks
+// and one of them is rethrown in the calling thread after all workers
+// have drained.
+//
+// A pool of size 1 spawns no threads at all: every helper then runs
+// inline in the calling thread, in index order — the sequential entry
+// points of the layers above are thin wrappers around this case.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace wm {
+
+/// Worker count used when a caller does not specify one: the WM_THREADS
+/// environment variable if set and positive, else hardware concurrency,
+/// else 1.
+int default_thread_count();
+
+class ThreadPool {
+ public:
+  /// `threads` is the number of concurrent executors including the
+  /// calling thread: the pool spawns `threads - 1` workers. 0 means
+  /// default_thread_count().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of concurrent executors (>= 1, includes the calling thread).
+  int num_threads() const { return executors_; }
+
+  /// Enqueues a fire-and-forget task onto this worker's own deque when
+  /// called from a pool thread, else onto the least-loaded deque. Idle
+  /// workers steal from the back of other workers' deques. Tasks do not
+  /// run on the calling thread; with num_threads() == 1 they run inside
+  /// the next blocking helper call (or the destructor), which drains the
+  /// queues.
+  void submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [begin, end), partitioned into chunks
+  /// claimed in increasing order by all executors (the calling thread
+  /// participates). Blocks until done; rethrows the first exception.
+  /// `chunk` 0 picks a size aimed at ~8 chunks per executor.
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    const std::function<void(std::uint64_t)>& body,
+                    std::uint64_t chunk = 0);
+
+  /// Chunked variant: body(lo, hi, worker) with [lo, hi) a chunk and
+  /// `worker` in [0, num_threads()) identifying the executor, stable for
+  /// the duration of the call — use it to index per-thread scratch or
+  /// per-thread consumers. Within one worker chunks arrive in increasing
+  /// order; across workers the interleaving is unspecified.
+  void parallel_chunks(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<void(std::uint64_t, std::uint64_t, int)>& body,
+      std::uint64_t chunk = 0);
+
+  /// Cancellable form of parallel_chunks: body returns false to cancel
+  /// all chunks not yet claimed (chunks already running finish normally).
+  /// Used by early-stopping enumerations.
+  void parallel_chunks_until(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<bool(std::uint64_t, std::uint64_t, int)>& body,
+      std::uint64_t chunk = 0);
+
+  /// Chunked reduction: acc = combine(acc, map(i)) within each chunk,
+  /// partials combined across chunks *in chunk order*, so the result is
+  /// deterministic for any associative (not necessarily commutative)
+  /// combine, at any thread count.
+  template <typename T, typename Map, typename Combine>
+  T parallel_reduce(std::uint64_t begin, std::uint64_t end, T identity,
+                    Map&& map, Combine&& combine, std::uint64_t chunk = 0) {
+    if (begin >= end) return identity;
+    const std::uint64_t c = chunk_size(begin, end, chunk);
+    const std::uint64_t nchunks = (end - begin + c - 1) / c;
+    std::vector<T> partial(static_cast<std::size_t>(nchunks), identity);
+    parallel_chunks(
+        begin, end,
+        [&](std::uint64_t lo, std::uint64_t hi, int) {
+          const std::uint64_t ci = (lo - begin) / c;
+          T acc = identity;
+          for (std::uint64_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+          partial[static_cast<std::size_t>(ci)] = std::move(acc);
+        },
+        c);
+    T acc = std::move(identity);
+    for (T& p : partial) acc = combine(std::move(acc), std::move(p));
+    return acc;
+  }
+
+  /// Cancellable early-stop search: the lowest i in [begin, end) with
+  /// pred(i), or nullopt. Deterministic: chunks are claimed in increasing
+  /// order and a chunk is skipped only once a strictly lower witness is
+  /// already known, so the returned index never depends on thread timing.
+  /// pred may run on indices above the returned witness (in-flight chunks
+  /// are not interrupted mid-scan) but never on a lower one it would miss.
+  std::optional<std::uint64_t> parallel_find_first(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<bool(std::uint64_t)>& pred,
+      std::uint64_t chunk = 0);
+
+ private:
+  struct Queue {
+    std::deque<std::function<void()>> tasks;
+  };
+
+  std::uint64_t chunk_size(std::uint64_t begin, std::uint64_t end,
+                           std::uint64_t requested) const;
+  void worker_loop(int index);
+  bool run_one_task();
+
+  /// Shared driver for the chunked helpers: every executor claims chunks
+  /// from an atomic cursor; returns when all chunks are done on all
+  /// executors. `body(lo, hi, worker)` returns false to cancel remaining
+  /// chunks.
+  void run_chunked(
+      std::uint64_t begin, std::uint64_t end, std::uint64_t chunk,
+      const std::function<bool(std::uint64_t, std::uint64_t, int)>& body);
+
+  int executors_ = 1;
+  std::vector<std::thread> workers_;
+  std::vector<Queue> queues_;  // one per spawned worker
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // workers: work available / stop
+  std::condition_variable done_cv_;   // callers: job finished
+  bool stop_ = false;
+};
+
+}  // namespace wm

@@ -1,0 +1,71 @@
+// Sharded hash containers for concurrent dedup tables.
+//
+// The parallel graph enumeration dedups by colour-refinement signature
+// from many threads at once; a single locked std::set would serialise the
+// hot path. A sharded map (one mutex + hash map per shard, shard chosen
+// by key hash) keeps contention negligible at our chunk granularity while
+// staying simple enough to reason about.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace wm {
+
+/// Concurrent map keeping the *minimum* value ever inserted per key.
+/// insert_min is linearisable per key; the final contents are therefore a
+/// pure function of the inserted multiset, independent of thread timing —
+/// the property the deterministic parallel enumeration relies on.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedMinMap {
+ public:
+  explicit ShardedMinMap(std::size_t shards = 64)
+      : shards_(shards > 0 ? shards : 1) {}
+
+  /// Records `value` for `key` if it is the first or the smallest so far.
+  /// Returns true if the key was new.
+  bool insert_min(const Key& key, const Value& value) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto [it, fresh] = s.map.try_emplace(key, value);
+    if (!fresh && value < it->second) it->second = value;
+    return fresh;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      total += s.map.size();
+    }
+    return total;
+  }
+
+  /// Collects all values (the per-key minima), in unspecified order.
+  /// Not safe to call concurrently with insert_min.
+  std::vector<Value> values() const {
+    std::vector<Value> out;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (const auto& [k, v] : s.map) out.push_back(v);
+    }
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace wm

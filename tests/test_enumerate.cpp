@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
 #include "graph/properties.hpp"
 
 namespace wm {
@@ -58,6 +66,152 @@ TEST(Enumerate, EarlyStop) {
   int seen = 0;
   enumerate_graphs(4, opts, [&](const Graph&) { return ++seen < 5; });
   EXPECT_EQ(seen, 5);
+}
+
+TEST(Enumerate, ReturnValueCountsGraphsStreamedToFn) {
+  // Every variant returns the number of graphs passed to fn — including
+  // the one on which fn returned false — never the number of candidate
+  // edge sets.
+  EnumerateOptions all;
+  all.connected_only = false;
+  std::size_t calls = 0;
+  const std::size_t full = enumerate_graphs(4, all, [&](const Graph&) {
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(full, calls);
+  EXPECT_EQ(full, 64u);  // 2^6 edge subsets
+  calls = 0;
+  const std::size_t stopped =
+      enumerate_graphs(4, all, [&](const Graph&) { return ++calls < 5; });
+  EXPECT_EQ(stopped, 5u);
+  EXPECT_EQ(calls, 5u);
+
+  EnumerateOptions conn;
+  calls = 0;
+  const std::size_t reduced = enumerate_graphs_modulo_refinement(
+      5, conn, [&](const Graph&) {
+        ++calls;
+        return true;
+      });
+  EXPECT_EQ(reduced, calls);
+  calls = 0;
+  const std::size_t reduced_stopped = enumerate_graphs_modulo_refinement(
+      5, conn, [&](const Graph&) { return ++calls < 3; });
+  EXPECT_EQ(reduced_stopped, 3u);
+}
+
+TEST(Enumerate, ReturnValueMatchesA001187) {
+  // Labelled connected graphs (OEIS A001187), via the return value alone.
+  const std::size_t expected[] = {1, 1, 4, 38, 728};
+  for (int n = 1; n <= 5; ++n) {
+    EnumerateOptions opts;
+    EXPECT_EQ(enumerate_graphs(n, opts, [](const Graph&) { return true; }),
+              expected[n - 1])
+        << "n=" << n;
+  }
+}
+
+// Counts the connected graphs on n labelled nodes fixed by `perm`: a
+// graph is fixed iff its edge set is a union of perm's edge orbits, so we
+// enumerate orbit unions and test connectivity with bitmask BFS.
+std::uint64_t connected_graphs_fixed_by(int n, const std::vector<int>& perm) {
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::vector<int>> idx(static_cast<std::size_t>(n),
+                                    std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      idx[u][v] = idx[v][u] = static_cast<int>(edges.size());
+      edges.emplace_back(u, v);
+    }
+  }
+  const int m = static_cast<int>(edges.size());
+  std::vector<std::uint32_t> orbits;  // n <= 7 => m <= 21 edge bits
+  std::vector<char> done(static_cast<std::size_t>(m), 0);
+  for (int e = 0; e < m; ++e) {
+    if (done[e]) continue;
+    std::uint32_t mask = 0;
+    int cur = e;
+    while (!done[cur]) {
+      done[cur] = 1;
+      mask |= 1u << cur;
+      cur = idx[perm[edges[cur].first]][perm[edges[cur].second]];
+    }
+    orbits.push_back(mask);
+  }
+  std::uint64_t count = 0;
+  for (std::uint64_t s = 0; s < (1ULL << orbits.size()); ++s) {
+    std::uint32_t edge_mask = 0;
+    for (std::size_t o = 0; o < orbits.size(); ++o) {
+      if (s & (1ULL << o)) edge_mask |= orbits[o];
+    }
+    std::uint32_t adj[7] = {};
+    for (std::uint32_t rem = edge_mask; rem; rem &= rem - 1) {
+      const int e = std::countr_zero(rem);
+      adj[edges[e].first] |= 1u << edges[e].second;
+      adj[edges[e].second] |= 1u << edges[e].first;
+    }
+    std::uint32_t reached = 1, frontier = 1;
+    while (frontier) {
+      std::uint32_t next = 0;
+      for (std::uint32_t f = frontier; f; f &= f - 1) {
+        next |= adj[std::countr_zero(f)];
+      }
+      frontier = next & ~reached;
+      reached |= next;
+    }
+    if (reached == (1u << n) - 1) ++count;
+  }
+  return count;
+}
+
+TEST(Enumerate, IdentityBurnsideTermIsTheReturnValue) {
+  // The identity permutation fixes every graph, so its Burnside term is
+  // exactly the labelled connected count — i.e. what enumerate_graphs
+  // reports through its return value.
+  for (int n = 1; n <= 5; ++n) {
+    std::vector<int> id(static_cast<std::size_t>(n));
+    std::iota(id.begin(), id.end(), 0);
+    EnumerateOptions opts;
+    EXPECT_EQ(connected_graphs_fixed_by(n, id),
+              enumerate_graphs(n, opts, [](const Graph&) { return true; }))
+        << "n=" << n;
+  }
+}
+
+TEST(Enumerate, UnlabelledConnectedCountsMatchOeisA001349) {
+  // Burnside / orbit counting: #unlabelled connected graphs on n nodes =
+  // (1/n!) * sum over permutations of #connected graphs fixed. The fixed
+  // count depends only on the cycle type, so it is memoised per type.
+  const std::uint64_t expected[] = {1, 1, 2, 6, 21, 112, 853};
+  for (int n = 1; n <= 7; ++n) {
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::map<std::vector<int>, std::uint64_t> by_type;
+    std::uint64_t total = 0, nperms = 0;
+    do {
+      std::vector<int> type;
+      std::vector<char> seen(static_cast<std::size_t>(n), 0);
+      for (int v = 0; v < n; ++v) {
+        if (seen[v]) continue;
+        int len = 0;
+        for (int c = v; !seen[c]; c = perm[c]) {
+          seen[c] = 1;
+          ++len;
+        }
+        type.push_back(len);
+      }
+      std::sort(type.begin(), type.end());
+      auto it = by_type.find(type);
+      if (it == by_type.end()) {
+        it = by_type.emplace(type, connected_graphs_fixed_by(n, perm)).first;
+      }
+      total += it->second;
+      ++nperms;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    ASSERT_EQ(total % nperms, 0u) << "n=" << n;
+    EXPECT_EQ(total / nperms, expected[n - 1]) << "n=" << n;
+  }
 }
 
 TEST(Enumerate, ModuloRefinementVisitsFewer) {

@@ -1,0 +1,247 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+#include "port/port_numbering.hpp"
+#include "runtime/engine.hpp"
+#include "transform/simulations.hpp"
+#include "util/rng.hpp"
+#include "util/sharded.hpp"
+
+namespace wm {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversRangeOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(), [&](std::uint64_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReduceIsDeterministicAndOrdered) {
+  // Non-commutative combine (string concatenation): the chunk-ordered
+  // reduction must give the sequential answer at any thread count.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    return pool.parallel_reduce<std::string>(
+        0, 40, "",
+        [](std::uint64_t i) { return std::string(1, static_cast<char>('a' + i % 26)); },
+        [](std::string a, std::string b) { return a + b; },
+        /*chunk=*/3);
+  };
+  const std::string expected = run(1);
+  EXPECT_EQ(expected.size(), 40u);
+  EXPECT_EQ(run(2), expected);
+  EXPECT_EQ(run(8), expected);
+}
+
+TEST(ThreadPool, FindFirstReturnsLowestWitnessAtAnyThreadCount) {
+  // Hits at 113, 500, 501, ...: every thread count must report 113, even
+  // though higher chunks may be scanned first by other workers.
+  auto pred = [](std::uint64_t i) { return i == 113 || i >= 500; };
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (int rep = 0; rep < 20; ++rep) {
+      const auto hit = pool.parallel_find_first(0, 4096, pred, /*chunk=*/7);
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(*hit, 113u) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, FindFirstMissesReturnNullopt) {
+  ThreadPool pool(4);
+  const auto hit =
+      pool.parallel_find_first(0, 1000, [](std::uint64_t) { return false; });
+  EXPECT_FALSE(hit.has_value());
+}
+
+TEST(ThreadPool, FindFirstEmptyRange) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(
+      pool.parallel_find_first(5, 5, [](std::uint64_t) { return true; })
+          .has_value());
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100,
+                          [](std::uint64_t i) {
+                            if (i == 37) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool stays usable after a failed job.
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 50, [&](std::uint64_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, SubmittedTasksRunEventually) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ShardedMinMap, KeepsMinimumPerKeyUnderContention) {
+  ShardedMinMap<int, std::uint64_t> table(8);
+  ThreadPool pool(8);
+  pool.parallel_for(0, 10000, [&](std::uint64_t i) {
+    table.insert_min(static_cast<int>(i % 17), i);
+  });
+  EXPECT_EQ(table.size(), 17u);
+  std::vector<std::uint64_t> mins = table.values();
+  std::sort(mins.begin(), mins.end());
+  // Key k's minimum inserted value is k itself (first occurrence).
+  for (std::size_t k = 0; k < mins.size(); ++k) EXPECT_EQ(mins[k], k);
+}
+
+// --- Parallel enumeration -------------------------------------------------
+
+std::vector<std::vector<int>> sequential_signatures(int n,
+                                                    const EnumerateOptions& o) {
+  std::vector<std::vector<int>> sigs;
+  enumerate_graphs(n, o, [&](const Graph& g) {
+    sigs.push_back(refinement_signature(g));
+    return true;
+  });
+  std::sort(sigs.begin(), sigs.end());
+  return sigs;
+}
+
+TEST(EnumerateParallel, VisitsIdenticalSignatureMultiset) {
+  EnumerateOptions opts;  // connected only
+  const auto expected = sequential_signatures(5, opts);
+  ASSERT_EQ(expected.size(), 728u);  // labelled connected graphs on 5 nodes
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::vector<std::vector<int>>> per_worker(
+        static_cast<std::size_t>(pool.num_threads()));
+    const std::size_t visited = enumerate_graphs_parallel(
+        5, opts, pool, [&](const Graph& g, int worker) {
+          per_worker[static_cast<std::size_t>(worker)].push_back(
+              refinement_signature(g));
+          return true;
+        });
+    EXPECT_EQ(visited, expected.size());
+    std::vector<std::vector<int>> sigs;
+    for (auto& w : per_worker) {
+      for (auto& s : w) sigs.push_back(std::move(s));
+    }
+    EXPECT_EQ(sigs.size(), visited);
+    std::sort(sigs.begin(), sigs.end());
+    EXPECT_EQ(sigs, expected) << "threads=" << threads;
+  }
+}
+
+TEST(EnumerateParallel, ModuloRefinementMatchesSequentialExactly) {
+  EnumerateOptions opts;
+  opts.max_degree = 3;
+  std::vector<std::vector<Edge>> expected;
+  const std::size_t seq = enumerate_graphs_modulo_refinement(
+      5, opts, [&](const Graph& g) {
+        expected.push_back(g.edges());
+        return true;
+      });
+  ASSERT_GT(seq, 0u);
+  for (const int threads : {1, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::vector<Edge>> got;
+    const std::size_t visited = enumerate_graphs_modulo_refinement_parallel(
+        5, opts, pool, [&](const Graph& g) {
+          got.push_back(g.edges());
+          return true;
+        });
+    EXPECT_EQ(visited, seq);
+    // Same representatives in the same order — not merely the same set.
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(EnumerateParallel, EarlyStopStillCountsStreamedGraphs) {
+  EnumerateOptions opts;
+  opts.connected_only = false;
+  ThreadPool pool(4);
+  std::atomic<int> seen{0};
+  const std::size_t visited = enumerate_graphs_parallel(
+      4, opts, pool, [&](const Graph&, int) {
+        return seen.fetch_add(1, std::memory_order_relaxed) + 1 < 5;
+      });
+  // Cooperative cancellation: at least the 5 sequentially-required graphs
+  // were streamed, and the return value counts exactly the streamed ones.
+  EXPECT_GE(visited, 5u);
+  EXPECT_EQ(visited, static_cast<std::size_t>(seen.load()));
+}
+
+// --- Re-entrancy of the execution engine ----------------------------------
+
+TEST(ParallelExecution, OneMachineManyGraphsMatchesSequential) {
+  // A Vector-probe machine wrapped by the Theorem 8 transformer — the
+  // layered simulation state is the stress case for const-safety.
+  auto probe = std::make_shared<LambdaMachine>();
+  probe->cls = AlgebraicClass::vector();
+  probe->init_fn = [](int d) {
+    return Value::triple(Value::str("x"), Value::integer(2), Value::integer(d));
+  };
+  probe->stopping_fn = [](const Value& s) { return s.is_int(); };
+  probe->message_fn = [](const Value& s, int) { return s.at(2); };
+  probe->transition_fn = [](const Value& s, const Value& inbox, int) {
+    std::int64_t acc = 0;
+    for (const Value& v : inbox.items()) {
+      if (!v.is_unit()) acc += v.as_int();
+    }
+    if (s.at(1).as_int() == 1) return Value::integer(acc);
+    return Value::triple(Value::str("x"), Value::integer(1),
+                         Value::integer(acc));
+  };
+  const auto machine = to_multiset_machine(probe);
+
+  Rng rng(42);
+  std::vector<PortNumbering> instances;
+  for (int t = 0; t < 24; ++t) {
+    const Graph g = random_connected_graph(8, 4, 4, rng);
+    instances.push_back(PortNumbering::random(g, rng));
+  }
+  std::vector<std::vector<Value>> sequential;
+  for (const PortNumbering& p : instances) {
+    sequential.push_back(execute(*machine, p).final_states);
+  }
+
+  ThreadPool pool(8);
+  std::vector<ExecutionContext> ctxs(
+      static_cast<std::size_t>(pool.num_threads()));
+  std::vector<std::vector<Value>> parallel(instances.size());
+  pool.parallel_chunks(
+      0, instances.size(),
+      [&](std::uint64_t lo, std::uint64_t hi, int worker) {
+        ExecutionContext& ctx = ctxs[static_cast<std::size_t>(worker)];
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          parallel[i] = execute(*machine, instances[i], ctx).final_states;
+        }
+      },
+      1);
+  EXPECT_EQ(parallel, sequential);
+}
+
+}  // namespace
+}  // namespace wm
