@@ -4,27 +4,46 @@
 //  - extract: for catalogue machines with running time T, the extracted
 //    formula has modal depth <= T and identical extension;
 //  - the per-variant machine classes match Table 3.
+//
+// Ported to the task-parallel substrate: the six (variant, graded)
+// sweeps are independent (each seeds its own Rngs) and run across
+// --threads N workers, buffered into slots in configuration order —
+// stdout is byte-identical at any thread count. Perf lines go to
+// stderr; the summary to BENCH_thm2_compile.json.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "algorithms/machines.hpp"
+#include "bench_util.hpp"
 #include "compile/extract.hpp"
 #include "compile/formula_compiler.hpp"
 #include "graph/generators.hpp"
 #include "logic/model_checker.hpp"
 #include "logic/random_formula.hpp"
 #include "runtime/engine.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
 using namespace wm;
 
-void depth_sweep(Variant variant, bool graded) {
+struct SweepResult {
+  std::string text;
+  std::size_t compiled = 0;  // machines compiled (for the throughput rate)
+};
+
+SweepResult depth_sweep(Variant variant, bool graded) {
   Rng frng(7 + static_cast<std::uint64_t>(variant));
   Rng grng(11);
-  std::printf("variant %-4s graded=%d: ", variant_name(variant).c_str(),
-              graded);
-  std::printf("%-8s %-10s %-10s %-10s\n", "depth", "runtime", "agree",
-              "machine");
+  SweepResult result;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "variant %-4s graded=%d: ",
+                variant_name(variant).c_str(), graded);
+  result.text += buf;
+  std::snprintf(buf, sizeof buf, "%-8s %-10s %-10s %-10s\n", "depth",
+                "runtime", "agree", "machine");
+  result.text += buf;
   for (int depth = 0; depth <= 5; ++depth) {
     int runs = 0, agree = 0, runtime = -1;
     std::string cls_name;
@@ -40,6 +59,7 @@ void depth_sweep(Variant variant, bool graded) {
       if (desugar_boxes(f).modal_depth() != depth) continue;
       ++runs;
       const auto machine = compile_formula(f, variant, 3);
+      ++result.compiled;
       cls_name = machine->algebraic_class().name();
       const Graph g = random_connected_graph(8, 3, 3, grng);
       const PortNumbering p = PortNumbering::random(g, grng);
@@ -52,9 +72,11 @@ void depth_sweep(Variant variant, bool graded) {
       }
       if (ok) ++agree;
     }
-    std::printf("%26d %-10d %d/%-8d %s\n", depth, runtime, agree, runs,
-                cls_name.c_str());
+    std::snprintf(buf, sizeof buf, "%26d %-10d %d/%-8d %s\n", depth, runtime,
+                  agree, runs, cls_name.c_str());
+    result.text += buf;
   }
+  return result;
 }
 
 void extraction_table() {
@@ -87,14 +109,42 @@ void extraction_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = benchutil::parse_threads(argc, argv);
+  ThreadPool pool(threads);
+  std::fprintf(stderr, "[conf]  threads: %d\n", pool.num_threads());
+  const benchutil::Timer total;
+
   std::printf("=== Theorem 2: formula -> machine (runtime = md + 1) ===\n");
-  depth_sweep(Variant::PlusPlus, false);
-  depth_sweep(Variant::MinusPlus, true);
-  depth_sweep(Variant::MinusPlus, false);
-  depth_sweep(Variant::PlusMinus, false);
-  depth_sweep(Variant::MinusMinus, true);
-  depth_sweep(Variant::MinusMinus, false);
-  extraction_table();
+  const std::vector<std::pair<Variant, bool>> configs = {
+      {Variant::PlusPlus, false}, {Variant::MinusPlus, true},
+      {Variant::MinusPlus, false}, {Variant::PlusMinus, false},
+      {Variant::MinusMinus, true}, {Variant::MinusMinus, false},
+  };
+  const benchutil::Timer t_sweep;
+  std::vector<SweepResult> slots(configs.size());
+  pool.parallel_for(0, configs.size(), [&](std::uint64_t i) {
+    slots[i] = depth_sweep(configs[i].first, configs[i].second);
+  }, 1);
+  std::size_t compiled = 0;
+  for (const SweepResult& s : slots) {
+    std::fputs(s.text.c_str(), stdout);
+    compiled += s.compiled;
+  }
+  const double sweep_ms = t_sweep.ms();
+  benchutil::report_phase("depth sweeps", sweep_ms, compiled);
+
+  {
+    const benchutil::Timer t_extract;
+    extraction_table();
+    benchutil::report_phase("extraction table", t_extract.ms());
+  }
+
+  const double wall = total.ms();
+  benchutil::report_phase("total", wall);
+  benchutil::write_bench_json(
+      "thm2_compile", static_cast<long long>(configs.size()),
+      pool.num_threads(), wall,
+      sweep_ms > 0 ? 1000.0 * static_cast<double>(compiled) / sweep_ms : 0);
   return 0;
 }

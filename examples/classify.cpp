@@ -169,13 +169,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nodd-odd-neighbours (MB algorithm): ");
-  const auto odd = execute(*odd_odd_machine(), p);
+  ExecutionContext ctx;  // reused scratch across the machine runs below
+  const auto odd = execute(*odd_odd_machine(), p, ctx);
   for (int v : odd.outputs_as_ints()) std::printf("%d", v);
   std::printf("\n");
 
   if (g.num_nodes() <= 40 && g.num_edges() > 0) {
     const auto mb = to_multiset_machine(vertex_cover_packing_vb_machine());
-    const auto r = execute(*mb, p);
+    const auto r = execute(*mb, p, ctx);
     if (r.stopped) {
       int size = 0;
       for (int v : r.outputs_as_ints()) size += v;

@@ -4,15 +4,23 @@
 // via Theorem 2 into a distributed machine of that class, and runs the
 // machine against the problem's verifier.
 //
-//   ./synthesise
+//   ./synthesise [--threads N]
+//
+// The colouring scan inside the decision procedure and the per-instance
+// Kripke builds run on the task-parallel substrate; the lowest-witness
+// contract of the scan makes the synthesised formula and machine —
+// hence all output — identical at any --threads value.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/synthesis.hpp"
 #include "graph/generators.hpp"
 #include "logic/simplify.hpp"
 #include "problems/catalogue.hpp"
 #include "runtime/engine.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -20,9 +28,10 @@ using namespace wm;
 
 void attempt(const char* label, const Problem& problem,
              const std::vector<PortNumbering>& scope, ProblemClass c,
-             int rounds) {
+             int rounds, ThreadPool* pool) {
   DecisionOptions opts;
   opts.rounds = rounds;
+  opts.pool = pool;
   std::printf("== %s, class %s, rounds %s ==\n", label,
               problem_class_name(c).c_str(),
               rounds < 0 ? "any" : std::to_string(rounds).c_str());
@@ -43,8 +52,9 @@ void attempt(const char* label, const Problem& problem,
   std::cout << "  formula: " << result->formula << "\n";
   int valid = 0;
   int max_rounds = 0;
+  ExecutionContext ctx;  // reused scratch across the verification runs
   for (const PortNumbering& p : scope) {
-    const auto r = execute(*result->machine, p);
+    const auto r = execute(*result->machine, p, ctx);
     if (r.stopped && problem.valid(p.graph(), r.outputs_as_ints())) ++valid;
     max_rounds = std::max(max_rounds, r.rounds);
   }
@@ -55,7 +65,14 @@ void attempt(const char* label, const Problem& problem,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
+    if (a.rfind("--threads=", 0) == 0) threads = std::atoi(a.c_str() + 10);
+  }
+  ThreadPool pool(threads);
   std::printf("##### Distributed algorithm synthesis #####\n\n");
 
   // Theorem 11's problem on star scopes.
@@ -65,8 +82,10 @@ int main() {
       scope.push_back(PortNumbering::identity(star_graph(k)));
     }
     const auto problem = leaf_in_star_problem();
-    attempt("leaf-in-star on stars k=2..4", *problem, scope, ProblemClass::SV, 1);
-    attempt("leaf-in-star on stars k=2..4", *problem, scope, ProblemClass::VB, -1);
+    attempt("leaf-in-star on stars k=2..4", *problem, scope, ProblemClass::SV,
+            1, &pool);
+    attempt("leaf-in-star on stars k=2..4", *problem, scope, ProblemClass::VB,
+            -1, &pool);
   }
 
   // Theorem 13's problem: a graded MB formula materialises; adding the
@@ -79,9 +98,9 @@ int main() {
     }
     scope.push_back(thm13_witness().numbering);
     attempt("odd-odd incl. thm13 witness", *odd_odd_problem(), scope,
-            ProblemClass::MB, 1);
+            ProblemClass::MB, 1, &pool);
     attempt("odd-odd incl. thm13 witness", *odd_odd_problem(), scope,
-            ProblemClass::SB, -1);
+            ProblemClass::SB, -1, &pool);
   }
 
   // Section 3.1: MIS — synthesis fails on the symmetric cycle, succeeds
@@ -89,9 +108,10 @@ int main() {
   {
     attempt("MIS on the symmetric consistent C6",
             *maximal_independent_set_problem(),
-            {mis_cycle_witness(6).numbering}, ProblemClass::VVc, -1);
+            {mis_cycle_witness(6).numbering}, ProblemClass::VVc, -1, &pool);
     attempt("MIS on the path P5", *maximal_independent_set_problem(),
-            {PortNumbering::identity(path_graph(5))}, ProblemClass::VV, -1);
+            {PortNumbering::identity(path_graph(5))}, ProblemClass::VV, -1,
+            &pool);
   }
   return 0;
 }

@@ -1,6 +1,13 @@
 #include "bisim/quotient.hpp"
 
+#include <algorithm>
+#include <map>
+#include <numeric>
 #include <set>
+#include <utility>
+
+#include "util/parallel.hpp"
+#include "util/sharded.hpp"
 
 namespace wm {
 
@@ -58,6 +65,132 @@ KripkeModel graded_quotient_model(const KripkeModel& k, const Partition& p) {
 
 KripkeModel minimise_graded(const KripkeModel& k) {
   return graded_quotient_model(k, coarsest_graded_bisimulation(k));
+}
+
+namespace {
+
+/// Modality-aware colour refinement: iterated (own colour, per-modality
+/// sorted successor-colour multiset) until stable. The final colours
+/// induce the relabelling order of model_fingerprint.
+std::vector<int> refinement_colours(const KripkeModel& k) {
+  const int n = k.num_states();
+  const std::vector<Modality> mods = k.modalities();
+  // Initial colour: the valuation profile.
+  std::vector<int> colour(static_cast<std::size_t>(n), 0);
+  {
+    std::map<std::vector<bool>, int> dict;
+    for (int v = 0; v < n; ++v) {
+      std::vector<bool> profile;
+      for (int q = 1; q <= k.num_props(); ++q) {
+        profile.push_back(k.prop_holds(q, v));
+      }
+      auto [it, fresh] =
+          dict.try_emplace(std::move(profile), static_cast<int>(dict.size()));
+      colour[v] = it->second;
+    }
+  }
+  for (int round = 0; round < n; ++round) {
+    std::map<std::pair<int, std::vector<int>>, int> dict;
+    std::vector<int> next(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      std::vector<int> sig;
+      for (const Modality& alpha : mods) {
+        std::vector<int> succ;
+        for (int w : k.successors(alpha, v)) succ.push_back(colour[w]);
+        std::sort(succ.begin(), succ.end());
+        sig.push_back(-1);  // modality separator
+        sig.insert(sig.end(), succ.begin(), succ.end());
+      }
+      auto key = std::make_pair(colour[v], std::move(sig));
+      auto [it, fresh] =
+          dict.try_emplace(std::move(key), static_cast<int>(dict.size()));
+      next[v] = it->second;
+    }
+    if (next == colour) break;
+    colour = std::move(next);
+  }
+  return colour;
+}
+
+}  // namespace
+
+std::string model_fingerprint(const KripkeModel& k) {
+  const int n = k.num_states();
+  const std::vector<int> colour = refinement_colours(k);
+  // Relabel: stable sort by (colour, original index). new_of[old] = new.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return colour[a] < colour[b];
+  });
+  std::vector<int> new_of(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) new_of[order[i]] = i;
+
+  std::string fp = "n" + std::to_string(n) + "p" +
+                   std::to_string(k.num_props()) + ";";
+  for (int i = 0; i < n; ++i) {
+    const int v = order[i];
+    fp += "s";
+    for (int q = 1; q <= k.num_props(); ++q) {
+      fp += k.prop_holds(q, v) ? '1' : '0';
+    }
+    fp += ';';
+  }
+  for (const Modality& alpha : k.modalities()) {
+    fp += "m" + alpha.to_string() + ":";
+    std::vector<std::pair<int, int>> edges;
+    for (int v = 0; v < n; ++v) {
+      for (int w : k.successors(alpha, v)) {
+        edges.emplace_back(new_of[v], new_of[w]);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    for (const auto& [a, b] : edges) {
+      fp += std::to_string(a) + ">" + std::to_string(b) + ",";
+    }
+    fp += ';';
+  }
+  return fp;
+}
+
+QuotientSearchResult search_distinct_quotients(
+    std::uint64_t count,
+    const std::function<KripkeModel(std::uint64_t)>& build, bool graded,
+    ThreadPool* pool) {
+  auto minimise_at = [&](std::uint64_t i) {
+    const KripkeModel k = build(i);
+    return graded ? minimise_graded(k) : minimise(k);
+  };
+
+  QuotientSearchResult result;
+  result.scanned = count;
+  if (pool != nullptr) {
+    // Pass 1 (parallel): fingerprint -> lowest input index. The per-key
+    // minimum is a pure function of the scanned family, independent of
+    // thread timing — exactly the enumeration dedup pattern.
+    ShardedMinMap<std::string, std::uint64_t> table;
+    pool->parallel_for(0, count, [&](std::uint64_t i) {
+      table.insert_min(model_fingerprint(minimise_at(i)), i);
+    });
+    result.representatives = table.values();
+    std::sort(result.representatives.begin(), result.representatives.end());
+    // Pass 2 (parallel, order-preserving slots): rebuild the surviving
+    // representatives' minimal models.
+    result.models.assign(result.representatives.size(), KripkeModel(0, 0));
+    pool->parallel_for(0, result.representatives.size(), [&](std::uint64_t j) {
+      result.models[j] = minimise_at(result.representatives[j]);
+    });
+    return result;
+  }
+
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    KripkeModel q = minimise_at(i);
+    if (!seen.insert(model_fingerprint(q)).second) continue;
+    result.representatives.push_back(i);
+    result.models.push_back(std::move(q));
+  }
+  return result;
 }
 
 }  // namespace wm

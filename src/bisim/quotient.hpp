@@ -12,10 +12,17 @@
 // provided; graded queries should be evaluated on the original model.)
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "bisim/bisimulation.hpp"
 #include "logic/kripke.hpp"
 
 namespace wm {
+
+class ThreadPool;
 
 /// The quotient K / p. Precondition: p is a bisimulation partition of k
 /// (e.g. from coarsest_bisimulation) — verified with
@@ -34,5 +41,45 @@ KripkeModel graded_quotient_model(const KripkeModel& k, const Partition& p);
 
 /// Convenience: graded quotient by the coarsest graded bisimulation.
 KripkeModel minimise_graded(const KripkeModel& k);
+
+// --- Quotient search --------------------------------------------------------
+
+/// Canonical-form fingerprint of a Kripke model: states are relabelled
+/// by a modality-aware colour-refinement order (ties broken by original
+/// index) and the model serialised under that order. Equal fingerprints
+/// imply isomorphic models (the serialisation retains full structure);
+/// isomorphic models with sufficiently symmetric orderings may still
+/// fingerprint apart — the search below is a sound dedup, not a graph
+/// canonicaliser.
+std::string model_fingerprint(const KripkeModel& k);
+
+struct QuotientSearchResult {
+  /// Lowest input index per distinct minimal-model fingerprint, in
+  /// increasing index order — the representative the sequential scan
+  /// encounters first.
+  std::vector<std::uint64_t> representatives;
+  /// The minimised model of each representative, same order.
+  std::vector<KripkeModel> models;
+  /// Inputs scanned (always `count`; the discovery pass never stops
+  /// early).
+  std::uint64_t scanned = 0;
+};
+
+/// Scans the indexed model family build(i), i in [0, count): minimises
+/// each model (graded quotient if `graded`), dedups by fingerprint, and
+/// returns the distinct minimal models, each tagged with the lowest
+/// index producing it. This is the search behind the Lemma 14/15
+/// bisimulation separations: "how many genuinely different minimal
+/// views does this family of port numberings admit?".
+///
+/// With a pool, discovery runs in parallel into a sharded fingerprint ->
+/// minimum-index table (same pattern as the parallel graph enumeration);
+/// the per-key minimum is timing-independent, so representatives — and
+/// the replayed models — are byte-identical at any thread count.
+/// build must be safe to call concurrently for distinct indices.
+QuotientSearchResult search_distinct_quotients(
+    std::uint64_t count,
+    const std::function<KripkeModel(std::uint64_t)>& build, bool graded = false,
+    ThreadPool* pool = nullptr);
 
 }  // namespace wm

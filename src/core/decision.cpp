@@ -1,8 +1,38 @@
 #include "core/decision.hpp"
 
-#include <cmath>
+#include <limits>
+
+#include "util/parallel.hpp"
 
 namespace wm {
+
+namespace {
+
+/// |Y|^blocks with saturation (the budget check rejects anything large,
+/// so saturation only guards the arithmetic, never a real scan).
+std::uint64_t saturating_pow(std::uint64_t base, int exp) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t acc = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && acc > kMax / base) return kMax;
+    acc *= base;
+  }
+  return acc;
+}
+
+/// Assignment index -> block colouring, mixed radix with block 0 as the
+/// least significant digit — precisely the order the sequential odometer
+/// enumerates, so index order IS odometer order.
+void colouring_for_index(std::uint64_t a, const std::vector<int>& alphabet,
+                         std::vector<int>& colour) {
+  const std::uint64_t y = alphabet.size();
+  for (std::size_t b = 0; b < colour.size(); ++b) {
+    colour[b] = alphabet[static_cast<std::size_t>(a % y)];
+    a /= y;
+  }
+}
+
+}  // namespace
 
 Decision decide_solvable(const Problem& problem,
                          const std::vector<PortNumbering>& scope,
@@ -18,13 +48,25 @@ Decision decide_solvable(const Problem& problem,
     }
   }
 
-  // Joint model and per-instance state offsets.
+  // Joint model and per-instance state offsets. The per-instance Kripke
+  // builds are independent: with a pool they run concurrently into
+  // index-ordered slots; the fold below is sequential either way, so the
+  // state numbering (and hence every block id) is thread-count-invariant.
+  std::vector<KripkeModel> parts(scope.size(), KripkeModel(0, 0));
+  if (opts.pool != nullptr) {
+    opts.pool->parallel_for(0, scope.size(), [&](std::uint64_t i) {
+      parts[i] = kripke_from_graph(scope[i], variant, delta);
+    });
+  } else {
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+      parts[i] = kripke_from_graph(scope[i], variant, delta);
+    }
+  }
   KripkeModel joint(0, 0);
   std::vector<int> offset;
-  for (const PortNumbering& p : scope) {
+  for (const KripkeModel& part : parts) {
     offset.push_back(joint.num_states());
-    joint = KripkeModel::disjoint_union(
-        joint, kripke_from_graph(p, variant, delta));
+    joint = KripkeModel::disjoint_union(joint, part);
   }
 
   const Partition part = graded
@@ -34,30 +76,55 @@ Decision decide_solvable(const Problem& problem,
   decision.blocks = part.num_blocks;
 
   const std::vector<int> alphabet = problem.output_alphabet();
-  const double combos =
-      std::pow(static_cast<double>(alphabet.size()), part.num_blocks);
-  if (combos > static_cast<double>(opts.max_assignments)) {
+  const std::uint64_t combos =
+      saturating_pow(alphabet.size(), part.num_blocks);
+  if (combos > opts.max_assignments) {
     throw DecisionBudgetError(
         "decide_solvable: |Y|^blocks exceeds the assignment budget (" +
         std::to_string(part.num_blocks) + " blocks)");
   }
 
-  // Odometer over block colourings.
-  std::vector<std::size_t> idx(static_cast<std::size_t>(part.num_blocks), 0);
-  std::vector<int> colour(static_cast<std::size_t>(part.num_blocks),
-                          alphabet[0]);
-  for (;;) {
-    ++decision.assignments_tried;
-    bool all_valid = true;
-    for (std::size_t i = 0; i < scope.size() && all_valid; ++i) {
+  auto outputs_valid = [&](const std::vector<int>& colour) {
+    for (std::size_t i = 0; i < scope.size(); ++i) {
       const Graph& g = scope[i].graph();
       std::vector<int> out(static_cast<std::size_t>(g.num_nodes()));
       for (int v = 0; v < g.num_nodes(); ++v) {
         out[v] = colour[part.block[offset[i] + v]];
       }
-      all_valid = problem.valid(g, out);
+      if (!problem.valid(g, out)) return false;
     }
-    if (all_valid) {
+    return true;
+  };
+
+  if (opts.pool != nullptr) {
+    // Parallel scan: lowest-witness contract of parallel_find_first ==
+    // the first assignment the odometer below would accept, so the
+    // decision bit AND the colouring AND assignments_tried are identical
+    // to the sequential scan at any thread count.
+    const auto hit = opts.pool->parallel_find_first(
+        0, combos, [&](std::uint64_t a) {
+          std::vector<int> colour(static_cast<std::size_t>(part.num_blocks));
+          colouring_for_index(a, alphabet, colour);
+          return outputs_valid(colour);
+        });
+    if (hit) {
+      decision.solvable = true;
+      decision.block_output.resize(static_cast<std::size_t>(part.num_blocks));
+      colouring_for_index(*hit, alphabet, decision.block_output);
+      decision.assignments_tried = static_cast<std::size_t>(*hit) + 1;
+    } else {
+      decision.assignments_tried = static_cast<std::size_t>(combos);
+    }
+    return decision;
+  }
+
+  // Sequential odometer over block colourings.
+  std::vector<std::size_t> idx(static_cast<std::size_t>(part.num_blocks), 0);
+  std::vector<int> colour(static_cast<std::size_t>(part.num_blocks),
+                          alphabet[0]);
+  for (;;) {
+    ++decision.assignments_tried;
+    if (outputs_valid(colour)) {
       decision.solvable = true;
       decision.block_output = colour;
       return decision;

@@ -24,10 +24,18 @@
 
 namespace wm {
 
+class ThreadPool;
+
 struct DecisionOptions {
   int rounds = -1;              // t; -1 = refinement fixpoint (any time)
   int delta = -1;               // common Delta; -1 = max over scope
   std::size_t max_assignments = 1u << 22;  // colouring budget
+  /// Optional task-parallel substrate for the colouring scan (and the
+  /// per-instance Kripke builds). nullptr = sequential. The result is
+  /// byte-identical at any thread count: the scan uses
+  /// parallel_find_first, whose witness is always the lowest assignment
+  /// index — exactly the assignment the sequential odometer finds first.
+  ThreadPool* pool = nullptr;
 };
 
 struct Decision {

@@ -1,23 +1,60 @@
 #include "core/solvability.hpp"
 
+#include <limits>
 #include <stdexcept>
+
+#include "util/parallel.hpp"
 
 namespace wm {
 
-ScopedInstance instance_for(const Problem& problem, PortNumbering numbering) {
+ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
+                            ThreadPool* pool) {
   ScopedInstance inst;
   const Graph& g = numbering.graph();
   std::optional<std::vector<int>> unique;
-  for_each_output(problem, g, [&](const std::vector<int>& out) {
-    if (problem.valid(g, out)) {
-      if (unique) {
-        throw std::invalid_argument(
-            "instance_for: problem has multiple valid solutions on this graph");
-      }
-      unique = out;
+  if (pool != nullptr) {
+    const auto space = output_space_size(problem, g);
+    if (!space) {
+      throw std::invalid_argument(
+          "instance_for: output space too large to scan");
     }
-    return true;
-  });
+    // Chunk-ordered reduction to (lowest valid index, number of valid
+    // outputs): a pure function of the output space, so the scan agrees
+    // with the sequential odometer at any thread count.
+    constexpr std::uint64_t kNone = std::numeric_limits<std::uint64_t>::max();
+    struct Acc {
+      std::uint64_t first = std::numeric_limits<std::uint64_t>::max();
+      std::uint64_t count = 0;
+    };
+    const Acc acc = pool->parallel_reduce<Acc>(
+        0, *space, Acc{},
+        [&](std::uint64_t i) -> Acc {
+          const std::vector<int> out = output_for_index(problem, g, i);
+          if (problem.valid(g, out)) return Acc{i, 1};
+          return Acc{kNone, 0};
+        },
+        [](Acc a, Acc b) {
+          return Acc{a.first < b.first ? a.first : b.first,
+                     a.count + b.count};
+        });
+    if (acc.count > 1) {
+      throw std::invalid_argument(
+          "instance_for: problem has multiple valid solutions on this graph");
+    }
+    if (acc.count == 1) unique = output_for_index(problem, g, acc.first);
+  } else {
+    for_each_output(problem, g, [&](const std::vector<int>& out) {
+      if (problem.valid(g, out)) {
+        if (unique) {
+          throw std::invalid_argument(
+              "instance_for: problem has multiple valid solutions on this "
+              "graph");
+        }
+        unique = out;
+      }
+      return true;
+    });
+  }
   if (!unique) {
     throw std::invalid_argument("instance_for: problem has no valid solution");
   }
@@ -28,7 +65,7 @@ ScopedInstance instance_for(const Problem& problem, PortNumbering numbering) {
 
 SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
                                       ProblemClass c, int delta,
-                                      int max_rounds) {
+                                      int max_rounds, ThreadPool* pool) {
   const Variant variant = kripke_variant_for(c);
   // Multiset classes see multiplicities: graded refinement. Set classes
   // and Vector classes use ungraded refinement — Vector's extra per-port
@@ -44,6 +81,10 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
     target.insert(target.end(), inst.target.begin(), inst.target.end());
   }
 
+  auto partition_at = [&](int t) {
+    return graded ? coarsest_graded_bisimulation(joint, t)
+                  : coarsest_bisimulation(joint, t);
+  };
   auto monochromatic = [&](const Partition& p) {
     std::vector<int> colour(static_cast<std::size_t>(p.num_blocks), -1);
     for (int v = 0; v < joint.num_states(); ++v) {
@@ -58,10 +99,41 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
   };
 
   SolvabilityReport report;
+  if (pool != nullptr) {
+    // The t-step refinements are independent recomputations; both scans
+    // are lowest-witness searches, so the report is deterministic. The
+    // monochromatic search range mirrors the sequential loop: it never
+    // probes beyond the fixpoint round (nor beyond the cap).
+    const auto fix = pool->parallel_find_first(
+        1, static_cast<std::uint64_t>(max_rounds) + 1, [&](std::uint64_t t) {
+          const int ti = static_cast<int>(t);
+          return partition_at(ti).num_blocks ==
+                 partition_at(ti - 1).num_blocks;
+        });
+    int mono_cap;  // inclusive upper bound for the min_rounds search
+    if (fix) {
+      const int t_fix = static_cast<int>(*fix);
+      report.fixpoint_rounds = t_fix - 1;
+      report.blocks = partition_at(t_fix).num_blocks;
+      mono_cap = t_fix;
+    } else {
+      const Partition p = graded ? coarsest_graded_bisimulation(joint)
+                                 : coarsest_bisimulation(joint);
+      report.fixpoint_rounds = p.rounds;
+      report.blocks = p.num_blocks;
+      mono_cap = max_rounds;
+    }
+    const auto mono = pool->parallel_find_first(
+        0, static_cast<std::uint64_t>(mono_cap) + 1, [&](std::uint64_t t) {
+          return monochromatic(partition_at(static_cast<int>(t)));
+        });
+    if (mono) report.min_rounds = static_cast<int>(*mono);
+    return report;
+  }
+
   int prev_blocks = -1;
   for (int t = 0; t <= max_rounds; ++t) {
-    const Partition p = graded ? coarsest_graded_bisimulation(joint, t)
-                               : coarsest_bisimulation(joint, t);
+    const Partition p = partition_at(t);
     if (!report.min_rounds && monochromatic(p)) report.min_rounds = t;
     if (p.num_blocks == prev_blocks) {
       report.fixpoint_rounds = t - 1;

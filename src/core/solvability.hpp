@@ -21,6 +21,8 @@
 
 namespace wm {
 
+class ThreadPool;
+
 struct ScopedInstance {
   PortNumbering numbering;
   std::vector<int> target;  // required output per node (0/1)
@@ -40,14 +42,25 @@ struct SolvabilityReport {
 /// Analyses solvability of the target outputs in problem class `c` over
 /// the scope. All instances must share max degree <= delta (pass the
 /// common Delta so degree propositions align).
+///
+/// With a pool, the per-round-bound refinements (independent
+/// computations: the t-step partition is rebuilt from scratch per t,
+/// exactly as the sequential loop does) are scanned with
+/// parallel_find_first — min_rounds and fixpoint_rounds are lowest
+/// witnesses, so the report is identical at any thread count.
 SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
                                       ProblemClass c, int delta,
-                                      int max_rounds = 64);
+                                      int max_rounds = 64,
+                                      ThreadPool* pool = nullptr);
 
 /// Builds a scope from graphs: instances get the given numberings and
 /// targets from a uniquely-solvable problem's solution (computed by
 /// brute force over the output alphabet via the verifier — the problem
 /// must have exactly one valid solution per graph; throws otherwise).
-ScopedInstance instance_for(const Problem& problem, PortNumbering numbering);
+/// With a pool the |Y|^n output scan runs as a chunk-ordered parallel
+/// reduction (lowest valid index + validity count), so the instance —
+/// and the thrown diagnostics — match the sequential scan exactly.
+ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace wm

@@ -6,6 +6,7 @@
 #include "compile/formula_compiler.hpp"
 #include "logic/simplify.hpp"
 #include "runtime/combinators.hpp"
+#include "util/parallel.hpp"
 
 namespace wm {
 
@@ -18,6 +19,29 @@ int common_delta(const std::vector<PortNumbering>& scope, int requested) {
     delta = std::max(delta, p.graph().max_degree());
   }
   return delta;
+}
+
+/// Rebuilds the joint model exactly as decide_solvable does (so block
+/// ids line up with the returned colouring): per-instance builds run on
+/// the pool when available, the fold stays sequential — state numbering
+/// is therefore thread-count-invariant.
+KripkeModel joint_model(const std::vector<PortNumbering>& scope,
+                        Variant variant, int delta, ThreadPool* pool) {
+  std::vector<KripkeModel> parts(scope.size(), KripkeModel(0, 0));
+  if (pool != nullptr) {
+    pool->parallel_for(0, scope.size(), [&](std::uint64_t i) {
+      parts[i] = kripke_from_graph(scope[i], variant, delta);
+    });
+  } else {
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+      parts[i] = kripke_from_graph(scope[i], variant, delta);
+    }
+  }
+  KripkeModel joint(0, 0);
+  for (const KripkeModel& part : parts) {
+    joint = KripkeModel::disjoint_union(joint, part);
+  }
+  return joint;
 }
 
 }  // namespace
@@ -36,13 +60,7 @@ std::optional<SynthesisResult> synthesise_solution(
   const bool graded = graded_logic_for(c);
   const int delta = common_delta(scope, opts.delta);
 
-  // Rebuild the joint model exactly as decide_solvable does, so block
-  // ids line up with the returned colouring.
-  KripkeModel joint(0, 0);
-  for (const PortNumbering& p : scope) {
-    joint = KripkeModel::disjoint_union(joint,
-                                        kripke_from_graph(p, variant, delta));
-  }
+  const KripkeModel joint = joint_model(scope, variant, delta, opts.pool);
   const Partition part = graded
                              ? coarsest_graded_bisimulation(joint, opts.rounds)
                              : coarsest_bisimulation(joint, opts.rounds);
@@ -77,11 +95,7 @@ std::optional<MultiSynthesisResult> synthesise_multivalued(
   const bool graded = graded_logic_for(c);
   const int delta = common_delta(scope, opts.delta);
 
-  KripkeModel joint(0, 0);
-  for (const PortNumbering& p : scope) {
-    joint = KripkeModel::disjoint_union(joint,
-                                        kripke_from_graph(p, variant, delta));
-  }
+  const KripkeModel joint = joint_model(scope, variant, delta, opts.pool);
   const Partition part = graded
                              ? coarsest_graded_bisimulation(joint, opts.rounds)
                              : coarsest_bisimulation(joint, opts.rounds);

@@ -35,6 +35,11 @@ struct SynthesisResult {
 /// every instance of the scope, or nullopt if none exists at the given
 /// round bound. Throws DecisionBudgetError like decide_solvable, and
 /// std::invalid_argument if the problem's alphabet is not {0, 1}.
+///
+/// With opts.pool set, the colouring scan and the per-instance Kripke
+/// builds run on the pool; the lowest-witness contract of the scan makes
+/// the synthesised formula and machine byte-identical at any thread
+/// count (pinned by the differential tests).
 std::optional<SynthesisResult> synthesise_solution(
     const Problem& problem, const std::vector<PortNumbering>& scope,
     ProblemClass c, const DecisionOptions& opts = {});

@@ -1,7 +1,12 @@
 #include "cover/covering.hpp"
 
+#include <deque>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "graph/properties.hpp"
+#include "util/parallel.hpp"
 
 namespace wm {
 
@@ -25,6 +30,90 @@ bool is_covering_map(const PortNumbering& h, const PortNumbering& g,
     if (!b) return false;  // surjectivity
   }
   return true;
+}
+
+namespace {
+
+/// Propagates a candidate anchor assignment (component anchor ->
+/// G-node) across H via the ports; returns the full map if propagation
+/// is consistent AND the result passes the literal is_covering_map
+/// check, else nullopt.
+std::optional<std::vector<NodeId>> propagate_cover(
+    const PortNumbering& h, const PortNumbering& g,
+    const std::vector<std::vector<NodeId>>& components,
+    const std::vector<NodeId>& anchor_images) {
+  const Graph& gh = h.graph();
+  const Graph& gg = g.graph();
+  std::vector<NodeId> phi(static_cast<std::size_t>(gh.num_nodes()), -1);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    const NodeId anchor = components[c][0];
+    const NodeId image = anchor_images[c];
+    if (gh.degree(anchor) != gg.degree(image)) return std::nullopt;
+    phi[anchor] = image;
+    std::deque<NodeId> queue{anchor};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (int i = 1; i <= gh.degree(v); ++i) {
+        const PortRef up = h.forward({v, i});
+        const PortRef down = g.forward({phi[v], i});
+        if (phi[up.node] < 0) {
+          if (gh.degree(up.node) != gg.degree(down.node)) return std::nullopt;
+          phi[up.node] = down.node;
+          queue.push_back(up.node);
+        } else if (phi[up.node] != down.node) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  if (!is_covering_map(h, g, phi)) return std::nullopt;
+  return phi;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> find_covering_map(
+    const PortNumbering& h, const PortNumbering& g, ThreadPool* pool) {
+  const std::vector<std::vector<NodeId>> components =
+      connected_components(h.graph());
+  const std::uint64_t base = static_cast<std::uint64_t>(g.graph().num_nodes());
+
+  // Candidate space: one G-node per component anchor, mixed radix with
+  // component 0 as the least significant digit.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t space = 1;
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    if (base != 0 && space > kMax / base) {
+      throw std::invalid_argument(
+          "find_covering_map: anchor space exceeds 64 bits");
+    }
+    space *= base;
+  }
+
+  auto images_for = [&](std::uint64_t a) {
+    std::vector<NodeId> images(components.size());
+    for (std::size_t c = 0; c < components.size(); ++c) {
+      images[c] = static_cast<NodeId>(a % base);
+      a /= base;
+    }
+    return images;
+  };
+  auto candidate_at = [&](std::uint64_t a) {
+    return propagate_cover(h, g, components, images_for(a));
+  };
+
+  if (pool != nullptr) {
+    const auto hit = pool->parallel_find_first(0, space, [&](std::uint64_t a) {
+      return candidate_at(a).has_value();
+    });
+    if (!hit) return std::nullopt;
+    return candidate_at(*hit);
+  }
+  for (std::uint64_t a = 0; a < space; ++a) {
+    if (auto phi = candidate_at(a)) return phi;
+  }
+  return std::nullopt;
 }
 
 namespace {

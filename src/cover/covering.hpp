@@ -19,12 +19,16 @@
 // double cover is the special case k = 2 with the flip on every edge.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "port/port_numbering.hpp"
 
 namespace wm {
+
+class ThreadPool;
 
 /// A lift: the covering graph with its port numbering, plus the covering
 /// map down to the base graph.
@@ -37,6 +41,21 @@ struct Lift {
 /// port-numbered graphs from `h` down to `g` in the sense above.
 bool is_covering_map(const PortNumbering& h, const PortNumbering& g,
                      const std::vector<NodeId>& phi);
+
+/// Searches for a covering map phi : H -> G. Key fact: on a connected
+/// component of H, phi is fully determined by the image of one anchor
+/// node — ports propagate the map along edges (p_G(phi(v), i) names
+/// phi's value at the other endpoint). The candidate space is therefore
+/// V(G)^{#components of H}, indexed mixed-radix with the first
+/// component's anchor as the least significant digit; each candidate is
+/// propagated by BFS and verified.
+///
+/// Returns the covering map with the lowest candidate index, or nullopt
+/// if H does not cover G. With a pool the scan uses parallel_find_first,
+/// so the returned witness is identical at any thread count.
+std::optional<std::vector<NodeId>> find_covering_map(
+    const PortNumbering& h, const PortNumbering& g,
+    ThreadPool* pool = nullptr);
 
 /// Permutation voltage on the edges of the base graph: for the oriented
 /// edge (u, v) with u < v, `sigma(u, v)` returns a permutation pi of

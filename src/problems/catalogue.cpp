@@ -1,6 +1,7 @@
 #include "problems/catalogue.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@
 #include "graph/properties.hpp"
 #include "logic/model_checker.hpp"
 #include "port/port_numbering.hpp"
+#include "util/parallel.hpp"
 
 namespace wm {
 
@@ -37,20 +39,54 @@ std::size_t for_each_output(const Problem& p, const Graph& g,
   }
 }
 
+std::optional<std::uint64_t> output_space_size(const Problem& p,
+                                               const Graph& g) {
+  const std::uint64_t y = p.output_alphabet().size();
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t acc = 1;
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (y != 0 && acc > kMax / y) return std::nullopt;
+    acc *= y;
+  }
+  return acc;
+}
+
+std::vector<int> output_for_index(const Problem& p, const Graph& g,
+                                  std::uint64_t idx) {
+  const std::vector<int> alphabet = p.output_alphabet();
+  const std::uint64_t y = alphabet.size();
+  std::vector<int> out(static_cast<std::size_t>(g.num_nodes()));
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    out[v] = alphabet[static_cast<std::size_t>(idx % y)];
+    idx /= y;
+  }
+  return out;
+}
+
 bool every_solution_splits(const Problem& p, const Graph& g,
-                           const std::vector<NodeId>& x) {
+                           const std::vector<NodeId>& x, ThreadPool* pool) {
+  auto unsplit = [&](const std::vector<int>& out) {
+    if (!p.valid(g, out)) return false;
+    for (std::size_t i = 1; i < x.size(); ++i) {
+      if (out[x[i]] != out[x[0]]) return false;
+    }
+    return true;  // valid yet constant on X: a counterexample
+  };
+  if (pool != nullptr) {
+    if (const auto space = output_space_size(p, g)) {
+      return !pool->parallel_find_first(0, *space, [&](std::uint64_t i) {
+                     return unsplit(output_for_index(p, g, i));
+                   })
+                  .has_value();
+    }
+    // Space too large for indexed scanning — fall through; the odometer
+    // below would never finish either, but keeps the semantics defined.
+  }
   bool ok = true;
   for_each_output(p, g, [&](const std::vector<int>& out) {
-    if (!p.valid(g, out)) return true;
-    bool split = false;
-    for (std::size_t i = 1; i < x.size(); ++i) {
-      if (out[x[i]] != out[x[0]]) split = true;
-    }
-    if (!split) {
-      ok = false;
-      return false;
-    }
-    return true;
+    if (!unsplit(out)) return true;
+    ok = false;
+    return false;
   });
   return ok;
 }

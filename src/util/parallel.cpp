@@ -210,6 +210,9 @@ void ThreadPool::parallel_chunks_until(
 std::optional<std::uint64_t> ThreadPool::parallel_find_first(
     std::uint64_t begin, std::uint64_t end,
     const std::function<bool(std::uint64_t)>& pred, std::uint64_t chunk) {
+  // Empty (or reversed) range: no candidate exists, so "not found" —
+  // returned up front so chunk-size arithmetic never sees an empty span.
+  if (begin >= end) return std::nullopt;
   constexpr std::uint64_t kNone = std::numeric_limits<std::uint64_t>::max();
   std::atomic<std::uint64_t> best{kNone};
   run_chunked(begin, end, chunk,

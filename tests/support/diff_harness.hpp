@@ -1,0 +1,64 @@
+// Differential harness: pins the serial ≡ parallel determinism contract.
+//
+// Every parallel entry point in this library promises the EXACT result
+// of its sequential counterpart — not merely an equivalent one: scans
+// use parallel_find_first (lowest witness), dedup goes through per-key
+// minimum tables, reductions are chunk-ordered. The harness makes that
+// promise executable: run the computation with pool = nullptr (the
+// sequential reference) and again on pools of 2 and 8 workers, and
+// require identical results.
+//
+// Seeds: seeded-random inputs iterate over seeds_under_test(). Setting
+// the WM_SEED environment variable narrows the run to that single seed —
+// failure messages print the seed, so `WM_SEED=<n> ctest -R differential`
+// reproduces any reported divergence directly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace wm::difftest {
+
+/// Worker counts compared against the sequential reference.
+inline const std::vector<int>& thread_counts() {
+  static const std::vector<int> counts = {2, 8};
+  return counts;
+}
+
+/// Seeds for randomised differential inputs; WM_SEED=<n> narrows to one.
+inline std::vector<std::uint64_t> seeds_under_test() {
+  if (const char* env = std::getenv("WM_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {1, 7, 13, 42, 2012};
+}
+
+/// Runs `run(pool)` with pool = nullptr and with 2- and 8-worker pools,
+/// asserting the returned values compare equal (the result type needs
+/// operator== and gtest printability — strings and summary structs).
+/// `what` labels the computation, `seed` the input, in failure output.
+template <typename Run>
+void expect_serial_equals_parallel(const char* what, std::uint64_t seed,
+                                   Run&& run) {
+  const auto reference = run(static_cast<ThreadPool*>(nullptr));
+  for (const int threads : thread_counts()) {
+    ThreadPool pool(threads);
+    const auto parallel = run(&pool);
+    EXPECT_EQ(parallel, reference)
+        << what << " diverged from the serial reference at threads="
+        << threads << " — reproduce with WM_SEED=" << seed;
+  }
+}
+
+/// Variant for exhaustive (non-seeded) inputs.
+template <typename Run>
+void expect_serial_equals_parallel(const char* what, Run&& run) {
+  expect_serial_equals_parallel(what, 0, std::forward<Run>(run));
+}
+
+}  // namespace wm::difftest

@@ -74,6 +74,35 @@ TEST(ThreadPool, FindFirstEmptyRange) {
           .has_value());
 }
 
+TEST(ThreadPool, FindFirstEmptyAndReversedRangesNeverCallThePredicate) {
+  // Regression: an empty span must short-circuit to nullopt before any
+  // chunk-size arithmetic — including begin > end and every pool size /
+  // explicit chunk combination.
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (const std::uint64_t chunk : {std::uint64_t{0}, std::uint64_t{1},
+                                      std::uint64_t{64}}) {
+      for (const auto [begin, end] :
+           {std::pair<std::uint64_t, std::uint64_t>{0, 0},
+            {7, 7},
+            {10, 3}}) {
+        bool called = false;
+        const auto hit = pool.parallel_find_first(
+            begin, end,
+            [&](std::uint64_t) {
+              called = true;
+              return true;
+            },
+            chunk);
+        EXPECT_FALSE(hit.has_value())
+            << "threads=" << threads << " chunk=" << chunk << " ["
+            << begin << "," << end << ")";
+        EXPECT_FALSE(called);
+      }
+    }
+  }
+}
+
 TEST(ThreadPool, ExceptionsPropagateToCaller) {
   for (const int threads : {1, 4}) {
     ThreadPool pool(threads);
