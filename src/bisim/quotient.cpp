@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "graph/canonical.hpp"
 #include "util/parallel.hpp"
 #include "util/sharded.hpp"
 
@@ -71,7 +72,7 @@ namespace {
 
 /// Modality-aware colour refinement: iterated (own colour, per-modality
 /// sorted successor-colour multiset) until stable. The final colours
-/// induce the relabelling order of model_fingerprint.
+/// induce the relabelling order of refinement_fingerprint.
 std::vector<int> refinement_colours(const KripkeModel& k) {
   const int n = k.num_states();
   const std::vector<Modality> mods = k.modalities();
@@ -115,6 +116,14 @@ std::vector<int> refinement_colours(const KripkeModel& k) {
 }  // namespace
 
 std::string model_fingerprint(const KripkeModel& k) {
+  // The complete key: individualisation–refinement canonical form.
+  // Isomorphic models — however symmetric — get byte-identical
+  // fingerprints, so dedup tables keyed on this count isomorphism
+  // classes exactly.
+  return canonical_certificate(k);
+}
+
+std::string refinement_fingerprint(const KripkeModel& k) {
   const int n = k.num_states();
   const std::vector<int> colour = refinement_colours(k);
   // Relabel: stable sort by (colour, original index). new_of[old] = new.
@@ -165,9 +174,12 @@ QuotientSearchResult search_distinct_quotients(
   QuotientSearchResult result;
   result.scanned = count;
   if (pool != nullptr) {
-    // Pass 1 (parallel): fingerprint -> lowest input index. The per-key
-    // minimum is a pure function of the scanned family, independent of
-    // thread timing — exactly the enumeration dedup pattern.
+    // Pass 1 (parallel): canonical fingerprint -> lowest input index.
+    // The pool drives per-candidate minimisation AND canonicalisation;
+    // the per-key minimum is a pure function of the scanned family,
+    // independent of thread timing — exactly the enumeration dedup
+    // pattern. The key is complete, so each table entry is one
+    // isomorphism class.
     ShardedMinMap<std::string, std::uint64_t> table;
     pool->parallel_for(0, count, [&](std::uint64_t i) {
       table.insert_min(model_fingerprint(minimise_at(i)), i);

@@ -44,19 +44,26 @@ KripkeModel minimise_graded(const KripkeModel& k);
 
 // --- Quotient search --------------------------------------------------------
 
-/// Canonical-form fingerprint of a Kripke model: states are relabelled
-/// by a modality-aware colour-refinement order (ties broken by original
-/// index) and the model serialised under that order. Equal fingerprints
-/// imply isomorphic models (the serialisation retains full structure);
-/// isomorphic models with sufficiently symmetric orderings may still
-/// fingerprint apart — the search below is a sound dedup, not a graph
-/// canonicaliser.
+/// COMPLETE isomorphism key of a Kripke model: the canonical-form
+/// certificate of graph/canonical.hpp (individualisation–refinement).
+/// Equal fingerprints ⟺ isomorphic models — both directions hold, so
+/// deduplicating by this key counts isomorphism classes exactly, even
+/// for highly symmetric models. (The PR-2 key, kept below as
+/// refinement_fingerprint, only guaranteed the ⇒ direction.)
 std::string model_fingerprint(const KripkeModel& k);
 
+/// The legacy PR-2 fingerprint: states relabelled by a modality-aware
+/// colour-refinement order (ties broken by original index) and the model
+/// serialised under that order. Sound (equal ⇒ isomorphic) but
+/// incomplete: symmetric isomorphic models can fingerprint apart. Kept
+/// as the reference point for the metamorphic tests, which pin that the
+/// canonical key never yields MORE classes than this one.
+std::string refinement_fingerprint(const KripkeModel& k);
+
 struct QuotientSearchResult {
-  /// Lowest input index per distinct minimal-model fingerprint, in
-  /// increasing index order — the representative the sequential scan
-  /// encounters first.
+  /// Lowest input index per isomorphism class of minimal models (the
+  /// complete model_fingerprint key), in increasing index order — the
+  /// representative the sequential scan encounters first.
   std::vector<std::uint64_t> representatives;
   /// The minimised model of each representative, same order.
   std::vector<KripkeModel> models;
@@ -66,16 +73,20 @@ struct QuotientSearchResult {
 };
 
 /// Scans the indexed model family build(i), i in [0, count): minimises
-/// each model (graded quotient if `graded`), dedups by fingerprint, and
-/// returns the distinct minimal models, each tagged with the lowest
-/// index producing it. This is the search behind the Lemma 14/15
-/// bisimulation separations: "how many genuinely different minimal
-/// views does this family of port numberings admit?".
+/// each model (graded quotient if `graded`), dedups by the complete
+/// model_fingerprint key — so the result counts isomorphism classes of
+/// minimal models EXACTLY, not refinement classes — and returns the
+/// distinct minimal models, each tagged with the lowest index producing
+/// it. This is the search behind the Lemma 14/15 bisimulation
+/// separations: "how many genuinely different minimal views does this
+/// family of port numberings admit?".
 ///
-/// With a pool, discovery runs in parallel into a sharded fingerprint ->
-/// minimum-index table (same pattern as the parallel graph enumeration);
-/// the per-key minimum is timing-independent, so representatives — and
-/// the replayed models — are byte-identical at any thread count.
+/// With a pool, discovery (minimise + canonicalise per candidate) runs
+/// in parallel into a sharded fingerprint -> minimum-index table (same
+/// pattern as the parallel graph enumeration); the per-key minimum is
+/// timing-independent, so representatives — and the replayed models —
+/// are byte-identical at any thread count. Counts are additionally
+/// invariant under relabelling the input models (the key is canonical).
 /// build must be safe to call concurrently for distinct indices.
 QuotientSearchResult search_distinct_quotients(
     std::uint64_t count,

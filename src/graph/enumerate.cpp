@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "graph/canonical.hpp"
 #include "graph/properties.hpp"
 #include "util/parallel.hpp"
 #include "util/sharded.hpp"
@@ -107,6 +108,51 @@ std::size_t enumerate_graphs_modulo_refinement(
     ++visited;
     return fn(g);
   });
+  return visited;
+}
+
+std::size_t enumerate_graphs_modulo_iso(
+    int n, const EnumerateOptions& opts,
+    const std::function<bool(const Graph&)>& fn) {
+  std::set<std::string> seen;
+  std::size_t visited = 0;
+  enumerate_graphs(n, opts, [&](const Graph& g) {
+    if (!seen.insert(canonical_certificate(g)).second) return true;
+    ++visited;
+    return fn(g);
+  });
+  return visited;
+}
+
+std::size_t enumerate_graphs_modulo_iso_parallel(
+    int n, const EnumerateOptions& opts, ThreadPool& pool,
+    const std::function<bool(const Graph&)>& fn) {
+  const std::vector<Edge> all_edges = all_possible_edges(n);
+  const std::size_t m = all_edges.size();
+  // Pass 1 (parallel): canonical certificate -> lowest admissible edge
+  // mask. Certificates are a complete isomorphism key, so the surviving
+  // set is exactly one graph per isomorphism class — the same
+  // first-seen (= lowest-mask) representative the sequential variant
+  // keeps, independent of thread timing.
+  ShardedMinMap<std::string, std::uint64_t> table;
+  pool.parallel_chunks_until(
+      0, 1ULL << m,
+      [&](std::uint64_t lo, std::uint64_t hi, int) {
+        for (std::uint64_t mask = lo; mask < hi; ++mask) {
+          const Graph g = graph_from_mask(n, all_edges, mask);
+          if (!admissible(g, opts)) continue;
+          table.insert_min(canonical_certificate(g), mask);
+        }
+        return true;
+      });
+  // Pass 2 (sequential): replay representatives in mask order.
+  std::vector<std::uint64_t> reps = table.values();
+  std::sort(reps.begin(), reps.end());
+  std::size_t visited = 0;
+  for (const std::uint64_t mask : reps) {
+    ++visited;
+    if (!fn(graph_from_mask(n, all_edges, mask))) break;
+  }
   return visited;
 }
 

@@ -66,10 +66,35 @@ std::size_t enumerate_graphs_modulo_refinement_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
     const std::function<bool(const Graph&)>& fn);
 
+/// Exact iso-free generation: visits exactly one representative per
+/// isomorphism class (the graph with the lowest edge mask), deduplicated
+/// by the complete canonical-form key of graph/canonical.hpp. Unlike the
+/// refinement signature — which merges non-isomorphic regular graphs AND
+/// splits isomorphism classes (its colour ids depend on vertex order) —
+/// this key is exact, so the counts match OEIS A000088 / A001349: the
+/// executable form of the paper's "all graphs in F(Delta)"
+/// quantification.
+std::size_t enumerate_graphs_modulo_iso(
+    int n, const EnumerateOptions& opts,
+    const std::function<bool(const Graph&)>& fn);
+
+/// Deterministic parallel variant: per-candidate canonicalisation runs
+/// on the pool into a sharded certificate -> minimum-edge-mask table
+/// (the lowest-witness contract), then the surviving representatives —
+/// the same graphs the sequential variant picks — replay to `fn`
+/// sequentially in increasing mask order. Byte-identical at any thread
+/// count; early stop halts the replay only.
+std::size_t enumerate_graphs_modulo_iso_parallel(
+    int n, const EnumerateOptions& opts, ThreadPool& pool,
+    const std::function<bool(const Graph&)>& fn);
+
 /// Colour-refinement (1-WL) signature: stable partition colours plus the
-/// coloured-edge multiset, sorted. Isomorphism-invariant; equal for any
-/// two graphs no anonymous broadcast algorithm can tell apart. Exposed so
-/// tests can cross-check the parallel and sequential enumerations.
+/// coloured-edge multiset, sorted. Exposed so tests can cross-check the
+/// parallel and sequential enumerations. NOTE: a heuristic dedup key,
+/// not an isomorphism key in either direction — colour ids are assigned
+/// in first-seen vertex order, so relabelled copies of one graph can
+/// sign apart, and all k-regular graphs on n nodes share one signature.
+/// Use enumerate_graphs_modulo_iso / canonical_form for exact dedup.
 std::vector<int> refinement_signature(const Graph& g);
 
 }  // namespace wm

@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <map>
 
+#include "graph/canonical.hpp"
+
 namespace wm {
 
 namespace {
+
+/// Above this node count the backtracking matcher hands over to the
+/// canonical-form path: compare individualisation–refinement
+/// certificates and, on a hit, compose the two canonical labellings into
+/// an explicit isomorphism. Below it the direct exhaustive search is
+/// cheaper than two canonicalisations.
+constexpr int kExhaustiveCutoff = 8;
 
 /// Stable colour refinement; returns per-node colours canonical across
 /// the two graphs (computed jointly so colours are comparable).
@@ -76,6 +85,19 @@ std::optional<std::vector<NodeId>> find_isomorphism(const Graph& g,
     return std::nullopt;
   }
   if (g.degree_sequence() != h.degree_sequence()) return std::nullopt;
+  if (g.num_nodes() > kExhaustiveCutoff) {
+    // Canonical path (exact, no backtracking): certificates are a
+    // complete isomorphism key, and map = lab_h^{-1} ∘ lab_g is an
+    // isomorphism whenever they agree.
+    const CanonicalForm cf_g = canonical_form(g);
+    const CanonicalForm cf_h = canonical_form(h);
+    if (cf_g.certificate != cf_h.certificate) return std::nullopt;
+    std::vector<NodeId> inv_h(static_cast<std::size_t>(h.num_nodes()));
+    for (NodeId v = 0; v < h.num_nodes(); ++v) inv_h[cf_h.labelling[v]] = v;
+    std::vector<NodeId> map(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) map[v] = inv_h[cf_g.labelling[v]];
+    return map;
+  }
   const auto [cg, ch] = joint_refinement(g, h);
   // Colour histograms must agree.
   {

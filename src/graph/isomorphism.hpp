@@ -10,8 +10,11 @@
 
 namespace wm {
 
-/// An isomorphism g -> h as a node map, if one exists. Exponential in
-/// the worst case; fine for the library's small-graph workloads.
+/// An isomorphism g -> h as a node map, if one exists. Small graphs use
+/// refinement-pruned exhaustive backtracking; beyond the exhaustive
+/// cutoff (n > 8) the search routes through graph/canonical.hpp —
+/// certificates compared, canonical labellings composed into the map —
+/// so the worst case is the canonicaliser's, not exponential matching.
 std::optional<std::vector<NodeId>> find_isomorphism(const Graph& g,
                                                     const Graph& h);
 

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "port/port_numbering.hpp"
 #include "problems/catalogue.hpp"
 #include "runtime/engine.hpp"
+#include "support/canon_harness.hpp"
 #include "support/diff_harness.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -273,6 +275,9 @@ std::string quotient_summary(const QuotientSearchResult& r) {
   os << "scanned=" << r.scanned << " reps=";
   for (std::uint64_t i : r.representatives) os << i << ",";
   os << " fps=";
+  // model_fingerprint is the complete canonical key (PR 3), so the
+  // summary pins the isomorphism class of every returned model, not
+  // merely its refinement class.
   for (const KripkeModel& m : r.models) os << model_fingerprint(m) << "|";
   return os.str();
 }
@@ -330,6 +335,112 @@ TEST(differential_quotient, ModelsRoundTripThroughBisimulation) {
       EXPECT_EQ(minimise(q).num_states(), q.num_states());
     }
   }
+}
+
+// --- quotient search: metamorphic properties of the canonical key ----------
+
+/// A seeded family of random Kripke models, the population the
+/// metamorphic suites scan. Deterministic per (seed, i).
+KripkeModel seeded_model(std::uint64_t seed, std::uint64_t i) {
+  Rng rng(seed * 1315423911ULL + i);
+  return canontest::random_kripke_model(rng);
+}
+
+TEST(differential_quotient, SeededFamilySerialEqualsParallel) {
+  // Byte-identical results (witness indices AND canonical fingerprints)
+  // at 1, 2 and 8 workers over the seeded random family.
+  constexpr std::uint64_t kCount = 30;
+  for (const std::uint64_t seed : seeds_under_test()) {
+    for (const bool graded : {false, true}) {
+      expect_serial_equals_parallel("seeded quotient search", seed,
+                                    [&](ThreadPool* pool) {
+        return quotient_summary(search_distinct_quotients(
+            kCount, [&](std::uint64_t i) { return seeded_model(seed, i); },
+            graded, pool));
+      });
+    }
+  }
+}
+
+TEST(differential_quotient, CountInvariantUnderRelabelling) {
+  // Metamorphic relation: renaming the states of every input model must
+  // not change the number of distinct quotients (the key is canonical),
+  // and the canonical fingerprint *multiset* of the returned models must
+  // be identical — only the representative indices may stay put (they
+  // do: relabelling does not reorder the family).
+  constexpr std::uint64_t kCount = 30;
+  for (const std::uint64_t seed : seeds_under_test()) {
+    auto build = [&](std::uint64_t i) { return seeded_model(seed, i); };
+    auto build_relabelled = [&](std::uint64_t i) {
+      const KripkeModel k = seeded_model(seed, i);
+      // An independent permutation per index, deterministic per (seed, i).
+      Rng prng(~seed * 2654435761ULL + i);
+      return canontest::relabelled_model(
+          k, canontest::random_permutation(k.num_states(), prng));
+    };
+    const QuotientSearchResult plain =
+        search_distinct_quotients(kCount, build);
+    const QuotientSearchResult relab =
+        search_distinct_quotients(kCount, build_relabelled);
+    ASSERT_EQ(plain.representatives, relab.representatives)
+        << "seed=" << seed;
+    ASSERT_EQ(plain.models.size(), relab.models.size());
+    for (std::size_t j = 0; j < plain.models.size(); ++j) {
+      EXPECT_EQ(model_fingerprint(plain.models[j]),
+                model_fingerprint(relab.models[j]))
+          << "seed=" << seed << " j=" << j;
+    }
+  }
+}
+
+TEST(differential_quotient, CanonicalCountNeverExceedsRefinementCount) {
+  // The PR-2 refinement fingerprint splits some isomorphism classes; the
+  // canonical key never does. So counting distinct minimal models with
+  // the canonical key can only MERGE refinement classes: canonical count
+  // <= refinement count, over every seeded family. (The strict-decrease
+  // witness — a family where the inequality is strict — lives in
+  // test_canonical.cpp, CanonicalKeyMergesWhatRefinementSplits.)
+  constexpr std::uint64_t kCount = 40;
+  for (const std::uint64_t seed : seeds_under_test()) {
+    std::set<std::string> canonical_keys, refinement_keys;
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      const KripkeModel q = minimise(seeded_model(seed, i));
+      canonical_keys.insert(model_fingerprint(q));
+      refinement_keys.insert(refinement_fingerprint(q));
+    }
+    EXPECT_LE(canonical_keys.size(), refinement_keys.size())
+        << "seed=" << seed;
+    const QuotientSearchResult r = search_distinct_quotients(
+        kCount, [&](std::uint64_t i) { return seeded_model(seed, i); });
+    EXPECT_EQ(r.representatives.size(), canonical_keys.size())
+        << "seed=" << seed;
+  }
+}
+
+TEST(differential_quotient, StrictDecreaseVersusFingerprintEra) {
+  // The upgrade must be visible: exhibit a concrete family on which the
+  // PR-2 key counted MORE classes than there are isomorphism classes,
+  // and show search_distinct_quotients (canonical key) now returns the
+  // strictly smaller, correct count. Scan the seeded population for a
+  // pair the legacy key splits (deterministic), then search over the
+  // two-model family {k, relabelled(k)}.
+  Rng rng(13);
+  for (int c = 0; c < 500; ++c) {
+    const KripkeModel k = canontest::random_kripke_model(rng);
+    const KripkeModel m = canontest::relabelled_model(
+        k, canontest::random_permutation(k.num_states(), rng));
+    const KripkeModel qk = minimise(k);
+    const KripkeModel qm = minimise(m);
+    if (refinement_fingerprint(qk) == refinement_fingerprint(qm)) continue;
+    // Found: the legacy key would count 2 classes in {k, m}.
+    const KripkeModel models[] = {k, m};
+    const QuotientSearchResult r = search_distinct_quotients(
+        2, [&](std::uint64_t i) { return models[i]; });
+    EXPECT_EQ(r.representatives.size(), 1u)
+        << "canonical key must merge the relabelled pair";
+    return;
+  }
+  FAIL() << "no legacy-split pair found in 500 deterministic cases";
 }
 
 // --- covering map search ---------------------------------------------------

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/canonical.hpp"
 #include "graph/properties.hpp"
 
 namespace wm {
@@ -212,6 +213,68 @@ TEST(Enumerate, UnlabelledConnectedCountsMatchOeisA001349) {
     ASSERT_EQ(total % nperms, 0u) << "n=" << n;
     EXPECT_EQ(total / nperms, expected[n - 1]) << "n=" << n;
   }
+}
+
+TEST(Enumerate, ModuloIsoMatchesOeisA000088) {
+  // Graphs up to isomorphism (OEIS A000088): canonical-certificate dedup
+  // must land exactly on the unlabelled counts — the golden cross-check
+  // that the certificate neither merges non-isomorphic graphs (count
+  // would drop) nor splits isomorphism classes (count would grow).
+  const std::size_t expected[] = {1, 2, 4, 11, 34, 156};
+  for (int n = 1; n <= 6; ++n) {
+    EnumerateOptions opts;
+    opts.connected_only = false;
+    EXPECT_EQ(enumerate_graphs_modulo_iso(
+                  n, opts, [](const Graph&) { return true; }),
+              expected[n - 1])
+        << "n=" << n;
+  }
+}
+
+TEST(Enumerate, ModuloIsoConnectedMatchesOeisA001349) {
+  // Connected graphs up to isomorphism (OEIS A001349) — agrees with the
+  // independent Burnside computation in UnlabelledConnectedCountsMatch.
+  const std::size_t expected[] = {1, 1, 2, 6, 21, 112};
+  for (int n = 1; n <= 6; ++n) {
+    EnumerateOptions opts;
+    std::size_t connected_reps = 0;
+    enumerate_graphs_modulo_iso(n, opts, [&](const Graph& g) {
+      EXPECT_TRUE(is_connected(g));
+      ++connected_reps;
+      return true;
+    });
+    EXPECT_EQ(connected_reps, expected[n - 1]) << "n=" << n;
+  }
+}
+
+TEST(Enumerate, ModuloIsoFixesBothRefinementFailureModes) {
+  // The refinement signature is only a heuristic dedup key: its colour
+  // ids are assigned in first-seen vertex order, so it SPLITS
+  // isomorphism classes (relabelled copies can sign apart), and it
+  // also MERGES non-isomorphic regular graphs (one colour class each).
+  // The canonical certificate has neither failure mode. Demonstrate the
+  // split concretely — P3 with the centre first vs the centre second —
+  // and check the aggregate consequence: on all graphs of order 5 the
+  // signature count strictly exceeds the exact A000088 count.
+  Graph centre_mid(3);  // 0 - 1 - 2
+  centre_mid.add_edge(0, 1);
+  centre_mid.add_edge(1, 2);
+  Graph centre_first(3);  // 1 - 0 - 2
+  centre_first.add_edge(0, 1);
+  centre_first.add_edge(0, 2);
+  EXPECT_NE(refinement_signature(centre_mid),
+            refinement_signature(centre_first));
+  EXPECT_EQ(canonical_certificate(centre_mid),
+            canonical_certificate(centre_first));
+
+  EnumerateOptions opts;
+  opts.connected_only = false;
+  const std::size_t by_refinement = enumerate_graphs_modulo_refinement(
+      5, opts, [](const Graph&) { return true; });
+  const std::size_t by_iso = enumerate_graphs_modulo_iso(
+      5, opts, [](const Graph&) { return true; });
+  EXPECT_EQ(by_iso, 34u);          // A000088(5): exact
+  EXPECT_GT(by_refinement, by_iso);  // the splits dominate at this scope
 }
 
 TEST(Enumerate, ModuloRefinementVisitsFewer) {
