@@ -8,8 +8,12 @@
 #include "graph/generators.hpp"
 #include "logic/kripke.hpp"
 #include "port/port_numbering.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = wm::benchutil::parse_threads(argc, argv);
+  const wm::benchutil::Timer wm_total;
+
   using namespace wm;
 
   Graph g(4);
@@ -51,5 +55,7 @@ int main() {
   std::printf("  %-34s %-34s\n", "phi true in state v",
               "A outputs 1 at node v");
   std::printf("  %-34s %-34s\n", "modal depth of phi", "running time of A");
+  wm::benchutil::report_phase("total", wm_total.ms());
+  wm::benchutil::write_bench_json("kripke", 4, threads, wm_total.ms(), 0);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "graph/enumerate.hpp"
 #include "graph/generators.hpp"
 #include "problems/catalogue.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -51,7 +52,10 @@ void report(const char* name, const std::vector<ScopedInstance>& scope,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = wm::benchutil::parse_threads(argc, argv);
+  const wm::benchutil::Timer wm_total;
+
   std::printf("=== Exact locality per class (scope: all graphs n<=5, "
               "Delta<=3, two numberings each; '--' = unsolvable) ===\n\n");
   std::printf("%-26s", "problem \\ class");
@@ -73,5 +77,7 @@ int main() {
   std::printf(" - odd-odd takes exactly 1 round in MB and above, and is\n");
   std::printf("   unsolvable in SB once the Theorem 13 witness is in scope\n");
   std::printf("   (SB ( MB with constant locality — contribution (b)).\n");
+  wm::benchutil::report_phase("total", wm_total.ms());
+  wm::benchutil::write_bench_json("locality", 5, threads, wm_total.ms(), 0);
   return 0;
 }

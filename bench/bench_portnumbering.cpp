@@ -9,8 +9,12 @@
 #include "port/port_numbering.hpp"
 #include "runtime/engine.hpp"
 #include "util/value.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = wm::benchutil::parse_threads(argc, argv);
+  const wm::benchutil::Timer wm_total;
+
   using namespace wm;
 
   // The 4-node example graph of Figure 1: degrees 3, 2, 2, 1.
@@ -72,5 +76,7 @@ int main() {
     }
     std::printf(")\n");
   }
+  wm::benchutil::report_phase("total", wm_total.ms());
+  wm::benchutil::write_bench_json("portnumbering", 4, threads, wm_total.ms(), 0);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "runtime/engine.hpp"
 #include "transform/refinement.hpp"
 #include "transform/simulations.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -47,7 +48,10 @@ std::shared_ptr<const StateMachine> multiset_probe(int rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = wm::benchutil::parse_threads(argc, argv);
+  const wm::benchutil::Timer wm_total;
+
   std::printf("=== Theorem 4: Set simulation of Multiset algorithms ===\n\n");
   std::printf("%-6s %-4s %-8s %-10s %-10s %-12s %-14s %-14s\n", "Delta", "n",
               "T (MV)", "T' (SV)", "T'-T", "2*Delta", "maxmsg(MV)",
@@ -103,5 +107,7 @@ int main() {
   std::printf("\nObservation: the bound 2*Delta is loose in practice — a\n");
   std::printf("couple of refinement rounds usually suffice; the proof's\n");
   std::printf("induction (Lemma 5) pays for adversarial numberings.\n");
+  wm::benchutil::report_phase("total", wm_total.ms());
+  wm::benchutil::write_bench_json("thm4_overhead", 4, threads, wm_total.ms(), 0);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "port/port_numbering.hpp"
 #include "runtime/engine.hpp"
 #include "transform/simulations.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -99,7 +100,10 @@ void sweep(const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = wm::benchutil::parse_threads(argc, argv);
+  const wm::benchutil::Timer wm_total;
+
   std::printf("=== Theorems 8 and 9: zero-round simulations, message cost "
               "===\n\n");
   sweep("Theorem 8: Vector -> Multiset (VV = MV)", vector_probe);
@@ -109,5 +113,7 @@ int main() {
   std::printf("message size grows linearly in T for these probes (full\n");
   std::printf("histories) — the Section 5.4 open question is whether this\n");
   std::printf("overhead is necessary.\n");
+  wm::benchutil::report_phase("total", wm_total.ms());
+  wm::benchutil::write_bench_json("thm8_overhead", 8, threads, wm_total.ms(), 0);
   return 0;
 }

@@ -4,7 +4,10 @@
 //
 // Convention: witness/result output goes to stdout and is byte-identical
 // at any --threads setting; perf lines (wall-clock, graphs/sec) go to
-// stderr, so diffing stdout across thread counts stays meaningful.
+// stderr, so diffing stdout across thread counts stays meaningful. The
+// json carries a "metrics" object — "work" counters are deterministic
+// across thread counts (tools/bench_diff.py gates on them), "info"
+// counters are scheduling telemetry (informational only).
 #pragma once
 
 #include <chrono>
@@ -12,6 +15,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace wm::benchutil {
@@ -19,7 +24,10 @@ namespace wm::benchutil {
 /// Parses `--threads N` (also `--threads=N`) from argv; any other
 /// arguments are left for the bench. Returns default_thread_count() when
 /// absent, which itself honours the WM_THREADS environment variable.
+/// Also arms phase tracing when WM_TRACE=<file> is set — every bench
+/// calls this first, so the env hook needs no per-bench code.
 inline int parse_threads(int argc, char** argv) {
+  obs::trace_init_from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--threads" && i + 1 < argc) return std::atoi(argv[i + 1]);
@@ -51,9 +59,28 @@ inline void report_phase(const char* label, double ms, std::size_t items = 0) {
   }
 }
 
+/// Serialises one counter-snapshot kind as a JSON object body.
+inline std::string metrics_json(wm::obs::CounterKind kind) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : wm::obs::registry().snapshot(kind)) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
 /// Writes BENCH_<name>.json in the working directory: the cross-PR perf
 /// trajectory record. `n` is the bench's headline size parameter and
-/// graphs_per_sec its headline throughput (0 if not meaningful).
+/// graphs_per_sec its headline throughput (0 if not meaningful). The
+/// "metrics" object snapshots every registered counter: "work" values
+/// are identical at any --threads setting (the regression gate input),
+/// "info" values describe scheduling and vary run to run.
 inline void write_bench_json(const std::string& name, long long n,
                              int threads, double wall_ms,
                              double graphs_per_sec) {
@@ -61,8 +88,11 @@ inline void write_bench_json(const std::string& name, long long n,
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fprintf(f,
                  "{\"name\": \"%s\", \"n\": %lld, \"threads\": %d, "
-                 "\"wall_ms\": %.3f, \"graphs_per_sec\": %.3f}\n",
-                 name.c_str(), n, threads, wall_ms, graphs_per_sec);
+                 "\"wall_ms\": %.3f, \"graphs_per_sec\": %.3f, "
+                 "\"metrics\": {\"work\": %s, \"info\": %s}}\n",
+                 name.c_str(), n, threads, wall_ms, graphs_per_sec,
+                 metrics_json(wm::obs::CounterKind::kWork).c_str(),
+                 metrics_json(wm::obs::CounterKind::kInfo).c_str());
     std::fclose(f);
     std::fprintf(stderr, "[json]  wrote %s\n", path.c_str());
   } else {

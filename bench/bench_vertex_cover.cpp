@@ -15,6 +15,7 @@
 #include "port/port_numbering.hpp"
 #include "runtime/engine.hpp"
 #include "transform/simulations.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -39,7 +40,10 @@ void row(const char* name, const Graph& g, const StateMachine& m, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = wm::benchutil::parse_threads(argc, argv);
+  const wm::benchutil::Timer wm_total;
+
   std::printf("=== Section 3.3: 2-approx vertex cover in MB = VB ===\n\n");
   const auto mb = to_multiset_machine(vertex_cover_packing_vb_machine());
   std::printf("machine: VB fractional edge packing wrapped by Theorem 9 "
@@ -64,5 +68,7 @@ int main() {
   }
   std::printf("\nShape check (paper): ratio <= 2.000 on every instance;\n");
   std::printf("no port numbers consulted (Multiset∩Broadcast class).\n");
+  wm::benchutil::report_phase("total", wm_total.ms());
+  wm::benchutil::write_bench_json("vertex_cover", 8, threads, wm_total.ms(), 0);
   return 0;
 }

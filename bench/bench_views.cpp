@@ -10,6 +10,7 @@
 #include "graph/generators.hpp"
 #include "port/port_numbering.hpp"
 #include "util/value.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -53,7 +54,10 @@ void row(const char* name, const PortNumbering& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = wm::benchutil::parse_threads(argc, argv);
+  const wm::benchutil::Timer wm_total;
+
   std::printf("=== Yamashita–Kameda views across families ===\n\n");
   std::printf("%-28s %-4s %-8s %-10s %-10s %-8s\n", "graph (numbering)", "n",
               "classes", "stab.depth", "leaders", "LE ok");
@@ -81,5 +85,7 @@ int main() {
   std::printf("numberings on irregular graphs almost surely separate all\n");
   std::printf("nodes, making leader election with known n solvable.\n");
   std::printf("Stabilisation depth stays well below the Norris bound n-1.\n");
+  wm::benchutil::report_phase("total", wm_total.ms());
+  wm::benchutil::write_bench_json("views", 8, threads, wm_total.ms(), 0);
   return 0;
 }

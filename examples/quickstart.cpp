@@ -29,7 +29,7 @@ int main() {
   const auto machine = odd_odd_machine();
   const ExecutionResult run = execute(*machine, p);
   std::cout << "odd-odd algorithm (class " << machine->algebraic_class().name()
-            << "), " << run.rounds << " round(s):\n  outputs:";
+            << "): " << run.summary().to_string() << "\n  outputs:";
   for (int v : run.outputs_as_ints()) std::cout << ' ' << v;
   std::cout << "\n\n";
 

@@ -1,6 +1,6 @@
 // run_machine — execute any catalogue algorithm on any graph.
 //
-//   ./run_machine <machine> <graph-spec> [numbering] [--trace]
+//   ./run_machine <machine> <graph-spec> [numbering] [--trace] [--check]
 //
 // machines: odd-odd | leaf-picker | local-type | isolated | parity |
 //           even-degree | port-one-parity | vertex-cover (MB via Thm 9) |
@@ -9,8 +9,10 @@
 //             petersen | hypercube:D | fig9a | classg:K | file:PATH | -
 // numbering: identity (default) | random[:seed] | symmetric
 //
-// Prints the class, the round count, message statistics and the output
-// vector; --trace additionally dumps every intermediate state.
+// Prints the class, the run summary (rounds, nodes, message traffic) and
+// the output vector; --trace additionally dumps every intermediate
+// state, and --check probes the machine's declared class invariances
+// (Vector-mode machines only) and prints the checker's summary.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +23,7 @@
 #include "algorithms/machines.hpp"
 #include "graph/generators.hpp"
 #include "port/port_numbering.hpp"
+#include "runtime/class_checker.hpp"
 #include "runtime/engine.hpp"
 #include "transform/beeping.hpp"
 #include "transform/simulations.hpp"
@@ -104,8 +107,10 @@ int main(int argc, char** argv) {
     const Graph g = parse_graph(argv[2]);
     const std::string mode = argc > 3 && argv[3][0] != '-' ? argv[3] : "identity";
     bool trace = false;
+    bool check = false;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+      if (std::strcmp(argv[i], "--check") == 0) check = true;
     }
     PortNumbering p;
     if (mode == "identity") {
@@ -130,10 +135,17 @@ int main(int argc, char** argv) {
                 machine->algebraic_class().name().c_str());
     std::printf("graph   : n=%d m=%d Delta=%d, %s numbering\n", g.num_nodes(),
                 g.num_edges(), g.max_degree(), mode.c_str());
-    std::printf("stopped : %s after %d round(s)\n", r.stopped ? "yes" : "NO",
-                r.rounds);
-    std::printf("messages: %zu sent, total size %zu, max size %zu\n",
-                r.stats.messages_sent, r.stats.total_size, r.stats.max_size);
+    std::printf("summary : %s\n", r.summary().to_string().c_str());
+    if (check) {
+      try {
+        Rng check_rng(7);
+        const ClassCheckReport report =
+            check_class_invariance(*machine, p, check_rng);
+        std::printf("check   : %s\n", report.to_string().c_str());
+      } catch (const std::exception& e) {
+        std::printf("check   : skipped (%s)\n", e.what());
+      }
+    }
     std::printf("output  :");
     for (const Value& s : r.final_states) {
       std::cout << ' ' << s;

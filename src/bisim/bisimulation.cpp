@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/counters.hpp"
+
 namespace wm {
 
 std::vector<std::vector<int>> Partition::blocks() const {
@@ -16,7 +18,7 @@ std::vector<std::vector<int>> Partition::blocks() const {
 
 namespace {
 
-Partition refine(const KripkeModel& k, bool graded, int max_rounds) {
+Partition refine_impl(const KripkeModel& k, bool graded, int max_rounds) {
   const int n = k.num_states();
   const auto modalities = k.modalities();
 
@@ -68,6 +70,16 @@ Partition refine(const KripkeModel& k, bool graded, int max_rounds) {
     p.num_blocks = new_blocks;
     p.rounds = round + 1;
   }
+  return p;
+}
+
+/// Counting wrapper: one `refinements` per refinement run, `rounds` from
+/// the deterministic result. Both are work counters, so they vanish
+/// inside speculative parallel_find_first predicates (see parallel.hpp).
+Partition refine(const KripkeModel& k, bool graded, int max_rounds) {
+  Partition p = refine_impl(k, graded, max_rounds);
+  WM_COUNT(bisim.refinements);
+  WM_COUNT_ADD(bisim.refine_rounds, p.rounds);
   return p;
 }
 

@@ -7,12 +7,15 @@
 #include <utility>
 
 #include "graph/canonical.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/sharded.hpp"
 
 namespace wm {
 
 KripkeModel quotient_model(const KripkeModel& k, const Partition& p) {
+  WM_COUNT(quotient.minimisations);
   KripkeModel q(p.num_blocks, k.num_props());
   const auto blocks = p.blocks();
   for (const Modality& alpha : k.modalities()) {
@@ -40,6 +43,7 @@ KripkeModel minimise(const KripkeModel& k) {
 }
 
 KripkeModel graded_quotient_model(const KripkeModel& k, const Partition& p) {
+  WM_COUNT(quotient.minimisations);
   KripkeModel q(p.num_blocks, k.num_props());
   const auto blocks = p.blocks();
   for (const Modality& alpha : k.modalities()) {
@@ -171,6 +175,9 @@ QuotientSearchResult search_distinct_quotients(
     return graded ? minimise_graded(k) : minimise(k);
   };
 
+  WM_TRACE_SCOPE("quotient.search");
+  WM_COUNT(quotient.searches);
+  WM_COUNT_ADD(quotient.scanned, count);
   QuotientSearchResult result;
   result.scanned = count;
   if (pool != nullptr) {
@@ -192,6 +199,7 @@ QuotientSearchResult search_distinct_quotients(
     pool->parallel_for(0, result.representatives.size(), [&](std::uint64_t j) {
       result.models[j] = minimise_at(result.representatives[j]);
     });
+    WM_COUNT_ADD(quotient.classes, result.representatives.size());
     return result;
   }
 
@@ -202,6 +210,7 @@ QuotientSearchResult search_distinct_quotients(
     result.representatives.push_back(i);
     result.models.push_back(std::move(q));
   }
+  WM_COUNT_ADD(quotient.classes, result.representatives.size());
   return result;
 }
 

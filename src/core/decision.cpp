@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace wm {
@@ -37,6 +39,8 @@ void colouring_for_index(std::uint64_t a, const std::vector<int>& alphabet,
 Decision decide_solvable(const Problem& problem,
                          const std::vector<PortNumbering>& scope,
                          ProblemClass c, const DecisionOptions& opts) {
+  WM_TRACE_SCOPE("decision");
+  WM_COUNT(decision.calls);
   const Variant variant = kripke_variant_for(c);
   const bool graded = graded_logic_for(c);
 
@@ -74,6 +78,7 @@ Decision decide_solvable(const Problem& problem,
                              : coarsest_bisimulation(joint, opts.rounds);
   Decision decision;
   decision.blocks = part.num_blocks;
+  WM_COUNT_ADD(decision.blocks, part.num_blocks);
 
   const std::vector<int> alphabet = problem.output_alphabet();
   const std::uint64_t combos =
@@ -115,6 +120,9 @@ Decision decide_solvable(const Problem& problem,
     } else {
       decision.assignments_tried = static_cast<std::size_t>(combos);
     }
+    // Counted from the deterministic witness, not inside the predicate
+    // (which runs on a timing-dependent index set — see parallel.hpp).
+    WM_COUNT_ADD(decision.assignments, decision.assignments_tried);
     return decision;
   }
 
@@ -127,6 +135,7 @@ Decision decide_solvable(const Problem& problem,
     if (outputs_valid(colour)) {
       decision.solvable = true;
       decision.block_output = colour;
+      WM_COUNT_ADD(decision.assignments, decision.assignments_tried);
       return decision;
     }
     // Increment the odometer.
@@ -140,7 +149,10 @@ Decision decide_solvable(const Problem& problem,
       colour[pos] = alphabet[0];
       ++pos;
     }
-    if (pos == idx.size()) return decision;  // exhausted: unsolvable
+    if (pos == idx.size()) {  // exhausted: unsolvable
+      WM_COUNT_ADD(decision.assignments, decision.assignments_tried);
+      return decision;
+    }
   }
 }
 

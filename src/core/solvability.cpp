@@ -3,12 +3,16 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace wm {
 
 ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
                             ThreadPool* pool) {
+  WM_TRACE_SCOPE("solvability.instance");
+  WM_COUNT(solvability.instances);
   ScopedInstance inst;
   const Graph& g = numbering.graph();
   std::optional<std::vector<int>> unique;
@@ -42,8 +46,11 @@ ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
           "instance_for: problem has multiple valid solutions on this graph");
     }
     if (acc.count == 1) unique = output_for_index(problem, g, acc.first);
+    WM_COUNT_ADD(solvability.outputs_scanned, *space);
   } else {
+    std::uint64_t scanned = 0;
     for_each_output(problem, g, [&](const std::vector<int>& out) {
+      ++scanned;
       if (problem.valid(g, out)) {
         if (unique) {
           throw std::invalid_argument(
@@ -54,6 +61,7 @@ ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
       }
       return true;
     });
+    WM_COUNT_ADD(solvability.outputs_scanned, scanned);
   }
   if (!unique) {
     throw std::invalid_argument("instance_for: problem has no valid solution");
@@ -66,6 +74,8 @@ ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
 SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
                                       ProblemClass c, int delta,
                                       int max_rounds, ThreadPool* pool) {
+  WM_TRACE_SCOPE("solvability.analyse");
+  WM_COUNT(solvability.analyses);
   const Variant variant = kripke_variant_for(c);
   // Multiset classes see multiplicities: graded refinement. Set classes
   // and Vector classes use ungraded refinement — Vector's extra per-port
@@ -128,6 +138,8 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
           return monochromatic(partition_at(static_cast<int>(t)));
         });
     if (mono) report.min_rounds = static_cast<int>(*mono);
+    WM_COUNT_ADD(solvability.fixpoint_rounds, report.fixpoint_rounds);
+    WM_COUNT_ADD(solvability.blocks, report.blocks);
     return report;
   }
 
@@ -138,6 +150,8 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
     if (p.num_blocks == prev_blocks) {
       report.fixpoint_rounds = t - 1;
       report.blocks = p.num_blocks;
+      WM_COUNT_ADD(solvability.fixpoint_rounds, report.fixpoint_rounds);
+      WM_COUNT_ADD(solvability.blocks, report.blocks);
       return report;
     }
     prev_blocks = p.num_blocks;
@@ -146,6 +160,8 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
                              : coarsest_bisimulation(joint);
   report.fixpoint_rounds = p.rounds;
   report.blocks = p.num_blocks;
+  WM_COUNT_ADD(solvability.fixpoint_rounds, report.fixpoint_rounds);
+  WM_COUNT_ADD(solvability.blocks, report.blocks);
   return report;
 }
 

@@ -5,6 +5,8 @@
 #include "bisim/distinguish.hpp"
 #include "compile/formula_compiler.hpp"
 #include "logic/simplify.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "runtime/combinators.hpp"
 #include "util/parallel.hpp"
 
@@ -49,6 +51,8 @@ KripkeModel joint_model(const std::vector<PortNumbering>& scope,
 std::optional<SynthesisResult> synthesise_solution(
     const Problem& problem, const std::vector<PortNumbering>& scope,
     ProblemClass c, const DecisionOptions& opts) {
+  WM_TRACE_SCOPE("synthesis");
+  WM_COUNT(synthesis.calls);
   if (problem.output_alphabet() != std::vector<int>{0, 1}) {
     throw std::invalid_argument(
         "synthesise_solution: binary-output problems only");
@@ -79,6 +83,7 @@ std::optional<SynthesisResult> synthesise_solution(
   SynthesisResult result;
   result.formula = simplify(Formula::disj_all(std::move(ones)));
   result.blocks = decision.blocks;
+  WM_COUNT_ADD(synthesis.blocks, decision.blocks);
   result.delta = delta;
   result.machine = compile_formula(result.formula, variant, delta,
                                    natural_class_for(variant, graded));
@@ -88,6 +93,8 @@ std::optional<SynthesisResult> synthesise_solution(
 std::optional<MultiSynthesisResult> synthesise_multivalued(
     const Problem& problem, const std::vector<PortNumbering>& scope,
     ProblemClass c, const DecisionOptions& opts) {
+  WM_TRACE_SCOPE("synthesis.multivalued");
+  WM_COUNT(synthesis.calls);
   const Decision decision = decide_solvable(problem, scope, c, opts);
   if (!decision.solvable) return std::nullopt;
 

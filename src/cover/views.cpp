@@ -3,12 +3,16 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/counters.hpp"
+
 namespace wm {
 
 namespace {
 
 std::vector<Value> iterate_views(const PortNumbering& p, int depth,
                                  bool broadcast) {
+  WM_COUNT(views.computed);
+  WM_COUNT_ADD(views.rounds, depth);
   const Graph& g = p.graph();
   const int n = g.num_nodes();
   std::vector<Value> cur(static_cast<std::size_t>(n));

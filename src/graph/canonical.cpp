@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/graph.hpp"
+#include "obs/counters.hpp"
 
 namespace wm {
 
@@ -57,6 +58,7 @@ std::vector<int> refine_colours(const RelationalStructure& s,
   // One extra round normalises possibly non-contiguous input ids (the
   // individualisation step doubles them).
   for (int round = 0; round <= n + 1; ++round) {
+    WM_COUNT(canonical.refine_rounds);
     std::map<std::vector<int>, int> ids;
     std::vector<std::vector<int>> key(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
@@ -120,6 +122,7 @@ struct CanonSearch {
   explicit CanonSearch(const RelationalStructure& structure) : s(structure) {}
 
   void leaf(const std::vector<int>& lab) {
+    WM_COUNT(canonical.leaves);
     std::string cert = certify(s, lab);
     if (!have_best || cert < best.certificate) {
       best.certificate = std::move(cert);
@@ -173,7 +176,10 @@ struct CanonSearch {
     }
     const int rv = find(v);
     for (int u : tried) {
-      if (find(u) == rv) return true;
+      if (find(u) == rv) {
+        WM_COUNT(canonical.orbit_prunes);
+        return true;
+      }
     }
     return false;
   }
@@ -225,6 +231,7 @@ std::uint64_t certificate_hash(const std::string& certificate) {
 }
 
 CanonicalForm canonical_form(const RelationalStructure& s) {
+  WM_COUNT(canonical.forms);
   CanonSearch search(s);
   if (s.n == 0) {
     search.best.certificate = certify(s, {});

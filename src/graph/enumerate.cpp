@@ -7,6 +7,8 @@
 
 #include "graph/canonical.hpp"
 #include "graph/properties.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/sharded.hpp"
 
@@ -91,6 +93,7 @@ std::size_t enumerate_graphs(int n, const EnumerateOptions& opts,
   for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
     const Graph g = graph_from_mask(n, all_edges, mask);
     if (!admissible(g, opts)) continue;
+    WM_COUNT(enumerate.graphs);
     ++visited;
     if (!fn(g)) break;
   }
@@ -105,6 +108,7 @@ std::size_t enumerate_graphs_modulo_refinement(
   enumerate_graphs(n, opts, [&](const Graph& g) {
     auto sig = refinement_signature(g);
     if (!seen.insert(std::move(sig)).second) return true;
+    WM_COUNT(enumerate.emitted);
     ++visited;
     return fn(g);
   });
@@ -118,6 +122,7 @@ std::size_t enumerate_graphs_modulo_iso(
   std::size_t visited = 0;
   enumerate_graphs(n, opts, [&](const Graph& g) {
     if (!seen.insert(canonical_certificate(g)).second) return true;
+    WM_COUNT(enumerate.emitted);
     ++visited;
     return fn(g);
   });
@@ -127,6 +132,7 @@ std::size_t enumerate_graphs_modulo_iso(
 std::size_t enumerate_graphs_modulo_iso_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
     const std::function<bool(const Graph&)>& fn) {
+  WM_TRACE_SCOPE("enumerate.modulo_iso");
   const std::vector<Edge> all_edges = all_possible_edges(n);
   const std::size_t m = all_edges.size();
   // Pass 1 (parallel): canonical certificate -> lowest admissible edge
@@ -141,6 +147,7 @@ std::size_t enumerate_graphs_modulo_iso_parallel(
         for (std::uint64_t mask = lo; mask < hi; ++mask) {
           const Graph g = graph_from_mask(n, all_edges, mask);
           if (!admissible(g, opts)) continue;
+          WM_COUNT(enumerate.graphs);
           table.insert_min(canonical_certificate(g), mask);
         }
         return true;
@@ -150,6 +157,7 @@ std::size_t enumerate_graphs_modulo_iso_parallel(
   std::sort(reps.begin(), reps.end());
   std::size_t visited = 0;
   for (const std::uint64_t mask : reps) {
+    WM_COUNT(enumerate.emitted);
     ++visited;
     if (!fn(graph_from_mask(n, all_edges, mask))) break;
   }
@@ -162,6 +170,9 @@ std::size_t enumerate_graphs_parallel(
   const std::vector<Edge> all_edges = all_possible_edges(n);
   const std::size_t m = all_edges.size();
   std::atomic<std::size_t> visited{0};
+  // No work counters here: fn can cancel mid-scan, so the set of masks
+  // actually visited is timing-dependent (unlike the modulo variants,
+  // whose pass 1 always scans the full range).
   // Prefix chunks: each chunk is a contiguous mask range, i.e. all
   // completions of one high-bit prefix of the edge set.
   pool.parallel_chunks_until(
@@ -181,6 +192,7 @@ std::size_t enumerate_graphs_parallel(
 std::size_t enumerate_graphs_modulo_refinement_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
     const std::function<bool(const Graph&)>& fn) {
+  WM_TRACE_SCOPE("enumerate.modulo_refinement");
   const std::vector<Edge> all_edges = all_possible_edges(n);
   const std::size_t m = all_edges.size();
   // Pass 1 (parallel): signature -> lowest admissible edge mask. The
@@ -193,6 +205,7 @@ std::size_t enumerate_graphs_modulo_refinement_parallel(
         for (std::uint64_t mask = lo; mask < hi; ++mask) {
           const Graph g = graph_from_mask(n, all_edges, mask);
           if (!admissible(g, opts)) continue;
+          WM_COUNT(enumerate.graphs);
           table.insert_min(refinement_signature(g), mask);
         }
         return true;
@@ -204,6 +217,7 @@ std::size_t enumerate_graphs_modulo_refinement_parallel(
   std::sort(reps.begin(), reps.end());
   std::size_t visited = 0;
   for (const std::uint64_t mask : reps) {
+    WM_COUNT(enumerate.emitted);
     ++visited;
     if (!fn(graph_from_mask(n, all_edges, mask))) break;
   }

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "graph/canonical.hpp"
+#include "obs/counters.hpp"
 
 namespace wm {
 
@@ -81,11 +82,13 @@ struct Matcher {
 
 std::optional<std::vector<NodeId>> find_isomorphism(const Graph& g,
                                                     const Graph& h) {
+  WM_COUNT(iso.queries);
   if (g.num_nodes() != h.num_nodes() || g.num_edges() != h.num_edges()) {
     return std::nullopt;
   }
   if (g.degree_sequence() != h.degree_sequence()) return std::nullopt;
   if (g.num_nodes() > kExhaustiveCutoff) {
+    WM_COUNT(iso.canonical_route);
     // Canonical path (exact, no backtracking): certificates are a
     // complete isomorphism key, and map = lab_h^{-1} ∘ lab_g is an
     // isomorphism whenever they agree.
@@ -98,6 +101,7 @@ std::optional<std::vector<NodeId>> find_isomorphism(const Graph& g,
     for (NodeId v = 0; v < g.num_nodes(); ++v) map[v] = inv_h[cf_g.labelling[v]];
     return map;
   }
+  WM_COUNT(iso.backtrack_route);
   const auto [cg, ch] = joint_refinement(g, h);
   // Colour histograms must agree.
   {

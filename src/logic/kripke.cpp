@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+
 namespace wm {
 
 KripkeModel::KripkeModel(int num_states, int num_props)
@@ -90,6 +92,7 @@ std::string KripkeModel::to_string() const {
 
 KripkeModel kripke_from_graph(const PortNumbering& p, Variant variant,
                               int delta) {
+  WM_COUNT(kripke.models);
   const Graph& g = p.graph();
   if (delta < 0) delta = g.max_degree();
   if (delta < g.max_degree()) {

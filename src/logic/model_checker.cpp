@@ -2,15 +2,21 @@
 
 #include <unordered_map>
 
+#include "obs/counters.hpp"
+
 namespace wm {
 
 namespace {
 
 std::vector<bool> eval(const KripkeModel& k, const Formula& f,
                        std::unordered_map<Formula, std::vector<bool>>* memo) {
+  WM_COUNT(modelcheck.evals);
   if (memo) {
     auto it = memo->find(f);
-    if (it != memo->end()) return it->second;
+    if (it != memo->end()) {
+      WM_COUNT(modelcheck.memo_hits);
+      return it->second;
+    }
   }
   const int n = k.num_states();
   std::vector<bool> out(static_cast<std::size_t>(n), false);
@@ -78,6 +84,7 @@ std::vector<bool> eval(const KripkeModel& k, const Formula& f,
 }  // namespace
 
 std::vector<bool> model_check(const KripkeModel& k, const Formula& phi) {
+  WM_COUNT(modelcheck.checks);
   std::unordered_map<Formula, std::vector<bool>> memo;
   return eval(k, phi, &memo);
 }

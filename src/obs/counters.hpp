@@ -1,0 +1,157 @@
+// Work counters for the observability layer.
+//
+// A counter is a relaxed atomic with a hierarchical dotted name
+// (`engine.rounds`, `pool.steals`), registered on first use in a global
+// registry and incremented through the WM_COUNT* macros. Counters come
+// in two kinds:
+//
+//  - *work* counters (WM_COUNT / WM_COUNT_ADD) count deterministic units
+//    of work — rounds executed, candidates scanned, refinement
+//    iterations. Under the lowest-witness / per-key-minimum contracts of
+//    util/parallel.hpp their totals are identical at any thread count,
+//    which is what tools/bench_diff.py gates on. To keep that true, the
+//    one construct whose *predicate invocation multiset* is
+//    timing-dependent even though its result is deterministic —
+//    ThreadPool::parallel_find_first — runs its predicate inside a
+//    SpeculativeScope, which drops work-counter increments on that
+//    thread for the duration. Counters hit from such predicates
+//    therefore count 0 from those sites at every thread count instead of
+//    a timing-dependent amount.
+//
+//  - *info* counters (WM_COUNT_INFO / WM_COUNT_INFO_ADD / WM_COUNT_MAX)
+//    record scheduling-dependent telemetry — steals, idle wake-ups,
+//    queue depths. They ignore SpeculativeScope and are reported
+//    separately; regressions gates must not compare them.
+//
+// Overhead: one relaxed fetch_add plus one thread-local load per
+// increment; the registry mutex is taken once per call site (static
+// local). Configure with -DWM_OBS=OFF to compile every macro out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace wm::obs {
+
+enum class CounterKind { kWork, kInfo };
+
+/// True while the calling thread is inside a SpeculativeScope.
+bool speculation_suppressed() noexcept;
+
+/// Marks a region whose execution multiset depends on thread timing
+/// (e.g. a parallel_find_first predicate): work-counter increments from
+/// this thread are dropped until the scope ends. Nestable.
+class SpeculativeScope {
+ public:
+  SpeculativeScope() noexcept;
+  ~SpeculativeScope();
+  SpeculativeScope(const SpeculativeScope&) = delete;
+  SpeculativeScope& operator=(const SpeculativeScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class Counter {
+ public:
+  explicit Counter(CounterKind kind) : kind_(kind) {}
+
+  void add(std::uint64_t delta = 1) noexcept {
+    if (kind_ == CounterKind::kWork && speculation_suppressed()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Raises the counter to `candidate` if larger (high-water marks).
+  void record_max(std::uint64_t candidate) noexcept {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !value_.compare_exchange_weak(cur, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  CounterKind kind() const noexcept { return kind_; }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  const CounterKind kind_;
+};
+
+/// Process-wide counter registry. Counter references are stable for the
+/// lifetime of the process; lookup is mutex-protected, so call sites
+/// cache the reference in a function-local static (the macros do).
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Returns the counter registered under `name`, creating it with
+  /// `kind` on first use. The kind of an existing counter wins; names
+  /// are dotted lowercase hierarchies by convention ("engine.rounds").
+  Counter& counter(std::string_view name,
+                   CounterKind kind = CounterKind::kWork);
+
+  /// Name -> value for every registered counter of `kind`, sorted by
+  /// name (std::map order). Zero-valued counters are included once
+  /// registered.
+  std::map<std::string, std::uint64_t> snapshot(CounterKind kind) const;
+
+  /// Zeroes every registered counter (tests and repeated in-process
+  /// measurements; benches run once per process and never need it).
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, Counter*, std::less<>> counters_;
+};
+
+inline Registry& registry() { return Registry::instance(); }
+
+}  // namespace wm::obs
+
+#if !defined(WM_OBS_DISABLED)
+
+#define WM_OBS_COUNT_IMPL(name, delta, kind)                            \
+  do {                                                                  \
+    static ::wm::obs::Counter& wm_obs_counter_site =                    \
+        ::wm::obs::registry().counter(name, kind);                      \
+    wm_obs_counter_site.add(static_cast<std::uint64_t>(delta));         \
+  } while (0)
+
+/// Deterministic work counter, +1. `name` is an unquoted dotted token:
+/// WM_COUNT(engine.rounds).
+#define WM_COUNT(name) WM_COUNT_ADD(name, 1)
+#define WM_COUNT_ADD(name, delta) \
+  WM_OBS_COUNT_IMPL(#name, delta, ::wm::obs::CounterKind::kWork)
+
+/// Scheduling-dependent info counter (pool telemetry and similar).
+#define WM_COUNT_INFO(name) WM_COUNT_INFO_ADD(name, 1)
+#define WM_COUNT_INFO_ADD(name, delta) \
+  WM_OBS_COUNT_IMPL(#name, delta, ::wm::obs::CounterKind::kInfo)
+
+/// Info high-water mark: raises the counter to `v` if larger.
+#define WM_COUNT_MAX(name, v)                                           \
+  do {                                                                  \
+    static ::wm::obs::Counter& wm_obs_counter_site =                    \
+        ::wm::obs::registry().counter(#name,                            \
+                                      ::wm::obs::CounterKind::kInfo);   \
+    wm_obs_counter_site.record_max(static_cast<std::uint64_t>(v));      \
+  } while (0)
+
+#else  // WM_OBS_DISABLED
+
+#define WM_COUNT(name) ((void)0)
+#define WM_COUNT_ADD(name, delta) ((void)0)
+#define WM_COUNT_INFO(name) ((void)0)
+#define WM_COUNT_INFO_ADD(name, delta) ((void)0)
+#define WM_COUNT_MAX(name, v) ((void)0)
+
+#endif  // WM_OBS_DISABLED

@@ -1,0 +1,88 @@
+// Phase tracing: nestable RAII scopes emitting a Chrome
+// `trace_event`-format JSON file (load it in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Tracing is off by default and costs a single relaxed atomic load per
+// scope while off. Enable it either programmatically
+// (`trace_start(path)` ... `trace_stop()`) or by setting `WM_TRACE=<file>`
+// in the environment and calling `trace_init_from_env()` — the benches do
+// this from benchutil::parse_threads, so `WM_TRACE=out.json bench_foo`
+// just works. Events are buffered in memory under a mutex (tracing is an
+// opt-in debugging tool, not a production hot path) and flushed on
+// trace_stop() or at process exit.
+//
+// Configure with -DWM_OBS=OFF to compile WM_TRACE_SCOPE out entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wm::obs {
+
+/// True while a trace is being collected.
+bool trace_enabled() noexcept;
+
+/// Begins collecting trace events, to be written to `path` (Chrome
+/// trace_event JSON) when the trace stops. Replaces any active trace.
+void trace_start(const std::string& path);
+
+/// Stops collecting and writes the buffered events. Returns true iff a
+/// trace was active and its output file was written; a no-op call (no
+/// active trace) and a write failure both return false.
+bool trace_stop();
+
+/// Starts a trace to $WM_TRACE if that variable is set and non-empty,
+/// registering an atexit flush. Safe to call repeatedly; only the first
+/// call can start the trace.
+void trace_init_from_env();
+
+/// Records one complete ("ph":"X") event [begin_us, begin_us + dur_us)
+/// on the calling thread's trace track. Usually used via TraceScope.
+void trace_emit(std::string_view name, std::int64_t begin_us,
+                std::int64_t dur_us);
+
+/// Current trace timestamp in microseconds (monotonic, arbitrary epoch).
+std::int64_t trace_now_us() noexcept;
+
+/// RAII phase scope: emits a complete event covering its own lifetime.
+/// Nesting works naturally — Chrome stacks overlapping events per tid.
+class TraceScope {
+ public:
+  explicit TraceScope(std::string_view name) noexcept {
+    if (trace_enabled()) {
+      name_ = name;
+      begin_us_ = trace_now_us();
+      active_ = true;
+    }
+  }
+  ~TraceScope() {
+    if (active_) trace_emit(name_, begin_us_, trace_now_us() - begin_us_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::string_view name_;
+  std::int64_t begin_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace wm::obs
+
+#if !defined(WM_OBS_DISABLED)
+
+#define WM_OBS_CONCAT_IMPL(a, b) a##b
+#define WM_OBS_CONCAT(a, b) WM_OBS_CONCAT_IMPL(a, b)
+
+/// Names the enclosing block as a trace phase: WM_TRACE_SCOPE("decision").
+#define WM_TRACE_SCOPE(name) \
+  ::wm::obs::TraceScope WM_OBS_CONCAT(wm_obs_trace_scope_, __LINE__)(name)
+
+#else  // WM_OBS_DISABLED
+
+#define WM_TRACE_SCOPE(name) \
+  do {                       \
+  } while (0)
+
+#endif  // WM_OBS_DISABLED

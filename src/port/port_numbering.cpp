@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "graph/double_cover.hpp"
+#include "obs/counters.hpp"
 
 namespace wm {
 
@@ -35,6 +36,9 @@ PortNumbering PortNumbering::from_permutations(const Graph& g,
   if (static_cast<int>(out.size()) != n || static_cast<int>(in.size()) != n) {
     throw std::invalid_argument("from_permutations: size mismatch");
   }
+  // Every factory (identity/random/symmetric/...) funnels through here,
+  // so this is the one build counter for port numberings.
+  WM_COUNT(port.numberings_built);
   PortNumbering p;
   p.g_ = std::make_shared<Graph>(g);
   p.out_of_.assign(static_cast<std::size_t>(n), {});
@@ -230,6 +234,7 @@ std::size_t for_each_consistent_port_numbering(
   std::vector<std::vector<int>> perms(static_cast<std::size_t>(g.num_nodes()));
   perm_product(g, 0, perms, [&](std::vector<std::vector<int>>& out) {
     ++count;
+    WM_COUNT(port.numberings);
     auto copy = out;
     return fn(PortNumbering::from_permutations(g, out, copy));
   });
@@ -244,6 +249,7 @@ std::size_t for_each_port_numbering(
     std::vector<std::vector<int>> ins(static_cast<std::size_t>(g.num_nodes()));
     return perm_product(g, 0, ins, [&](std::vector<std::vector<int>>& in) {
       ++count;
+      WM_COUNT(port.numberings);
       return fn(PortNumbering::from_permutations(g, out, in));
     });
   });

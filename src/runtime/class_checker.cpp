@@ -1,8 +1,24 @@
 #include "runtime/class_checker.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace wm {
+
+std::string ClassCheckReport::to_string() const {
+  std::ostringstream out;
+  out << "multiset=" << (multiset_invariant ? "ok" : "VIOLATED")
+      << " set=" << (set_invariant ? "ok" : "VIOLATED")
+      << " broadcast=" << (broadcast_invariant ? "ok" : "VIOLATED")
+      << "; probed " << rounds_executed
+      << (rounds_executed == 1 ? " round" : " rounds") << " on " << nodes
+      << (nodes == 1 ? " node" : " nodes") << ", " << transitions_checked
+      << " transitions, " << messages_checked << " messages";
+  return out.str();
+}
 
 ClassCheckReport check_class_invariance(const StateMachine& m,
                                         const PortNumbering& p, Rng& rng,
@@ -19,9 +35,12 @@ ClassCheckReport check_class_invariance(const StateMachine& m,
     throw std::invalid_argument(
         "check_class_invariance: requires a Vector-mode machine");
   }
+  WM_TRACE_SCOPE("classcheck");
+  WM_COUNT(classcheck.runs);
   const Graph& g = p.graph();
   const int n = g.num_nodes();
   ClassCheckReport report;
+  report.nodes = n;
 
   std::vector<Value>& state = ctx.state;
   state.assign(static_cast<std::size_t>(n), Value());
@@ -39,6 +58,7 @@ ClassCheckReport check_class_invariance(const StateMachine& m,
       if (!m.is_stopping(state[v])) all_stopped = false;
     }
     if (all_stopped) break;
+    ++report.rounds_executed;
 
     for (NodeId v = 0; v < n; ++v) {
       const int d = g.degree(v);
@@ -104,6 +124,8 @@ ClassCheckReport check_class_invariance(const StateMachine& m,
     }
     state.swap(next);
   }
+  WM_COUNT_ADD(classcheck.rounds, report.rounds_executed);
+  WM_COUNT_ADD(classcheck.transitions, report.transitions_checked);
   return report;
 }
 

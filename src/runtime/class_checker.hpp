@@ -11,6 +11,8 @@
 // Used when validating hand-written algorithms and the transformers.
 #pragma once
 
+#include <string>
+
 #include "port/port_numbering.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/state_machine.hpp"
@@ -24,6 +26,12 @@ struct ClassCheckReport {
   bool broadcast_invariant = true; // all out-ports get the same message
   int transitions_checked = 0;
   int messages_checked = 0;
+  int rounds_executed = 0;         // rounds actually probed (<= max_rounds)
+  int nodes = 0;
+
+  /// One-line digest: verdicts plus probe volume (rounds, nodes,
+  /// transitions, messages) — the class checker's run summary.
+  std::string to_string() const;
 };
 
 /// Runs the machine on (G, p); at every (state, inbox) pair encountered,

@@ -1,8 +1,12 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace wm {
 
@@ -25,6 +29,27 @@ std::size_t value_size(const Value& v) {
   // the DAG rather than the tree.
   std::unordered_map<const void*, std::size_t> memo;
   return value_size_memo(v, memo);
+}
+
+std::string RunSummary::to_string() const {
+  std::ostringstream out;
+  out << (stopped ? "stopped after " : "aborted at ") << rounds
+      << (rounds == 1 ? " round" : " rounds") << " on " << nodes
+      << (nodes == 1 ? " node" : " nodes") << "; " << messages_sent
+      << (messages_sent == 1 ? " message" : " messages") << " (size total "
+      << total_message_size << ", max " << max_message_size << ")";
+  return out.str();
+}
+
+RunSummary ExecutionResult::summary() const {
+  RunSummary s;
+  s.stopped = stopped;
+  s.rounds = rounds;
+  s.nodes = static_cast<int>(final_states.size());
+  s.messages_sent = stats.messages_sent;
+  s.total_message_size = stats.total_size;
+  s.max_message_size = stats.max_size;
+  return s;
 }
 
 std::vector<int> ExecutionResult::outputs_as_ints() const {
@@ -65,12 +90,14 @@ ExecutionResult execute_with_states(const StateMachine& m,
                                     std::vector<Value> initial,
                                     ExecutionContext& ctx,
                                     const ExecutionOptions& options) {
+  WM_TRACE_SCOPE("engine.execute");
   const Graph& g = p.graph();
   const int n = g.num_nodes();
   const AlgebraicClass cls = m.algebraic_class();
   if (initial.size() != static_cast<std::size_t>(n)) {
     throw std::invalid_argument("execute_with_states: wrong state count");
   }
+  WM_COUNT(engine.runs);
 
   ExecutionResult result;
   std::vector<Value>& state = ctx.state;
@@ -100,6 +127,8 @@ ExecutionResult execute_with_states(const StateMachine& m,
       result.stopped = false;
       result.rounds = t;
       result.final_states = std::move(state);
+      WM_COUNT_ADD(engine.rounds, t);
+      WM_COUNT_ADD(engine.messages, result.stats.messages_sent);
       return result;
     }
     ++t;
@@ -161,6 +190,8 @@ ExecutionResult execute_with_states(const StateMachine& m,
   result.stopped = true;
   result.rounds = t;
   result.final_states = std::move(state);
+  WM_COUNT_ADD(engine.rounds, t);
+  WM_COUNT_ADD(engine.messages, result.stats.messages_sent);
   return result;
 }
 

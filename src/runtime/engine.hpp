@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "port/port_numbering.hpp"
@@ -33,6 +34,20 @@ struct MessageStats {
   std::size_t max_size = 0;           // largest single message
 };
 
+/// One-line digest of a run — what a caller typically wants to print or
+/// log without digging through ExecutionResult.
+struct RunSummary {
+  bool stopped = false;
+  int rounds = 0;
+  int nodes = 0;
+  std::size_t messages_sent = 0;
+  std::size_t total_message_size = 0;
+  std::size_t max_message_size = 0;
+
+  /// "stopped after 3 rounds on 4 nodes; 24 messages (size total 96, max 7)"
+  std::string to_string() const;
+};
+
 struct ExecutionResult {
   bool stopped = false;
   /// Smallest T with x_T(v) in Y for all v (== rounds executed).
@@ -45,6 +60,9 @@ struct ExecutionResult {
 
   /// Interprets final states as integer outputs (requires Int states).
   std::vector<int> outputs_as_ints() const;
+
+  /// Digest of this run (rounds, nodes, message traffic).
+  RunSummary summary() const;
 };
 
 /// Per-run mutable scratch of the execution engine: state vectors and

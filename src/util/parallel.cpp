@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/counters.hpp"
+
 namespace wm {
 
 int default_thread_count() {
@@ -18,6 +20,7 @@ ThreadPool::ThreadPool(int threads) {
   executors_ = threads > 0 ? threads : default_thread_count();
   const int spawned = executors_ - 1;
   queues_.resize(static_cast<std::size_t>(spawned > 0 ? spawned : 1));
+  tasks_run_.assign(static_cast<std::size_t>(executors_), 0);
   workers_.reserve(static_cast<std::size_t>(spawned));
   for (int i = 0; i < spawned; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -48,6 +51,11 @@ void ThreadPool::submit(std::function<void()> task) {
       if (queues_[i].tasks.size() < queues_[target].tasks.size()) target = i;
     }
     queues_[target].tasks.push_back(std::move(task));
+    const std::uint64_t depth = queues_[target].tasks.size();
+    if (depth > queue_high_water_) {
+      queue_high_water_ = depth;
+      WM_COUNT_MAX(pool.queue_high_water, depth);
+    }
   }
   cv_.notify_one();
 }
@@ -60,11 +68,13 @@ bool ThreadPool::run_one_task() {
       if (!q.tasks.empty()) {
         task = std::move(q.tasks.front());
         q.tasks.pop_front();
+        ++tasks_run_[0];
         break;
       }
     }
   }
   if (!task) return false;
+  WM_COUNT_INFO(pool.tasks);
   task();
   return true;
 }
@@ -80,23 +90,34 @@ void ThreadPool::worker_loop(int index) {
         if (!queues_[self].tasks.empty()) {
           task = std::move(queues_[self].tasks.front());
           queues_[self].tasks.pop_front();
+          ++tasks_run_[self + 1];
           break;
         }
         // ...then steal from the back of the other deques.
         bool stole = false;
+        if (queues_.size() > 1) {
+          ++steal_attempts_;
+          WM_COUNT_INFO(pool.steal_attempts);
+        }
         for (std::size_t off = 1; off < queues_.size() && !stole; ++off) {
           Queue& victim = queues_[(self + off) % queues_.size()];
           if (!victim.tasks.empty()) {
             task = std::move(victim.tasks.back());
             victim.tasks.pop_back();
             stole = true;
+            ++steal_successes_;
+            ++tasks_run_[self + 1];
+            WM_COUNT_INFO(pool.steals);
           }
         }
         if (stole) break;
         if (stop_) return;
+        ++idle_wakeups_;
+        WM_COUNT_INFO(pool.idle_wakeups);
         cv_.wait(lock);
       }
     }
+    WM_COUNT_INFO(pool.tasks);
     task();
   }
 }
@@ -129,12 +150,14 @@ void ThreadPool::run_chunked(
   job.end = end;
   job.chunk = c;
 
-  auto drive = [&body, &job](int worker) {
+  auto drive = [this, &body, &job](int worker) {
     for (;;) {
       if (job.cancelled.load(std::memory_order_relaxed)) return;
       const std::uint64_t lo =
           job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
       if (lo >= job.end) return;
+      chunks_claimed_.fetch_add(1, std::memory_order_relaxed);
+      WM_COUNT_INFO(pool.chunks);
       const std::uint64_t hi =
           job.end - lo < job.chunk ? job.end : lo + job.chunk;
       try {
@@ -222,6 +245,12 @@ std::optional<std::uint64_t> ThreadPool::parallel_find_first(
                 // already recorded, so the minimum over recorded hits is
                 // the global minimum.
                 if (lo >= best.load(std::memory_order_acquire)) return true;
+                // The *set of indices* pred runs on above the witness is
+                // timing-dependent even though the result is not, so work
+                // counters incremented inside pred would break the
+                // thread-count-invariance contract. Suppress them here;
+                // deterministic callers count from the returned witness.
+                obs::SpeculativeScope suppress_work_counters;
                 for (std::uint64_t i = lo; i < hi; ++i) {
                   if (i >= best.load(std::memory_order_acquire)) return true;
                   if (pred(i)) {
@@ -237,6 +266,20 @@ std::optional<std::uint64_t> ThreadPool::parallel_find_first(
   const std::uint64_t found = best.load(std::memory_order_acquire);
   if (found == kNone) return std::nullopt;
   return found;
+}
+
+PoolTelemetry ThreadPool::telemetry() const {
+  PoolTelemetry t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    t.tasks_per_worker = tasks_run_;
+    t.steal_attempts = steal_attempts_;
+    t.steal_successes = steal_successes_;
+    t.idle_wakeups = idle_wakeups_;
+    t.queue_high_water = queue_high_water_;
+  }
+  t.chunks_claimed = chunks_claimed_.load(std::memory_order_relaxed);
+  return t;
 }
 
 }  // namespace wm

@@ -39,6 +39,21 @@ namespace wm {
 /// else 1.
 int default_thread_count();
 
+/// Scheduling telemetry snapshot for one pool (ThreadPool::telemetry()).
+/// All values are timing-dependent — they describe how the work was
+/// scheduled, never how much work was done — and are mirrored into the
+/// global `pool.*` info counters (obs/counters.hpp). Do not gate on them.
+struct PoolTelemetry {
+  /// Tasks executed per executor; slot 0 is the calling thread (tasks it
+  /// drained on a single-executor pool), slots 1.. the spawned workers.
+  std::vector<std::uint64_t> tasks_per_worker;
+  std::uint64_t steal_attempts = 0;   // victim scans by idle workers
+  std::uint64_t steal_successes = 0;  // scans that found a task
+  std::uint64_t idle_wakeups = 0;     // times a worker slept on the cv
+  std::uint64_t chunks_claimed = 0;   // cursor claims across all helpers
+  std::uint64_t queue_high_water = 0; // deepest single deque seen
+};
+
 class ThreadPool {
  public:
   /// `threads` is the number of concurrent executors including the
@@ -123,6 +138,11 @@ class ThreadPool {
       const std::function<bool(std::uint64_t)>& pred,
       std::uint64_t chunk = 0);
 
+  /// Scheduling counters accumulated since construction. Safe to call
+  /// concurrently with running helpers (values are a consistent-enough
+  /// monotone snapshot, not a linearised one).
+  PoolTelemetry telemetry() const;
+
  private:
   struct Queue {
     std::deque<std::function<void()>> tasks;
@@ -148,6 +168,16 @@ class ThreadPool {
   std::condition_variable cv_;        // workers: work available / stop
   std::condition_variable done_cv_;   // callers: job finished
   bool stop_ = false;
+
+  // Telemetry. tasks_run_ / steal / idle / high-water are only mutated
+  // under mu_ (the queue operations they describe already hold it);
+  // chunks_claimed_ is on the lock-free cursor path, hence atomic.
+  std::vector<std::uint64_t> tasks_run_;  // slot 0 = caller, 1.. = workers
+  std::uint64_t steal_attempts_ = 0;
+  std::uint64_t steal_successes_ = 0;
+  std::uint64_t idle_wakeups_ = 0;
+  std::uint64_t queue_high_water_ = 0;
+  std::atomic<std::uint64_t> chunks_claimed_{0};
 };
 
 }  // namespace wm

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace wm {
 
 /// Concurrent map keeping the *minimum* value ever inserted per key.
@@ -29,9 +31,21 @@ class ShardedMinMap {
   /// Returns true if the key was new.
   bool insert_min(const Key& key, const Value& value) {
     Shard& s = shard_for(key);
-    std::lock_guard<std::mutex> lock(s.mu);
-    auto [it, fresh] = s.map.try_emplace(key, value);
-    if (!fresh && value < it->second) it->second = value;
+    bool fresh;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto [it, inserted] = s.map.try_emplace(key, value);
+      if (!inserted && value < it->second) it->second = value;
+      fresh = inserted;
+    }
+    // Totals are deterministic for full-range scans: every index is
+    // inserted exactly once, and fresh-vs-hit per *key multiset* does not
+    // depend on which thread got there first.
+    if (fresh) {
+      WM_COUNT(sharded.fresh_keys);
+    } else {
+      WM_COUNT(sharded.dedup_hits);
+    }
     return fresh;
   }
 

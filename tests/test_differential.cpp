@@ -460,7 +460,9 @@ TEST(differential_covering, LiftsCoverTheirBase) {
     expect_serial_equals_parallel("lift covering search",
                                   [&](ThreadPool* pool) {
       const auto phi = find_covering_map(h, base, pool);
-      if (phi) EXPECT_TRUE(is_covering_map(h, base, *phi));
+      if (phi) {
+        EXPECT_TRUE(is_covering_map(h, base, *phi));
+      }
       return covering_summary(phi);
     });
   }
@@ -476,7 +478,9 @@ TEST(differential_covering, SeededVoltageLifts) {
                                   [&](ThreadPool* pool) {
       const auto phi = find_covering_map(lift, base, pool);
       EXPECT_TRUE(phi.has_value());
-      if (phi) EXPECT_TRUE(is_covering_map(lift, base, *phi));
+      if (phi) {
+        EXPECT_TRUE(is_covering_map(lift, base, *phi));
+      }
       return covering_summary(phi);
     });
   }

@@ -1,0 +1,313 @@
+// Observability layer: registry semantics, speculative suppression,
+// trace JSON well-formedness, and the determinism contract the CI
+// regression gate relies on — work-counter totals identical at any
+// thread count.
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bisim/quotient.hpp"
+#include "core/decision.hpp"
+#include "graph/enumerate.hpp"
+#include "graph/generators.hpp"
+#include "logic/kripke.hpp"
+#include "obs/trace.hpp"
+#include "port/port_numbering.hpp"
+#include "problems/catalogue.hpp"
+#include "util/parallel.hpp"
+
+namespace wm {
+namespace {
+
+using obs::CounterKind;
+
+// --- Registry -------------------------------------------------------------
+
+TEST(ObsRegistry, CountersRegisterOnFirstUseAndSnapshotByKind) {
+  obs::Counter& c = obs::registry().counter("obstest.alpha", CounterKind::kWork);
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(c.kind(), CounterKind::kWork);
+
+  const auto work = obs::registry().snapshot(CounterKind::kWork);
+  ASSERT_TRUE(work.count("obstest.alpha"));
+  EXPECT_EQ(work.at("obstest.alpha"), 42u);
+  // A work counter must not leak into the info snapshot (the regression
+  // gate reads only "work"; pool telemetry only "info").
+  EXPECT_FALSE(obs::registry().snapshot(CounterKind::kInfo)
+                   .count("obstest.alpha"));
+}
+
+TEST(ObsRegistry, SameNameReturnsSameCounterAndFirstKindWins) {
+  obs::Counter& a = obs::registry().counter("obstest.pin", CounterKind::kInfo);
+  obs::Counter& b = obs::registry().counter("obstest.pin", CounterKind::kWork);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.kind(), CounterKind::kInfo);
+}
+
+TEST(ObsRegistry, RecordMaxIsAHighWaterMark) {
+  obs::Counter& c = obs::registry().counter("obstest.hwm", CounterKind::kInfo);
+  c.reset();
+  c.record_max(7);
+  c.record_max(3);  // lower: ignored
+  EXPECT_EQ(c.value(), 7u);
+  c.record_max(19);
+  EXPECT_EQ(c.value(), 19u);
+}
+
+TEST(ObsRegistry, MacrosCacheTheSiteAndCount) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  obs::registry().counter("obstest.macro").reset();
+  for (int i = 0; i < 100; ++i) WM_COUNT(obstest.macro);
+  WM_COUNT_ADD(obstest.macro, 900);
+  EXPECT_EQ(obs::registry().counter("obstest.macro").value(), 1000u);
+#endif
+}
+
+// --- Speculative suppression ---------------------------------------------
+
+TEST(ObsSpeculation, ScopesNestAndSuppressOnlyWorkCounters) {
+  obs::Counter& work = obs::registry().counter("obstest.spec.work",
+                                               CounterKind::kWork);
+  obs::Counter& info = obs::registry().counter("obstest.spec.info",
+                                               CounterKind::kInfo);
+  work.reset();
+  info.reset();
+  EXPECT_FALSE(obs::speculation_suppressed());
+  {
+    obs::SpeculativeScope outer;
+    EXPECT_TRUE(obs::speculation_suppressed());
+    work.add();  // dropped
+    info.add();  // info ignores suppression
+    {
+      obs::SpeculativeScope inner;
+      EXPECT_TRUE(obs::speculation_suppressed());
+      work.add();  // dropped
+    }
+    // Leaving the inner scope must NOT clear the outer suppression.
+    EXPECT_TRUE(obs::speculation_suppressed());
+    work.add();  // dropped
+  }
+  EXPECT_FALSE(obs::speculation_suppressed());
+  work.add();  // counted
+  EXPECT_EQ(work.value(), 1u);
+  EXPECT_EQ(info.value(), 1u);
+}
+
+TEST(ObsSpeculation, SuppressionIsPerThread) {
+  obs::Counter& c = obs::registry().counter("obstest.spec.thread",
+                                            CounterKind::kWork);
+  c.reset();
+  obs::SpeculativeScope scope;  // suppresses THIS thread only
+  ThreadPool pool(2);
+  // With a 2-executor pool the calling thread participates in the scan
+  // (suppressed) while the worker thread counts normally; every index is
+  // executed exactly once, so the total is whatever the unsuppressed
+  // thread picked up — at least zero, at most all. What must hold:
+  // a fresh thread starts unsuppressed.
+  bool worker_saw_suppressed = true;
+  pool.submit([&] { worker_saw_suppressed = obs::speculation_suppressed(); });
+  pool.parallel_for(0, 1, [](std::uint64_t) {});  // drains the submit
+  EXPECT_FALSE(worker_saw_suppressed);
+}
+
+// --- Trace JSON -----------------------------------------------------------
+
+/// Minimal JSON well-formedness scan: balanced {}/[] outside strings,
+/// strings closed with legal escapes, no raw control characters.
+/// (Unused when -DWM_OBS=OFF skips the trace round-trip test.)
+[[maybe_unused]] bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char ch : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (ch == '\\') {
+        escaped = true;
+      } else if (ch == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+[[maybe_unused]] std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ObsTrace, DisabledByDefaultAndScopesAreInert) {
+  EXPECT_FALSE(obs::trace_enabled());
+  { WM_TRACE_SCOPE("obstest.inert"); }  // must not crash or emit
+  EXPECT_FALSE(obs::trace_stop());      // nothing active to flush
+}
+
+TEST(ObsTrace, NestedScopesProduceWellFormedChromeTraceJson) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  const std::string path = ::testing::TempDir() + "wm_obs_trace.json";
+  obs::trace_start(path);
+  ASSERT_TRUE(obs::trace_enabled());
+  {
+    WM_TRACE_SCOPE("outer");
+    {
+      WM_TRACE_SCOPE("inner");
+      WM_TRACE_SCOPE("needs escaping \"quotes\" and \\slashes\\ and\nnewline");
+    }
+  }
+  // A scope on a pool worker lands on its own tid track.
+  {
+    ThreadPool pool(2);
+    pool.parallel_for(0, 4, [](std::uint64_t) { WM_TRACE_SCOPE("pooled"); });
+  }
+  ASSERT_TRUE(obs::trace_stop());
+  EXPECT_FALSE(obs::trace_enabled());
+
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(json_well_formed(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  for (const char* needle :
+       {"\"outer\"", "\"inner\"", "\"pooled\"", "\"ph\":\"X\"",
+        "needs escaping \\\"quotes\\\" and \\\\slashes\\\\ and\\nnewline"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+  std::remove(path.c_str());
+#endif
+}
+
+// --- Parallel counter hammer (the TSan target) ----------------------------
+
+TEST(ObsHammer, EightWorkersCountExactly) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  obs::Counter& work = obs::registry().counter("obstest.hammer",
+                                               CounterKind::kWork);
+  obs::Counter& info = obs::registry().counter("obstest.hammer.info",
+                                               CounterKind::kInfo);
+  work.reset();
+  info.reset();
+  ThreadPool pool(8);
+  constexpr std::uint64_t kIters = 100000;
+  pool.parallel_for(0, kIters, [](std::uint64_t) {
+    WM_COUNT(obstest.hammer);
+    WM_COUNT_INFO(obstest.hammer.info);
+    WM_COUNT_MAX(obstest.hammer.hwm, 5);
+  });
+  EXPECT_EQ(work.value(), kIters);
+  EXPECT_EQ(info.value(), kIters);
+  EXPECT_EQ(obs::registry().counter("obstest.hammer.hwm").value(), 5u);
+  // The pool's own telemetry is alive and self-consistent.
+  const PoolTelemetry t = pool.telemetry();
+  ASSERT_EQ(t.tasks_per_worker.size(), 8u);
+  EXPECT_GE(t.steal_attempts, t.steal_successes);
+#endif
+}
+
+// --- The determinism contract the regression gate relies on ---------------
+
+/// Runs `body` against a fresh pool of `threads` executors and returns
+/// how much every work counter grew — the exact quantity bench_diff.py
+/// gates on.
+std::map<std::string, std::uint64_t> work_delta(
+    int threads, const std::function<void(ThreadPool&)>& body) {
+  const auto before = obs::registry().snapshot(CounterKind::kWork);
+  ThreadPool pool(threads);
+  body(pool);
+  const auto after = obs::registry().snapshot(CounterKind::kWork);
+  std::map<std::string, std::uint64_t> delta;
+  for (const auto& [name, value] : after) {
+    const auto it = before.find(name);
+    const std::uint64_t base = it == before.end() ? 0 : it->second;
+    if (value != base) delta[name] = value - base;
+  }
+  return delta;
+}
+
+void expect_thread_invariant(const std::function<void(ThreadPool&)>& body) {
+#ifdef WM_OBS_DISABLED
+  work_delta(1, body);  // still exercises the workload; nothing to compare
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  const auto seq = work_delta(1, body);
+  EXPECT_FALSE(seq.empty());  // the workload must actually be instrumented
+  const auto par = work_delta(8, body);
+  EXPECT_EQ(seq, par);
+#endif
+}
+
+TEST(ObsDeterminism, QuotientSearchWorkInvariantAcrossThreadCounts) {
+  std::vector<PortNumbering> numberings;
+  for_each_consistent_port_numbering(cycle_graph(4), [&](const PortNumbering& p) {
+    numberings.push_back(p);
+    return true;
+  });
+  ASSERT_FALSE(numberings.empty());
+  expect_thread_invariant([&](ThreadPool& pool) {
+    search_distinct_quotients(
+        numberings.size(),
+        [&](std::uint64_t i) {
+          return kripke_from_graph(numberings[i], Variant::PlusPlus);
+        },
+        /*graded=*/false, &pool);
+  });
+}
+
+TEST(ObsDeterminism, DecisionWorkInvariantAcrossThreadCounts) {
+  const auto problem = leaf_in_star_problem();
+  std::vector<PortNumbering> scope;
+  for (int k = 2; k <= 3; ++k) {
+    scope.push_back(PortNumbering::identity(star_graph(k)));
+  }
+  for (const ProblemClass c : {ProblemClass::SV, ProblemClass::VB}) {
+    expect_thread_invariant([&](ThreadPool& pool) {
+      DecisionOptions opts;
+      opts.rounds = 1;
+      opts.pool = &pool;
+      decide_solvable(*problem, scope, c, opts);
+    });
+  }
+}
+
+TEST(ObsDeterminism, IsoFreeEnumerationWorkInvariantAcrossThreadCounts) {
+  EnumerateOptions opts;
+  expect_thread_invariant([&](ThreadPool& pool) {
+    std::size_t reps = 0;
+    enumerate_graphs_modulo_iso_parallel(5, opts, pool, [&](const Graph&) {
+      ++reps;
+      return true;
+    });
+    EXPECT_GT(reps, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace wm

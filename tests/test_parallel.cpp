@@ -82,7 +82,7 @@ TEST(ThreadPool, FindFirstEmptyAndReversedRangesNeverCallThePredicate) {
     ThreadPool pool(threads);
     for (const std::uint64_t chunk : {std::uint64_t{0}, std::uint64_t{1},
                                       std::uint64_t{64}}) {
-      for (const auto [begin, end] :
+      for (const auto& [begin, end] :
            {std::pair<std::uint64_t, std::uint64_t>{0, 0},
             {7, 7},
             {10, 3}}) {

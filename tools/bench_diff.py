@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json files and gate on work-counter regressions.
+
+The benches emit a "metrics" object with two counter families:
+
+  * "work"  -- deterministic work counters. Identical across thread counts
+               by construction, so any increase between two builds of the
+               same bench is a genuine algorithmic regression (more
+               assignments scanned, more refinement rounds, ...), not
+               scheduling noise. These are gated.
+  * "info"  -- scheduling telemetry (steals, idle wakeups, ...). Varies run
+               to run; never gated, never reported.
+
+Wall-clock ("wall_ms") is reported but never gated: CI machines are too
+noisy for time thresholds, which is exactly why the work counters exist.
+
+Usage:
+  bench_diff.py [--threshold PCT] [--exact] BASELINE_DIR CURRENT_DIR
+  bench_diff.py --self-test
+
+Exit status: 0 = no regressions, 1 = regression (or missing bench/counter),
+2 = bad invocation or unreadable input.
+
+Rules, per bench file present in BASELINE_DIR:
+  * bench json missing from CURRENT_DIR ............ FAIL (coverage lost)
+  * work counter missing from current .............. FAIL (instrumentation
+                                                     silently dropped)
+  * work counter grew beyond threshold ............. FAIL (default 5%; a
+                                                     baseline of 0 fails on
+                                                     any growth)
+  * work counter shrank, or is new in current ...... informational only
+  * --exact: any work-counter difference at all .... FAIL (used by CI to
+             assert cross-thread-count determinism of the same build)
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+
+def load_bench(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_diff: cannot read {path}: {e}")
+    work = data.get("metrics", {}).get("work")
+    if not isinstance(work, dict):
+        raise SystemExit(f"bench_diff: {path} has no metrics.work object")
+    return data
+
+
+def collect(dirname):
+    paths = sorted(glob.glob(os.path.join(dirname, "BENCH_*.json")))
+    return {os.path.basename(p): load_bench(p) for p in paths}
+
+
+def diff_sets(baseline, current, threshold, exact):
+    """Returns (failures, notes) as lists of human-readable lines."""
+    failures = []
+    notes = []
+    for fname in sorted(baseline):
+        base = baseline[fname]
+        name = base.get("name", fname)
+        if fname not in current:
+            failures.append(f"{name}: bench json missing from current set")
+            continue
+        cur = current[fname]
+        bwork = base["metrics"]["work"]
+        cwork = cur["metrics"]["work"]
+        for key in sorted(bwork):
+            bval = bwork[key]
+            if key not in cwork:
+                failures.append(
+                    f"{name}: work counter '{key}' missing from current "
+                    f"(baseline {bval})")
+                continue
+            cval = cwork[key]
+            if exact:
+                if cval != bval:
+                    failures.append(
+                        f"{name}: '{key}' differs ({bval} -> {cval})")
+                continue
+            limit = bval * (1.0 + threshold / 100.0)
+            if cval > limit:
+                pct = (100.0 * (cval - bval) / bval) if bval else float("inf")
+                failures.append(
+                    f"{name}: '{key}' regressed {bval} -> {cval} "
+                    f"(+{pct:.1f}%, threshold {threshold:.1f}%)")
+            elif cval < bval:
+                notes.append(f"{name}: '{key}' improved {bval} -> {cval}")
+        for key in sorted(set(cwork) - set(bwork)):
+            if exact:
+                failures.append(
+                    f"{name}: '{key}' differs (absent -> {cwork[key]})")
+            else:
+                notes.append(f"{name}: new work counter '{key}' = {cwork[key]}")
+        bms, cms = base.get("wall_ms"), cur.get("wall_ms")
+        if isinstance(bms, (int, float)) and isinstance(cms, (int, float)):
+            notes.append(
+                f"{name}: wall_ms {bms:.1f} -> {cms:.1f} (informational)")
+    for fname in sorted(set(current) - set(baseline)):
+        notes.append(f"{current[fname].get('name', fname)}: new bench "
+                     f"(no baseline)")
+    return failures, notes
+
+
+def run_diff(args):
+    baseline = collect(args.baseline)
+    current = collect(args.current)
+    if not baseline:
+        raise SystemExit(f"bench_diff: no BENCH_*.json under {args.baseline}")
+    failures, notes = diff_sets(baseline, current, args.threshold, args.exact)
+    for line in notes:
+        print(f"  note: {line}")
+    for line in failures:
+        print(f"  FAIL: {line}")
+    if failures:
+        print(f"bench_diff: {len(failures)} regression(s) across "
+              f"{len(baseline)} baseline bench(es)")
+        return 1
+    print(f"bench_diff: OK ({len(baseline)} bench(es), "
+          f"threshold {'exact' if args.exact else f'{args.threshold:.1f}%'})")
+    return 0
+
+
+def self_test():
+    """Exercises the gate on synthetic data; exits non-zero if any rule
+    misfires. CI runs this so the gate itself is covered by the gate job."""
+
+    def write_set(root, sub, work, wall=10.0):
+        d = os.path.join(root, sub)
+        os.makedirs(d, exist_ok=True)
+        with open(os.path.join(d, "BENCH_fake.json"), "w") as f:
+            json.dump({"name": "fake", "n": 4, "threads": 2, "wall_ms": wall,
+                       "graphs_per_sec": 0.0,
+                       "metrics": {"work": work, "info": {"pool.tasks": 3}}},
+                      f)
+        return d
+
+    class A:
+        threshold = 5.0
+        exact = False
+
+    checks = []
+    with tempfile.TemporaryDirectory() as tmp:
+        a = A()
+        a.baseline = write_set(tmp, "base", {"engine.rounds": 100,
+                                             "decision.blocks": 40})
+        # Identical -> pass.
+        a.current = write_set(tmp, "same", {"engine.rounds": 100,
+                                            "decision.blocks": 40})
+        checks.append(("identical sets pass", run_diff(a) == 0))
+        # Within threshold -> pass; wall-time doubling is ignored.
+        a.current = write_set(tmp, "near", {"engine.rounds": 104,
+                                            "decision.blocks": 40}, wall=99.0)
+        checks.append(("4% growth within 5% passes", run_diff(a) == 0))
+        # Beyond threshold -> fail.
+        a.current = write_set(tmp, "slow", {"engine.rounds": 120,
+                                            "decision.blocks": 40})
+        checks.append(("20% growth fails", run_diff(a) == 1))
+        # Dropped counter -> fail.
+        a.current = write_set(tmp, "drop", {"engine.rounds": 100})
+        checks.append(("dropped counter fails", run_diff(a) == 1))
+        # Improvement and new counter -> pass.
+        a.current = write_set(tmp, "wins", {"engine.rounds": 50,
+                                            "decision.blocks": 40,
+                                            "bisim.refinements": 7})
+        checks.append(("improvement passes", run_diff(a) == 0))
+        # Exact mode: the same improvement must now fail.
+        a.exact = True
+        checks.append(("exact mode flags any difference", run_diff(a) == 1))
+        a.current = write_set(tmp, "same2", {"engine.rounds": 100,
+                                             "decision.blocks": 40})
+        checks.append(("exact mode passes identical", run_diff(a) == 0))
+        # Missing bench file -> fail.
+        a.exact = False
+        empty = os.path.join(tmp, "empty")
+        os.makedirs(empty)
+        a.current = empty
+        checks.append(("missing bench json fails", run_diff(a) == 1))
+
+    bad = [label for label, ok in checks if not ok]
+    for label, ok in checks:
+        print(f"self-test: {'ok  ' if ok else 'FAIL'} {label}")
+    if bad:
+        print(f"bench_diff --self-test: {len(bad)} rule(s) misfired")
+        return 1
+    print(f"bench_diff --self-test: all {len(checks)} rules behave")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Gate BENCH_*.json work counters against a baseline set.")
+    ap.add_argument("baseline", nargs="?",
+                    help="directory holding baseline BENCH_*.json files")
+    ap.add_argument("current", nargs="?",
+                    help="directory holding freshly produced BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=5.0, metavar="PCT",
+                    help="allowed work-counter growth in percent (default 5)")
+    ap.add_argument("--exact", action="store_true",
+                    help="fail on ANY work-counter difference "
+                         "(cross-thread determinism check)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate's own rules on synthetic data")
+    args = ap.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("baseline and current directories are required "
+                 "(or use --self-test)")
+    return run_diff(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
