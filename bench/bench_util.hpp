@@ -7,7 +7,9 @@
 // stderr, so diffing stdout across thread counts stays meaningful. The
 // json carries a "metrics" object — "work" counters are deterministic
 // across thread counts (tools/bench_diff.py gates on them), "info"
-// counters are scheduling telemetry (informational only).
+// counters are scheduling telemetry (informational only) — plus a
+// "manifest" provenance block (obs/manifest.hpp) and a "timings"
+// duration-histogram block (obs/histogram.hpp), both informational.
 #pragma once
 
 #include <chrono>
@@ -16,7 +18,9 @@
 #include <string>
 
 #include "obs/counters.hpp"
-#include "obs/trace.hpp"
+#include "obs/env.hpp"
+#include "obs/histogram.hpp"
+#include "obs/manifest.hpp"
 #include "util/parallel.hpp"
 
 namespace wm::benchutil {
@@ -24,10 +28,12 @@ namespace wm::benchutil {
 /// Parses `--threads N` (also `--threads=N`) from argv; any other
 /// arguments are left for the bench. Returns default_thread_count() when
 /// absent, which itself honours the WM_THREADS environment variable.
-/// Also arms phase tracing when WM_TRACE=<file> is set — every bench
-/// calls this first, so the env hook needs no per-bench code.
+/// Also arms every env-driven observability hook (WM_TRACE phase
+/// tracing, WM_PROGRESS heartbeats, the manifest start clock) — every
+/// bench calls this first, so the env hooks need no per-bench code; the
+/// examples call obs::init_from_env() themselves.
 inline int parse_threads(int argc, char** argv) {
-  obs::trace_init_from_env();
+  obs::init_from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--threads" && i + 1 < argc) return std::atoi(argv[i + 1]);
@@ -80,7 +86,11 @@ inline std::string metrics_json(wm::obs::CounterKind kind) {
 /// graphs_per_sec its headline throughput (0 if not meaningful). The
 /// "metrics" object snapshots every registered counter: "work" values
 /// are identical at any --threads setting (the regression gate input),
-/// "info" values describe scheduling and vary run to run.
+/// "info" values describe scheduling and vary run to run. "manifest"
+/// carries run provenance (commit, compiler, flags, seed, wallclock)
+/// and "timings" the per-phase duration histograms — both are
+/// timing/environment-dependent, so tools/bench_diff.py ignores them;
+/// tools/bench_trend.py folds them into the cross-run trend table.
 inline void write_bench_json(const std::string& name, long long n,
                              int threads, double wall_ms,
                              double graphs_per_sec) {
@@ -89,10 +99,13 @@ inline void write_bench_json(const std::string& name, long long n,
     std::fprintf(f,
                  "{\"name\": \"%s\", \"n\": %lld, \"threads\": %d, "
                  "\"wall_ms\": %.3f, \"graphs_per_sec\": %.3f, "
-                 "\"metrics\": {\"work\": %s, \"info\": %s}}\n",
+                 "\"metrics\": {\"work\": %s, \"info\": %s}, "
+                 "\"manifest\": %s, \"timings\": %s}\n",
                  name.c_str(), n, threads, wall_ms, graphs_per_sec,
                  metrics_json(wm::obs::CounterKind::kWork).c_str(),
-                 metrics_json(wm::obs::CounterKind::kInfo).c_str());
+                 metrics_json(wm::obs::CounterKind::kInfo).c_str(),
+                 wm::obs::manifest_json(threads).c_str(),
+                 wm::obs::timings_json().c_str());
     std::fclose(f);
     std::fprintf(stderr, "[json]  wrote %s\n", path.c_str());
   } else {

@@ -11,11 +11,13 @@
 
 #include "algorithms/machines.hpp"
 #include "graph/generators.hpp"
+#include "obs/env.hpp"
 #include "port/port_numbering.hpp"
 #include "runtime/engine.hpp"
 #include "transform/beeping.hpp"
 
 int main() {
+  wm::obs::init_from_env();
   using namespace wm;
 
   std::printf("=== Beep-wave BFS on a 4x5 grid ===\n");

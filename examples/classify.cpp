@@ -35,6 +35,7 @@
 #include "graph/matching.hpp"
 #include "graph/properties.hpp"
 #include "labelled/leader_election.hpp"
+#include "obs/env.hpp"
 #include "problems/catalogue.hpp"
 #include "runtime/engine.hpp"
 #include "transform/simulations.hpp"
@@ -70,6 +71,7 @@ wm::Graph read_graph(std::istream& in) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  wm::obs::init_from_env();
   using namespace wm;
   int threads = 0;
   std::vector<char*> positional;

@@ -18,9 +18,11 @@
 #include "graph/generators.hpp"
 #include "logic/model_checker.hpp"
 #include "logic/parser.hpp"
+#include "obs/env.hpp"
 #include "runtime/engine.hpp"
 
 int main(int argc, char** argv) {
+  wm::obs::init_from_env();
   using namespace wm;
   const std::string text = argc > 1 ? argv[1] : "<*,*>>=2 (q1 | q2)";
   const std::string gname = argc > 2 ? argv[2] : "star";

@@ -11,10 +11,12 @@
 #include "graph/generators.hpp"
 #include "logic/model_checker.hpp"
 #include "logic/parser.hpp"
+#include "obs/env.hpp"
 #include "port/port_numbering.hpp"
 #include "runtime/engine.hpp"
 
 int main() {
+  wm::obs::init_from_env();
   using namespace wm;
 
   // 1. A graph and a port numbering (Sections 1.1-1.2 of the paper).

@@ -22,6 +22,8 @@
 
 #include "algorithms/machines.hpp"
 #include "graph/generators.hpp"
+#include "obs/env.hpp"
+#include "obs/manifest.hpp"
 #include "port/port_numbering.hpp"
 #include "runtime/class_checker.hpp"
 #include "runtime/engine.hpp"
@@ -95,6 +97,7 @@ std::shared_ptr<const StateMachine> pick_machine(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  wm::obs::init_from_env();
   using namespace wm;
   if (argc < 3) {
     std::fprintf(stderr,
@@ -145,6 +148,7 @@ int main(int argc, char** argv) {
       } catch (const std::exception& e) {
         std::printf("check   : skipped (%s)\n", e.what());
       }
+      std::printf("manifest:\n%s\n", obs::manifest_text(1).c_str());
     }
     std::printf("output  :");
     for (const Value& s : r.final_states) {

@@ -19,6 +19,7 @@
 
 #include "algorithms/machines.hpp"
 #include "core/classification.hpp"
+#include "obs/env.hpp"
 #include "runtime/engine.hpp"
 #include "util/parallel.hpp"
 
@@ -59,6 +60,7 @@ int parse_threads(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  wm::obs::init_from_env();
   using namespace wm;
   ThreadPool pool(parse_threads(argc, argv));
   std::cout << "The linear order of Figure 5b:\n"

@@ -16,9 +16,11 @@
 #include "graph/generators.hpp"
 #include "graph/matching.hpp"
 #include "logic/kripke.hpp"
+#include "obs/env.hpp"
 #include "port/port_numbering.hpp"
 
 int main(int argc, char** argv) {
+  wm::obs::init_from_env();
   using namespace wm;
   const int k = argc > 1 ? std::atoi(argv[1]) : 3;
   const Graph g = class_g_graph(k);

@@ -18,6 +18,7 @@
 #include "core/synthesis.hpp"
 #include "graph/generators.hpp"
 #include "logic/simplify.hpp"
+#include "obs/env.hpp"
 #include "problems/catalogue.hpp"
 #include "runtime/engine.hpp"
 #include "util/parallel.hpp"
@@ -66,6 +67,7 @@ void attempt(const char* label, const Problem& problem,
 }  // namespace
 
 int main(int argc, char** argv) {
+  wm::obs::init_from_env();
   int threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];

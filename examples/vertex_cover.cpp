@@ -12,11 +12,13 @@
 #include "graph/exact.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "obs/env.hpp"
 #include "port/port_numbering.hpp"
 #include "runtime/engine.hpp"
 #include "transform/simulations.hpp"
 
 int main(int argc, char** argv) {
+  wm::obs::init_from_env();
   using namespace wm;
   const int num_graphs = argc > 1 ? std::atoi(argv[1]) : 8;
   const int n = argc > 2 ? std::atoi(argv[2]) : 14;

@@ -16,6 +16,7 @@
 #include "cover/views.hpp"
 #include "graph/generators.hpp"
 #include "labelled/leader_election.hpp"
+#include "obs/env.hpp"
 #include "runtime/engine.hpp"
 
 namespace {
@@ -34,6 +35,7 @@ void report_views(const char* name, const wm::PortNumbering& p) {
 }  // namespace
 
 int main() {
+  wm::obs::init_from_env();
   using namespace wm;
   std::printf("=== Stable views and leader election ===\n");
   Rng rng(2026);

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace wm {
 
@@ -77,6 +78,7 @@ Partition refine_impl(const KripkeModel& k, bool graded, int max_rounds) {
 /// the deterministic result. Both are work counters, so they vanish
 /// inside speculative parallel_find_first predicates (see parallel.hpp).
 Partition refine(const KripkeModel& k, bool graded, int max_rounds) {
+  WM_TIME_SCOPE("bisim.refine");
   Partition p = refine_impl(k, graded, max_rounds);
   WM_COUNT(bisim.refinements);
   WM_COUNT_ADD(bisim.refine_rounds, p.rounds);

@@ -8,6 +8,8 @@
 
 #include "graph/canonical.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/sharded.hpp"
@@ -176,8 +178,10 @@ QuotientSearchResult search_distinct_quotients(
   };
 
   WM_TRACE_SCOPE("quotient.search");
+  WM_TIME_SCOPE("quotient.search");
   WM_COUNT(quotient.searches);
   WM_COUNT_ADD(quotient.scanned, count);
+  obs::ProgressTask progress("quotient.search", count);
   QuotientSearchResult result;
   result.scanned = count;
   if (pool != nullptr) {
@@ -190,6 +194,7 @@ QuotientSearchResult search_distinct_quotients(
     ShardedMinMap<std::string, std::uint64_t> table;
     pool->parallel_for(0, count, [&](std::uint64_t i) {
       table.insert_min(model_fingerprint(minimise_at(i)), i);
+      progress.tick();
     });
     result.representatives = table.values();
     std::sort(result.representatives.begin(), result.representatives.end());
@@ -206,6 +211,7 @@ QuotientSearchResult search_distinct_quotients(
   std::set<std::string> seen;
   for (std::uint64_t i = 0; i < count; ++i) {
     KripkeModel q = minimise_at(i);
+    progress.tick();
     if (!seen.insert(model_fingerprint(q)).second) continue;
     result.representatives.push_back(i);
     result.models.push_back(std::move(q));

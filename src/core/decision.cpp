@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
@@ -40,6 +42,7 @@ Decision decide_solvable(const Problem& problem,
                          const std::vector<PortNumbering>& scope,
                          ProblemClass c, const DecisionOptions& opts) {
   WM_TRACE_SCOPE("decision");
+  WM_TIME_SCOPE("decision.decide");
   WM_COUNT(decision.calls);
   const Variant variant = kripke_variant_for(c);
   const bool graded = graded_logic_for(c);
@@ -101,6 +104,12 @@ Decision decide_solvable(const Problem& problem,
     return true;
   };
 
+  // Liveness for the |Y|^blocks colouring scan. Ticks from the
+  // speculative parallel predicate are deliberate: progress counts
+  // candidates *evaluated* (timing-dependent, like any rate), never
+  // feeding the work counters the regression gate reads.
+  obs::ProgressTask progress("decision.scan", combos);
+
   if (opts.pool != nullptr) {
     // Parallel scan: lowest-witness contract of parallel_find_first ==
     // the first assignment the odometer below would accept, so the
@@ -108,6 +117,7 @@ Decision decide_solvable(const Problem& problem,
     // to the sequential scan at any thread count.
     const auto hit = opts.pool->parallel_find_first(
         0, combos, [&](std::uint64_t a) {
+          progress.tick();
           std::vector<int> colour(static_cast<std::size_t>(part.num_blocks));
           colouring_for_index(a, alphabet, colour);
           return outputs_valid(colour);
@@ -131,6 +141,7 @@ Decision decide_solvable(const Problem& problem,
   std::vector<int> colour(static_cast<std::size_t>(part.num_blocks),
                           alphabet[0]);
   for (;;) {
+    progress.tick();
     ++decision.assignments_tried;
     if (outputs_valid(colour)) {
       decision.solvable = true;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
@@ -12,6 +13,7 @@ namespace wm {
 ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
                             ThreadPool* pool) {
   WM_TRACE_SCOPE("solvability.instance");
+  WM_TIME_SCOPE("solvability.instance");
   WM_COUNT(solvability.instances);
   ScopedInstance inst;
   const Graph& g = numbering.graph();
@@ -75,6 +77,7 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
                                       ProblemClass c, int delta,
                                       int max_rounds, ThreadPool* pool) {
   WM_TRACE_SCOPE("solvability.analyse");
+  WM_TIME_SCOPE("solvability.analyse");
   WM_COUNT(solvability.analyses);
   const Variant variant = kripke_variant_for(c);
   // Multiset classes see multiplicities: graded refinement. Set classes

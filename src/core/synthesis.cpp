@@ -6,6 +6,8 @@
 #include "compile/formula_compiler.hpp"
 #include "logic/simplify.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "runtime/combinators.hpp"
 #include "util/parallel.hpp"
@@ -52,6 +54,7 @@ std::optional<SynthesisResult> synthesise_solution(
     const Problem& problem, const std::vector<PortNumbering>& scope,
     ProblemClass c, const DecisionOptions& opts) {
   WM_TRACE_SCOPE("synthesis");
+  WM_TIME_SCOPE("synthesis.solution");
   WM_COUNT(synthesis.calls);
   if (problem.output_alphabet() != std::vector<int>{0, 1}) {
     throw std::invalid_argument(
@@ -71,9 +74,14 @@ std::optional<SynthesisResult> synthesise_solution(
   const auto chi = characteristic_formulas(joint, opts.rounds, graded);
 
   // One characteristic formula per 1-coloured block (first member found).
+  // (The heavy scan — decide_solvable's colouring search — publishes its
+  // own "decision.scan" progress; this covers the extraction pass.)
+  obs::ProgressTask progress("synthesis.blocks",
+                             static_cast<std::uint64_t>(joint.num_states()));
   FormulaVec ones;
   std::vector<bool> taken(static_cast<std::size_t>(part.num_blocks), false);
   for (int v = 0; v < joint.num_states(); ++v) {
+    progress.tick();
     const int b = part.block[v];
     if (decision.block_output[b] == 1 && !taken[b]) {
       taken[b] = true;
@@ -94,6 +102,7 @@ std::optional<MultiSynthesisResult> synthesise_multivalued(
     const Problem& problem, const std::vector<PortNumbering>& scope,
     ProblemClass c, const DecisionOptions& opts) {
   WM_TRACE_SCOPE("synthesis.multivalued");
+  WM_TIME_SCOPE("synthesis.multivalued");
   WM_COUNT(synthesis.calls);
   const Decision decision = decide_solvable(problem, scope, c, opts);
   if (!decision.solvable) return std::nullopt;
@@ -113,9 +122,12 @@ std::optional<MultiSynthesisResult> synthesise_multivalued(
   result.blocks = decision.blocks;
   result.delta = delta;
   // One characteristic formula per block, grouped by assigned value.
+  obs::ProgressTask progress("synthesis.blocks",
+                             static_cast<std::uint64_t>(joint.num_states()));
   std::vector<FormulaVec> per_value(result.alphabet.size());
   std::vector<bool> taken(static_cast<std::size_t>(part.num_blocks), false);
   for (int v = 0; v < joint.num_states(); ++v) {
+    progress.tick();
     const int b = part.block[v];
     if (taken[b]) continue;
     taken[b] = true;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "graph/properties.hpp"
+#include "obs/histogram.hpp"
+#include "obs/progress.hpp"
 #include "util/parallel.hpp"
 
 namespace wm {
@@ -75,6 +77,7 @@ std::optional<std::vector<NodeId>> propagate_cover(
 
 std::optional<std::vector<NodeId>> find_covering_map(
     const PortNumbering& h, const PortNumbering& g, ThreadPool* pool) {
+  WM_TIME_SCOPE("cover.find");
   const std::vector<std::vector<NodeId>> components =
       connected_components(h.graph());
   const std::uint64_t base = static_cast<std::uint64_t>(g.graph().num_nodes());
@@ -103,14 +106,20 @@ std::optional<std::vector<NodeId>> find_covering_map(
     return propagate_cover(h, g, components, images_for(a));
   };
 
+  // Liveness over the anchor-assignment space; progress counts
+  // candidates evaluated (timing-dependent under the speculative
+  // parallel scan), not deterministic work.
+  obs::ProgressTask progress("cover.anchors", space);
   if (pool != nullptr) {
     const auto hit = pool->parallel_find_first(0, space, [&](std::uint64_t a) {
+      progress.tick();
       return candidate_at(a).has_value();
     });
     if (!hit) return std::nullopt;
     return candidate_at(*hit);
   }
   for (std::uint64_t a = 0; a < space; ++a) {
+    progress.tick();
     if (auto phi = candidate_at(a)) return phi;
   }
   return std::nullopt;

@@ -7,6 +7,7 @@
 
 #include "graph/graph.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace wm {
 
@@ -231,6 +232,7 @@ std::uint64_t certificate_hash(const std::string& certificate) {
 }
 
 CanonicalForm canonical_form(const RelationalStructure& s) {
+  WM_TIME_SCOPE("canonical.form");
   WM_COUNT(canonical.forms);
   CanonSearch search(s);
   if (s.n == 0) {

@@ -8,6 +8,8 @@
 #include "graph/canonical.hpp"
 #include "graph/properties.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/sharded.hpp"
@@ -89,8 +91,11 @@ std::size_t enumerate_graphs(int n, const EnumerateOptions& opts,
                              const std::function<bool(const Graph&)>& fn) {
   const std::vector<Edge> all_edges = all_possible_edges(n);
   const std::size_t m = all_edges.size();
+  WM_TIME_SCOPE("enumerate.scan");
+  obs::ProgressTask progress("enumerate.scan", 1ULL << m);
   std::size_t visited = 0;
   for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    progress.tick();
     const Graph g = graph_from_mask(n, all_edges, mask);
     if (!admissible(g, opts)) continue;
     WM_COUNT(enumerate.graphs);
@@ -133,8 +138,10 @@ std::size_t enumerate_graphs_modulo_iso_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
     const std::function<bool(const Graph&)>& fn) {
   WM_TRACE_SCOPE("enumerate.modulo_iso");
+  WM_TIME_SCOPE("enumerate.scan");
   const std::vector<Edge> all_edges = all_possible_edges(n);
   const std::size_t m = all_edges.size();
+  obs::ProgressTask progress("enumerate.scan", 1ULL << m);
   // Pass 1 (parallel): canonical certificate -> lowest admissible edge
   // mask. Certificates are a complete isomorphism key, so the surviving
   // set is exactly one graph per isomorphism class — the same
@@ -150,6 +157,7 @@ std::size_t enumerate_graphs_modulo_iso_parallel(
           WM_COUNT(enumerate.graphs);
           table.insert_min(canonical_certificate(g), mask);
         }
+        progress.tick(hi - lo);
         return true;
       });
   // Pass 2 (sequential): replay representatives in mask order.
@@ -169,6 +177,8 @@ std::size_t enumerate_graphs_parallel(
     const std::function<bool(const Graph&, int worker)>& fn) {
   const std::vector<Edge> all_edges = all_possible_edges(n);
   const std::size_t m = all_edges.size();
+  WM_TIME_SCOPE("enumerate.scan");
+  obs::ProgressTask progress("enumerate.scan", 1ULL << m);
   std::atomic<std::size_t> visited{0};
   // No work counters here: fn can cancel mid-scan, so the set of masks
   // actually visited is timing-dependent (unlike the modulo variants,
@@ -184,6 +194,7 @@ std::size_t enumerate_graphs_parallel(
           visited.fetch_add(1, std::memory_order_relaxed);
           if (!fn(g, worker)) return false;
         }
+        progress.tick(hi - lo);
         return true;
       });
   return visited.load();
@@ -193,8 +204,10 @@ std::size_t enumerate_graphs_modulo_refinement_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
     const std::function<bool(const Graph&)>& fn) {
   WM_TRACE_SCOPE("enumerate.modulo_refinement");
+  WM_TIME_SCOPE("enumerate.scan");
   const std::vector<Edge> all_edges = all_possible_edges(n);
   const std::size_t m = all_edges.size();
+  obs::ProgressTask progress("enumerate.scan", 1ULL << m);
   // Pass 1 (parallel): signature -> lowest admissible edge mask. The
   // per-key minimum is timing-independent, so the surviving set matches
   // the sequential variant's first-seen (= lowest-mask) representatives.
@@ -208,6 +221,7 @@ std::size_t enumerate_graphs_modulo_refinement_parallel(
           WM_COUNT(enumerate.graphs);
           table.insert_min(refinement_signature(g), mask);
         }
+        progress.tick(hi - lo);
         return true;
       });
   // Pass 2 (sequential): replay the representatives in mask order —

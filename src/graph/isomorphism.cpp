@@ -5,6 +5,7 @@
 
 #include "graph/canonical.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace wm {
 
@@ -82,6 +83,7 @@ struct Matcher {
 
 std::optional<std::vector<NodeId>> find_isomorphism(const Graph& g,
                                                     const Graph& h) {
+  WM_TIME_SCOPE("iso.find");
   WM_COUNT(iso.queries);
   if (g.num_nodes() != h.num_nodes() || g.num_edges() != h.num_edges()) {
     return std::nullopt;

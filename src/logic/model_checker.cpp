@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace wm {
 
@@ -84,6 +85,7 @@ std::vector<bool> eval(const KripkeModel& k, const Formula& f,
 }  // namespace
 
 std::vector<bool> model_check(const KripkeModel& k, const Formula& phi) {
+  WM_TIME_SCOPE("modelcheck.check");
   WM_COUNT(modelcheck.checks);
   std::unordered_map<Formula, std::vector<bool>> memo;
   return eval(k, phi, &memo);

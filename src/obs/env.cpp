@@ -1,0 +1,15 @@
+#include "obs/env.hpp"
+
+#include "obs/manifest.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
+
+namespace wm::obs {
+
+void init_from_env() {
+  mark_process_start();
+  trace_init_from_env();
+  progress_init_from_env();
+}
+
+}  // namespace wm::obs

@@ -1,0 +1,20 @@
+// One call to arm every environment-driven observability hook.
+//
+// Historically benchutil::parse_threads armed WM_TRACE, which meant the
+// examples/ binaries silently ignored it. Binaries now call
+// obs::init_from_env() first thing in main (parse_threads still does it
+// for the benches), which arms:
+//
+//   WM_TRACE=<file>     Chrome trace_event phase tracing, atexit flush
+//   WM_PROGRESS=<secs>  heartbeat thread for long searches, atexit stop
+//
+// and records the process start wallclock for the run manifest.
+// Idempotent and cheap (a few getenv calls); safe with -DWM_OBS=OFF
+// (tracing/progress arming become no-ops, the manifest clock remains).
+#pragma once
+
+namespace wm::obs {
+
+void init_from_env();
+
+}  // namespace wm::obs

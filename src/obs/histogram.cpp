@@ -1,0 +1,129 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace wm::obs {
+
+namespace {
+
+/// Shard choice: a stable per-thread index, assigned round-robin so
+/// concurrent recorders spread across shards. The mapping only affects
+/// contention, never the merged multiset.
+int shard_for_current_thread() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % Histogram::kShards);
+  return shard;
+}
+
+/// Upper bound of bucket i in microseconds: the largest duration the
+/// bucket can hold. Deterministic percentile representative.
+double bucket_upper_us(int i) noexcept {
+  if (i == 0) return 0.0;
+  if (i >= 64) i = 64;
+  const double upper_ns = std::ldexp(1.0, i) - 1.0;  // 2^i - 1
+  return upper_ns / 1000.0;
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t nanos) noexcept {
+  const int bucket = std::bit_width(nanos);  // 0 for 0, else floor(log2)+1
+  shards_[static_cast<std::size_t>(shard_for_current_thread())]
+      .buckets[static_cast<std::size_t>(bucket)]
+      .fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+  while (nanos > cur && !max_ns_.compare_exchange_weak(
+                            cur, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSummary Histogram::summary() const noexcept {
+  std::array<std::uint64_t, kBuckets> merged{};
+  std::uint64_t count = 0;
+  for (const Shard& s : shards_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = s.buckets[static_cast<std::size_t>(i)].load(
+          std::memory_order_relaxed);
+      merged[static_cast<std::size_t>(i)] += c;
+      count += c;
+    }
+  }
+  HistogramSummary out;
+  out.count = count;
+  out.max_us =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1000.0;
+  if (count == 0) return out;
+  const auto percentile = [&](double q) {
+    // Rank of the percentile sample in the sorted multiset, 1-based.
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q / 100.0 * static_cast<double>(count)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += merged[static_cast<std::size_t>(i)];
+      if (seen >= rank) return bucket_upper_us(i);
+    }
+    return bucket_upper_us(kBuckets - 1);
+  };
+  out.p50_us = percentile(50.0);
+  out.p90_us = percentile(90.0);
+  out.p99_us = percentile(99.0);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+HistogramRegistry& HistogramRegistry::instance() {
+  // Leaked singleton, like the counter Registry: summaries are read from
+  // atexit-time code paths (bench json writers).
+  static HistogramRegistry* r = new HistogramRegistry();
+  return *r;
+}
+
+Histogram& HistogramRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), new Histogram()).first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, HistogramSummary> HistogramRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSummary> out;
+  for (const auto& [name, h] : histograms_) out.emplace(name, h->summary());
+  return out;
+}
+
+void HistogramRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string timings_json() {
+  std::string out = "{";
+  bool first = true;
+  char buf[160];
+  for (const auto& [name, s] : histograms().snapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\": {\"count\": %llu, \"p50_us\": %.3f, "
+                  "\"p90_us\": %.3f, \"p99_us\": %.3f, \"max_us\": %.3f}",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.p50_us, s.p90_us, s.p99_us, s.max_us);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace wm::obs

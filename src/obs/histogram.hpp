@@ -1,0 +1,142 @@
+// Duration histograms for the observability layer.
+//
+// A histogram is a set of log2 buckets over nanosecond durations:
+// bucket i holds every duration d with bit_width(d) == i, i.e. the
+// range [2^(i-1), 2^i - 1] (bucket 0 holds exactly 0 ns). Recording is
+// one relaxed fetch_add into a per-thread shard — no locks, no
+// allocation — so WM_TIME_SCOPE is safe in hot paths and under TSan.
+// Reading merges the shards into a Summary (count / p50 / p90 / p99 /
+// max): percentiles are bucket upper bounds, deterministic given the
+// recorded multiset; the max is tracked exactly.
+//
+// Durations are *timing telemetry*, the same epistemic status as the
+// kInfo counters of counters.hpp: they vary with hardware, load and
+// thread count, so they are reported (the "timings" section of every
+// BENCH_*.json) but must never enter the work-counter regression gate.
+//
+// Configure with -DWM_OBS=OFF to compile WM_TIME_SCOPE out entirely.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace wm::obs {
+
+/// Merged view of one histogram. Percentile semantics: p(q) is the
+/// upper bound, in microseconds, of the bucket holding the sample of
+/// rank ceil(q/100 * count) in the sorted multiset (0 when count == 0).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double max_us = 0;  // exact, not bucketed
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;  // bit_width of a uint64 duration
+  // Shards cut same-bucket contention when many workers record the same
+  // phase; any thread -> shard mapping preserves the merged multiset.
+  static constexpr int kShards = 8;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one duration. Relaxed atomics only; thread-safe.
+  void record(std::uint64_t nanos) noexcept;
+
+  /// Merges every shard into one summary (see HistogramSummary).
+  HistogramSummary summary() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Process-wide histogram registry, mirroring the counter Registry:
+/// references are stable for the process lifetime, lookup is
+/// mutex-protected and cached per call site by the WM_TIME_SCOPE macro.
+class HistogramRegistry {
+ public:
+  static HistogramRegistry& instance();
+
+  /// Returns the histogram registered under `name`, creating it on
+  /// first use (dotted lowercase hierarchy: "decision.decide").
+  Histogram& histogram(std::string_view name);
+
+  /// Name -> merged summary for every registered histogram, sorted by
+  /// name. Histograms that never recorded are included (count 0).
+  std::map<std::string, HistogramSummary> snapshot() const;
+
+  void reset();
+
+ private:
+  HistogramRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, Histogram*, std::less<>> histograms_;
+};
+
+inline HistogramRegistry& histograms() { return HistogramRegistry::instance(); }
+
+/// The registry snapshot as a JSON object body — the "timings" section
+/// of every BENCH_*.json:
+///   {"decision.decide": {"count": 3, "p50_us": 12.3, ...}, ...}
+/// "{}" when nothing was recorded (e.g. under -DWM_OBS=OFF).
+std::string timings_json();
+
+/// RAII duration sample: records the scope's lifetime into `h` on exit.
+/// Usually spelled WM_TIME_SCOPE("name").
+class TimeScope {
+ public:
+  explicit TimeScope(Histogram& h) noexcept
+      : h_(h), begin_(std::chrono::steady_clock::now()) {}
+  ~TimeScope() {
+    h_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin_)
+            .count()));
+  }
+  TimeScope(const TimeScope&) = delete;
+  TimeScope& operator=(const TimeScope&) = delete;
+
+ private:
+  Histogram& h_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+}  // namespace wm::obs
+
+#if !defined(WM_OBS_DISABLED)
+
+#define WM_TIME_CONCAT_IMPL(a, b) a##b
+#define WM_TIME_CONCAT(a, b) WM_TIME_CONCAT_IMPL(a, b)
+
+/// Samples the enclosing block's duration into the named histogram:
+/// WM_TIME_SCOPE("decision.decide"). Name is a quoted dotted string.
+#define WM_TIME_SCOPE(name)                                              \
+  static ::wm::obs::Histogram& WM_TIME_CONCAT(wm_obs_hist_site_,         \
+                                              __LINE__) =                \
+      ::wm::obs::histograms().histogram(name);                           \
+  ::wm::obs::TimeScope WM_TIME_CONCAT(wm_obs_time_scope_, __LINE__)(     \
+      WM_TIME_CONCAT(wm_obs_hist_site_, __LINE__))
+
+#else  // WM_OBS_DISABLED
+
+#define WM_TIME_SCOPE(name) \
+  do {                      \
+  } while (0)
+
+#endif  // WM_OBS_DISABLED

@@ -1,0 +1,38 @@
+// Run manifests: provenance for every measurement artefact.
+//
+// A BENCH_*.json without provenance is a number without an experiment:
+// which commit, which compiler and flags, which seed, was tracing or a
+// sanitizer distorting the run? The manifest answers all of that in one
+// JSON object embedded by bench_util.hpp into every bench json and
+// printable from `run_machine --check`:
+//
+//   {"git": "<git describe, baked in at configure time>",
+//    "compiler": "...", "build_type": "...", "flags": "...",
+//    "obs": true, "trace": false, "threads": 4,
+//    "seed": "...", "progress": null,
+//    "start": "2026-08-07T12:34:56Z", "end": "..."}
+//
+// The manifest is pure provenance — a handful of getenv/strftime calls
+// at reporting time — so it stays available under -DWM_OBS=OFF (a run
+// without counters still deserves to say what it was).
+#pragma once
+
+#include <string>
+
+namespace wm::obs {
+
+/// Records the process start wallclock used for the manifest's "start"
+/// field. Idempotent; obs::init_from_env() calls it, and manifest_json
+/// falls back to its own first call if nothing did earlier.
+void mark_process_start();
+
+/// The manifest as a complete JSON object. `threads` is the worker
+/// count the run was configured with (the one knob the build cannot
+/// know); pass 0 for "unspecified" to omit honest guessing.
+std::string manifest_json(int threads);
+
+/// Human-readable multi-line form of the same facts, for
+/// `run_machine --check` and interactive use.
+std::string manifest_text(int threads);
+
+}  // namespace wm::obs

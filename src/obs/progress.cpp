@@ -1,0 +1,165 @@
+#include "obs/progress.hpp"
+
+#if !defined(WM_OBS_DISABLED)
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+struct ProgressState {
+  std::mutex mu;
+  std::condition_variable cv;        // wakes the heartbeat early on stop
+  std::vector<ProgressTask*> tasks;  // registration order
+  std::thread heartbeat;
+  bool running = false;  // heartbeat thread live (guarded by mu)
+};
+
+std::atomic<bool> g_enabled{false};
+
+ProgressState& state() {
+  // Leaked: ProgressTask destructors may run during static destruction.
+  static ProgressState* s = new ProgressState();
+  return *s;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+struct ProgressTaskAccess {
+  static void print_line(const ProgressTask& t, bool final_line) {
+    const std::uint64_t done = t.done();
+    const double secs = seconds_since(t.start_);
+    const double rate = secs > 0 ? static_cast<double>(done) / secs : 0;
+    if (final_line) {
+      std::fprintf(stderr, "[progress] %s done %llu/%llu in %.1fs (%.0f/s)\n",
+                   t.name_.c_str(), static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(t.total_), secs, rate);
+      return;
+    }
+    if (t.total_ > 0 && rate > 0) {
+      const double pct =
+          100.0 * static_cast<double>(done) / static_cast<double>(t.total_);
+      const std::uint64_t left = t.total_ > done ? t.total_ - done : 0;
+      std::fprintf(stderr,
+                   "[progress] %s %llu/%llu (%.1f%%) %.0f/s eta %.1fs\n",
+                   t.name_.c_str(), static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(t.total_), pct, rate,
+                   static_cast<double>(left) / rate);
+    } else {
+      std::fprintf(stderr, "[progress] %s %llu done %.0f/s\n", t.name_.c_str(),
+                   static_cast<unsigned long long>(done), rate);
+    }
+  }
+};
+
+namespace {
+
+void print_counter_snapshot() {
+  const auto work = registry().snapshot(CounterKind::kWork);
+  std::string line;
+  for (const auto& [name, value] : work) {
+    if (value == 0) continue;
+    if (!line.empty()) line += ' ';
+    line += name;
+    line += '=';
+    line += std::to_string(value);
+  }
+  if (!line.empty()) {
+    std::fprintf(stderr, "[progress] counters: %s\n", line.c_str());
+  }
+}
+
+void heartbeat_loop(double interval_secs) {
+  ProgressState& s = state();
+  std::unique_lock<std::mutex> lock(s.mu);
+  while (s.running) {
+    s.cv.wait_for(lock,
+                  std::chrono::duration<double>(interval_secs),
+                  [&] { return !s.running; });
+    if (!s.running) break;
+    for (const ProgressTask* t : s.tasks) {
+      ProgressTaskAccess::print_line(*t, /*final_line=*/false);
+    }
+    if (!s.tasks.empty()) print_counter_snapshot();
+  }
+}
+
+}  // namespace
+
+bool progress_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void progress_start(double interval_secs) {
+  if (interval_secs < 0.01) interval_secs = 0.01;
+  ProgressState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.running) return;
+  s.running = true;
+  g_enabled.store(true, std::memory_order_relaxed);
+  s.heartbeat = std::thread(heartbeat_loop, interval_secs);
+}
+
+void progress_stop() {
+  ProgressState& s = state();
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.running) return;
+    s.running = false;
+    g_enabled.store(false, std::memory_order_relaxed);
+    worker = std::move(s.heartbeat);
+  }
+  s.cv.notify_all();
+  if (worker.joinable()) worker.join();
+}
+
+void progress_init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* value = std::getenv("WM_PROGRESS");
+    if (value == nullptr || *value == '\0') return;
+    const double secs = std::atof(value);
+    if (secs <= 0) return;
+    progress_start(secs);
+    std::atexit([] { progress_stop(); });
+  });
+}
+
+ProgressTask::ProgressTask(std::string_view name, std::uint64_t total) noexcept
+    : name_(name), total_(total), start_(std::chrono::steady_clock::now()) {
+  ProgressState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.tasks.push_back(this);
+}
+
+ProgressTask::~ProgressTask() {
+  ProgressState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto it = s.tasks.begin(); it != s.tasks.end(); ++it) {
+    if (*it == this) {
+      s.tasks.erase(it);
+      break;
+    }
+  }
+  // The "done" line only when someone opted into heartbeats; the
+  // default run stays byte-silent.
+  if (s.running) ProgressTaskAccess::print_line(*this, /*final_line=*/true);
+}
+
+}  // namespace wm::obs
+
+#endif  // WM_OBS_DISABLED

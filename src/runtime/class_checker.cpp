@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 
 namespace wm {
@@ -36,6 +37,7 @@ ClassCheckReport check_class_invariance(const StateMachine& m,
         "check_class_invariance: requires a Vector-mode machine");
   }
   WM_TRACE_SCOPE("classcheck");
+  WM_TIME_SCOPE("classcheck.run");
   WM_COUNT(classcheck.runs);
   const Graph& g = p.graph();
   const int n = g.num_nodes();

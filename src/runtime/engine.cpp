@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 
 namespace wm {
@@ -91,6 +92,7 @@ ExecutionResult execute_with_states(const StateMachine& m,
                                     ExecutionContext& ctx,
                                     const ExecutionOptions& options) {
   WM_TRACE_SCOPE("engine.execute");
+  WM_TIME_SCOPE("engine.execute");
   const Graph& g = p.graph();
   const int n = g.num_nodes();
   const AlgebraicClass cls = m.algebraic_class();

@@ -1,7 +1,7 @@
 // Observability layer: registry semantics, speculative suppression,
-// trace JSON well-formedness, and the determinism contract the CI
-// regression gate relies on — work-counter totals identical at any
-// thread count.
+// trace JSON well-formedness, duration histograms, run manifests,
+// progress heartbeats, and the determinism contract the CI regression
+// gate relies on — work-counter totals identical at any thread count.
 #include "obs/counters.hpp"
 
 #include <gtest/gtest.h>
@@ -18,6 +18,9 @@
 #include "graph/enumerate.hpp"
 #include "graph/generators.hpp"
 #include "logic/kripke.hpp"
+#include "obs/histogram.hpp"
+#include "obs/manifest.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "port/port_numbering.hpp"
 #include "problems/catalogue.hpp"
@@ -229,6 +232,172 @@ TEST(ObsHammer, EightWorkersCountExactly) {
   const PoolTelemetry t = pool.telemetry();
   ASSERT_EQ(t.tasks_per_worker.size(), 8u);
   EXPECT_GE(t.steal_attempts, t.steal_successes);
+#endif
+}
+
+// --- Duration histograms ---------------------------------------------------
+
+TEST(ObsHistogram, BucketsAndPercentilesAreGolden) {
+  // 100 samples of 1000 ns (bucket bit_width(1000) = 10, upper bound
+  // 1023 ns = 1.023 us) plus 10 samples of 100000 ns (bucket 17, upper
+  // bound 131071 ns = 131.071 us). Ranks: p50 -> 55, p90 -> 99 (both in
+  // the first group), p99 -> 109 (second group). Max is exact.
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  for (int i = 0; i < 10; ++i) h.record(100000);
+  const obs::HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 110u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 1.023);
+  EXPECT_DOUBLE_EQ(s.p90_us, 1.023);
+  EXPECT_DOUBLE_EQ(s.p99_us, 131.071);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+
+  h.reset();
+  EXPECT_EQ(h.summary().count, 0u);
+  EXPECT_DOUBLE_EQ(h.summary().max_us, 0.0);
+}
+
+TEST(ObsHistogram, ZeroAndTinyDurationsLandInTheLowestBuckets) {
+  obs::Histogram h;
+  h.record(0);  // bucket 0: upper bound 0
+  const obs::HistogramSummary zero = h.summary();
+  EXPECT_EQ(zero.count, 1u);
+  EXPECT_DOUBLE_EQ(zero.p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(zero.max_us, 0.0);
+
+  h.record(1);  // bucket 1: [1, 1], upper bound 1 ns = 0.001 us
+  const obs::HistogramSummary one = h.summary();
+  EXPECT_EQ(one.count, 2u);
+  // Rank ceil(0.5 * 2) = 1 is the 0 ns sample; p99's rank 2 is the 1 ns.
+  EXPECT_DOUBLE_EQ(one.p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(one.p99_us, 0.001);
+  EXPECT_DOUBLE_EQ(one.max_us, 0.001);
+}
+
+TEST(ObsHistogram, RegistryReturnsStableReferences) {
+  obs::Histogram& a = obs::histograms().histogram("obstest.hist.pin");
+  obs::Histogram& b = obs::histograms().histogram("obstest.hist.pin");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.record(500);
+  const auto snap = obs::histograms().snapshot();
+  ASSERT_TRUE(snap.count("obstest.hist.pin"));
+  EXPECT_EQ(snap.at("obstest.hist.pin").count, 1u);
+}
+
+TEST(ObsHistogram, ShardMergeMatchesSequentialRecording) {
+  // The same multiset recorded sequentially and by 8 pool workers must
+  // merge to the identical summary: the thread -> shard mapping may
+  // scatter samples differently, but the merged multiset — and hence
+  // every percentile — is invariant.
+  auto nanos_for = [](std::uint64_t i) { return i * 37 + (i % 7) * 1000; };
+  constexpr std::uint64_t kSamples = 20000;
+  obs::Histogram seq;
+  for (std::uint64_t i = 0; i < kSamples; ++i) seq.record(nanos_for(i));
+  obs::Histogram par;
+  {
+    ThreadPool pool(8);
+    pool.parallel_for(0, kSamples,
+                      [&](std::uint64_t i) { par.record(nanos_for(i)); });
+  }
+  const obs::HistogramSummary a = seq.summary();
+  const obs::HistogramSummary b = par.summary();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.p50_us, b.p50_us);
+  EXPECT_DOUBLE_EQ(a.p90_us, b.p90_us);
+  EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
+  EXPECT_DOUBLE_EQ(a.max_us, b.max_us);
+  EXPECT_EQ(a.count, kSamples);
+}
+
+TEST(ObsHistogram, TimeScopeRecordsOneSampleAndTimingsJsonIsWellFormed) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  obs::Histogram& h = obs::histograms().histogram("obstest.hist.scope");
+  h.reset();
+  const std::uint64_t before = h.summary().count;
+  { WM_TIME_SCOPE("obstest.hist.scope"); }
+  EXPECT_EQ(h.summary().count, before + 1);
+
+  const std::string json = obs::timings_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"obstest.hist.scope\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos) << json;
+#endif
+}
+
+// --- Run manifest ----------------------------------------------------------
+
+TEST(ObsManifest, JsonIsWellFormedAndCarriesProvenance) {
+  const std::string json = obs::manifest_json(4);
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  for (const char* key :
+       {"\"git\"", "\"compiler\"", "\"build_type\"", "\"flags\"", "\"obs\"",
+        "\"trace\"", "\"threads\"", "\"seed\"", "\"progress\"", "\"start\"",
+        "\"end\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos) << json;
+}
+
+TEST(ObsManifest, TextFormNamesTheSameFacts) {
+  const std::string text = obs::manifest_text(2);
+  for (const char* needle : {"git: ", "compiler: ", "threads: 2", "start: "}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+}
+
+// --- Progress heartbeats ---------------------------------------------------
+
+TEST(ObsProgress, SilentByDefault) {
+  // Without progress_start / WM_PROGRESS a task must emit nothing: the
+  // benches' stderr stays heartbeat-free unless a human opts in.
+  ASSERT_FALSE(obs::progress_enabled());
+  ::testing::internal::CaptureStderr();
+  {
+    obs::ProgressTask task("obstest.silent", 100);
+    for (int i = 0; i < 100; ++i) task.tick();
+#ifdef WM_OBS_DISABLED
+    EXPECT_EQ(task.done(), 0u);  // ticks compile out entirely
+#else
+    EXPECT_EQ(task.done(), 100u);
+#endif
+  }
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(ObsProgress, HeartbeatPrintsProgressAndDoneLines) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  ::testing::internal::CaptureStderr();
+  obs::progress_start(0.01);
+  EXPECT_TRUE(obs::progress_enabled());
+  {
+    obs::ProgressTask task("obstest.beat", 1000);
+    task.tick(250);
+    task.tick(750);
+    // The destructor prints the final line while the heartbeat runs, so
+    // no sleep is needed for deterministic output.
+  }
+  obs::progress_stop();
+  EXPECT_FALSE(obs::progress_enabled());
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[progress] obstest.beat done 1000/1000"),
+            std::string::npos)
+      << err;
+#endif
+}
+
+TEST(ObsProgress, TicksFromPoolWorkersSumExactly) {
+  obs::ProgressTask task("obstest.pool", 50000);
+  ThreadPool pool(8);
+  pool.parallel_for(0, 50000, [&](std::uint64_t) { task.tick(); });
+#ifdef WM_OBS_DISABLED
+  EXPECT_EQ(task.done(), 0u);  // stubbed out entirely
+#else
+  EXPECT_EQ(task.done(), 50000u);
 #endif
 }
 

@@ -31,6 +31,17 @@ Rules, per bench file present in BASELINE_DIR:
   * work counter shrank, or is new in current ...... informational only
   * --exact: any work-counter difference at all .... FAIL (used by CI to
              assert cross-thread-count determinism of the same build)
+And per bench file present only in CURRENT_DIR:
+  * bench json with no matching baseline ........... FAIL (an ungated bench
+                                                     is a silent coverage
+                                                     hole; check in a
+                                                     baseline or pass
+                                                     --allow-new while one
+                                                     is being prepared)
+
+The json's "manifest" (provenance) and "timings" (duration histograms)
+objects are timing/environment-dependent by design and are ignored by
+every rule above — only metrics.work is ever gated.
 """
 
 import argparse
@@ -58,7 +69,7 @@ def collect(dirname):
     return {os.path.basename(p): load_bench(p) for p in paths}
 
 
-def diff_sets(baseline, current, threshold, exact):
+def diff_sets(baseline, current, threshold, exact, allow_new=False):
     """Returns (failures, notes) as lists of human-readable lines."""
     failures = []
     notes = []
@@ -103,8 +114,13 @@ def diff_sets(baseline, current, threshold, exact):
             notes.append(
                 f"{name}: wall_ms {bms:.1f} -> {cms:.1f} (informational)")
     for fname in sorted(set(current) - set(baseline)):
-        notes.append(f"{current[fname].get('name', fname)}: new bench "
-                     f"(no baseline)")
+        name = current[fname].get("name", fname)
+        if allow_new:
+            notes.append(f"{name}: new bench (no baseline; --allow-new)")
+        else:
+            failures.append(
+                f"{name}: bench json has no matching baseline (check one "
+                f"in, or pass --allow-new)")
     return failures, notes
 
 
@@ -113,7 +129,8 @@ def run_diff(args):
     current = collect(args.current)
     if not baseline:
         raise SystemExit(f"bench_diff: no BENCH_*.json under {args.baseline}")
-    failures, notes = diff_sets(baseline, current, args.threshold, args.exact)
+    failures, notes = diff_sets(baseline, current, args.threshold, args.exact,
+                                args.allow_new)
     for line in notes:
         print(f"  note: {line}")
     for line in failures:
@@ -131,19 +148,25 @@ def self_test():
     """Exercises the gate on synthetic data; exits non-zero if any rule
     misfires. CI runs this so the gate itself is covered by the gate job."""
 
-    def write_set(root, sub, work, wall=10.0):
+    def write_set(root, sub, work, wall=10.0, name="fake", manifest=None,
+                  timings=None):
         d = os.path.join(root, sub)
         os.makedirs(d, exist_ok=True)
-        with open(os.path.join(d, "BENCH_fake.json"), "w") as f:
-            json.dump({"name": "fake", "n": 4, "threads": 2, "wall_ms": wall,
-                       "graphs_per_sec": 0.0,
-                       "metrics": {"work": work, "info": {"pool.tasks": 3}}},
-                      f)
+        blob = {"name": name, "n": 4, "threads": 2, "wall_ms": wall,
+                "graphs_per_sec": 0.0,
+                "metrics": {"work": work, "info": {"pool.tasks": 3}}}
+        if manifest is not None:
+            blob["manifest"] = manifest
+        if timings is not None:
+            blob["timings"] = timings
+        with open(os.path.join(d, f"BENCH_{name}.json"), "w") as f:
+            json.dump(blob, f)
         return d
 
     class A:
         threshold = 5.0
         exact = False
+        allow_new = False
 
     checks = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -182,6 +205,38 @@ def self_test():
         os.makedirs(empty)
         a.current = empty
         checks.append(("missing bench json fails", run_diff(a) == 1))
+        # New bench with no baseline -> fail, unless --allow-new.
+        work = {"engine.rounds": 100, "decision.blocks": 40}
+        a.current = write_set(tmp, "extra", work)
+        write_set(tmp, "extra", {"other.counter": 1}, name="ungated")
+        checks.append(("new bench without baseline fails", run_diff(a) == 1))
+        a.allow_new = True
+        checks.append(("--allow-new tolerates the new bench",
+                       run_diff(a) == 0))
+        a.allow_new = False
+        # Manifest and timings differ wildly, work identical -> pass: the
+        # gate must ignore provenance and duration histograms entirely.
+        a.baseline = write_set(
+            tmp, "mbase", work,
+            manifest={"git": "v1-g0000000", "start": "2026-01-01T00:00:00Z"},
+            timings={"engine.execute": {"count": 9, "p50_us": 1.023,
+                                        "p90_us": 2.047, "p99_us": 2.047,
+                                        "max_us": 1.900}})
+        a.current = write_set(
+            tmp, "mcur", work,
+            manifest={"git": "v2-gfffffff", "start": "2026-06-01T12:00:00Z",
+                      "trace": True},
+            timings={"engine.execute": {"count": 9000, "p50_us": 500.0,
+                                        "p90_us": 900.0, "p99_us": 1000.0,
+                                        "max_us": 5000.0},
+                     "bench.extra.phase": {"count": 1, "p50_us": 1.0,
+                                           "p90_us": 1.0, "p99_us": 1.0,
+                                           "max_us": 1.0}})
+        checks.append(("manifest/timings drift ignored", run_diff(a) == 0))
+        a.exact = True
+        checks.append(("manifest/timings drift ignored under --exact",
+                       run_diff(a) == 0))
+        a.exact = False
 
     bad = [label for label, ok in checks if not ok]
     for label, ok in checks:
@@ -205,6 +260,10 @@ def main(argv):
     ap.add_argument("--exact", action="store_true",
                     help="fail on ANY work-counter difference "
                          "(cross-thread determinism check)")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="tolerate current benches with no baseline "
+                         "(default: FAIL, so new benches must check in a "
+                         "baseline to be gated)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate's own rules on synthetic data")
     args = ap.parse_args(argv)

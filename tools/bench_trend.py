@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Fold manifest-bearing BENCH_*.json files into a markdown trend table.
+
+bench_diff.py answers "did the work counters regress?"; this tool answers
+the complementary question "what did the runs look like over time?". It
+reads every BENCH_*.json under the given directories (each directory is
+typically one CI run's artefact dump), pulls the provenance manifest and
+the headline duration histogram out of each, and emits one markdown table
+row per bench json, sorted by (start wallclock, bench name). Nightly CI
+uploads the table as an artifact so perf trajectories can be eyeballed
+without replaying runs.
+
+Nothing here gates anything: wall-clock and duration percentiles are
+environment-dependent by design (that is why bench_diff.py ignores the
+"manifest" and "timings" objects). The table is a lab notebook, not a
+regression test.
+
+The "headline timing" column is the timings entry with the largest
+sample count — the phase the bench spent the most recorded events in —
+shown as `name p50/p99 (µs)`. Benches predating the timings field get a
+`-` (the column is best-effort so old artefacts keep folding).
+
+Usage:
+  bench_trend.py [--output FILE] DIR [DIR ...]
+  bench_trend.py --self-test
+
+Exit status: 0 = table written, 1 = self-test misfire, 2 = bad
+invocation or no bench jsons found.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+
+COLUMNS = ["bench", "n", "threads", "wall_ms", "graphs/s",
+           "headline timing", "git", "start"]
+
+
+def load_rows(dirs):
+    rows = []
+    for d in dirs:
+        for path in sorted(glob.glob(os.path.join(d, "BENCH_*.json"))):
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    data = json.load(f)
+            except (OSError, json.JSONDecodeError) as e:
+                raise SystemExit(f"bench_trend: cannot read {path}: {e}")
+            rows.append(row_for(data, path))
+    return rows
+
+
+def headline_timing(timings):
+    """`name p50/p99` of the entry with the most recorded samples."""
+    if not isinstance(timings, dict) or not timings:
+        return "-"
+    best_name, best = max(
+        ((k, v) for k, v in timings.items() if isinstance(v, dict)),
+        key=lambda kv: (kv[1].get("count", 0), kv[0]),
+        default=(None, None))
+    if best_name is None:
+        return "-"
+    p50 = best.get("p50_us")
+    p99 = best.get("p99_us")
+    if not isinstance(p50, (int, float)) or not isinstance(p99, (int, float)):
+        return "-"
+    return f"{best_name} {p50:.1f}/{p99:.1f}µs"
+
+
+def row_for(data, path):
+    manifest = data.get("manifest")
+    if not isinstance(manifest, dict):
+        manifest = {}
+    wall = data.get("wall_ms")
+    gps = data.get("graphs_per_sec")
+    return {
+        "bench": str(data.get("name", os.path.basename(path))),
+        "n": str(data.get("n", "-")),
+        "threads": str(data.get("threads", "-")),
+        "wall_ms": f"{wall:.1f}" if isinstance(wall, (int, float)) else "-",
+        "graphs/s": f"{gps:.0f}" if isinstance(gps, (int, float)) and gps > 0
+                    else "-",
+        "headline timing": headline_timing(data.get("timings")),
+        "git": str(manifest.get("git", "-") or "-"),
+        "start": str(manifest.get("start", "-") or "-"),
+    }
+
+
+def render_markdown(rows):
+    rows = sorted(rows, key=lambda r: (r["start"], r["bench"]))
+    widths = {c: max(len(c), *(len(r[c]) for r in rows)) for c in COLUMNS}
+    lines = []
+    lines.append("| " + " | ".join(c.ljust(widths[c]) for c in COLUMNS) + " |")
+    lines.append("|" + "|".join("-" * (widths[c] + 2) for c in COLUMNS) + "|")
+    for r in rows:
+        lines.append(
+            "| " + " | ".join(r[c].ljust(widths[c]) for c in COLUMNS) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def run_trend(args):
+    rows = load_rows(args.dirs)
+    if not rows:
+        raise SystemExit(
+            f"bench_trend: no BENCH_*.json under {', '.join(args.dirs)}")
+    table = render_markdown(rows)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(table)
+        print(f"bench_trend: wrote {len(rows)} row(s) to {args.output}")
+    else:
+        sys.stdout.write(table)
+    return 0
+
+
+def self_test():
+    """Folds synthetic jsons and checks the table's shape; exits non-zero
+    on any misfire so CI covers the trend tool alongside the gate."""
+    checks = []
+    with tempfile.TemporaryDirectory() as tmp:
+        run_a = os.path.join(tmp, "run_a")
+        run_b = os.path.join(tmp, "run_b")
+        os.makedirs(run_a)
+        os.makedirs(run_b)
+        with open(os.path.join(run_a, "BENCH_quotient.json"), "w") as f:
+            json.dump({
+                "name": "quotient", "n": 5, "threads": 2, "wall_ms": 123.456,
+                "graphs_per_sec": 789.5,
+                "metrics": {"work": {"x": 1}, "info": {}},
+                "manifest": {"git": "v1-g1111111",
+                             "start": "2026-08-01T10:00:00Z"},
+                "timings": {
+                    "bench.quotient.row": {"count": 40, "p50_us": 512.0,
+                                           "p90_us": 900.0, "p99_us": 1023.9,
+                                           "max_us": 1500.0},
+                    "iso.find": {"count": 7, "p50_us": 1.0, "p90_us": 1.0,
+                                 "p99_us": 1.0, "max_us": 1.0}}}, f)
+        # An artefact predating manifest/timings must still fold.
+        with open(os.path.join(run_b, "BENCH_old.json"), "w") as f:
+            json.dump({"name": "old", "n": 4, "threads": 1, "wall_ms": 9.0,
+                       "graphs_per_sec": 0.0,
+                       "metrics": {"work": {}, "info": {}}}, f)
+
+        class A:
+            dirs = [run_a, run_b]
+            output = os.path.join(tmp, "trend.md")
+
+        code = run_trend(A())
+        table = open(A.output, encoding="utf-8").read()
+        lines = table.strip().splitlines()
+        checks.append(("exit code 0", code == 0))
+        checks.append(("header + rule + 2 rows", len(lines) == 4))
+        checks.append(("header names columns",
+                       all(c in lines[0] for c in COLUMNS)))
+        checks.append(("quotient row present", "quotient" in table))
+        checks.append(("wall_ms formatted", "123.5" in table))
+        checks.append(("throughput formatted", "790" in table))
+        checks.append(("headline is max-count entry",
+                       "bench.quotient.row 512.0/1023.9µs" in table))
+        checks.append(("git + start folded in",
+                       "v1-g1111111" in table
+                       and "2026-08-01T10:00:00Z" in table))
+        checks.append(("manifest-less artefact gets dashes",
+                       any(l.count(" - ") >= 2 for l in lines if " old " in l)))
+        # Sort key: the manifest-less row ("-" start) sorts before the
+        # dated one, so "old" must appear first.
+        checks.append(("rows sorted by start",
+                       table.index(" old ") < table.index(" quotient ")))
+
+    bad = [label for label, ok in checks if not ok]
+    for label, ok in checks:
+        print(f"self-test: {'ok  ' if ok else 'FAIL'} {label}")
+    if bad:
+        print(f"bench_trend --self-test: {len(bad)} check(s) misfired")
+        return 1
+    print(f"bench_trend --self-test: all {len(checks)} checks behave")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Fold BENCH_*.json manifests into a markdown trend table.")
+    ap.add_argument("dirs", nargs="*", metavar="DIR",
+                    help="directories holding BENCH_*.json files "
+                         "(one per run)")
+    ap.add_argument("--output", metavar="FILE",
+                    help="write the table here instead of stdout")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the folding rules on synthetic data")
+    args = ap.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if not args.dirs:
+        ap.error("at least one DIR is required (or use --self-test)")
+    return run_trend(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
