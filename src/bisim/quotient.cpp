@@ -12,7 +12,7 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
-#include "util/sharded.hpp"
+#include "util/visitor.hpp"
 
 namespace wm {
 
@@ -184,38 +184,28 @@ QuotientSearchResult search_distinct_quotients(
   obs::ProgressTask progress("quotient.search", count);
   QuotientSearchResult result;
   result.scanned = count;
-  if (pool != nullptr) {
-    // Pass 1 (parallel): canonical fingerprint -> lowest input index.
-    // The pool drives per-candidate minimisation AND canonicalisation;
-    // the per-key minimum is a pure function of the scanned family,
-    // independent of thread timing — exactly the enumeration dedup
-    // pattern. The key is complete, so each table entry is one
-    // isomorphism class.
-    ShardedMinMap<std::string, std::uint64_t> table;
-    pool->parallel_for(0, count, [&](std::uint64_t i) {
-      table.insert_min(model_fingerprint(minimise_at(i)), i);
-      progress.tick();
-    });
-    result.representatives = table.values();
-    std::sort(result.representatives.begin(), result.representatives.end());
-    // Pass 2 (parallel, order-preserving slots): rebuild the surviving
-    // representatives' minimal models.
-    result.models.assign(result.representatives.size(), KripkeModel(0, 0));
-    pool->parallel_for(0, result.representatives.size(), [&](std::uint64_t j) {
-      result.models[j] = minimise_at(result.representatives[j]);
-    });
-    WM_COUNT_ADD(quotient.classes, result.representatives.size());
-    return result;
-  }
-
-  std::set<std::string> seen;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    KripkeModel q = minimise_at(i);
-    progress.tick();
-    if (!seen.insert(model_fingerprint(q)).second) continue;
-    result.representatives.push_back(i);
-    result.models.push_back(std::move(q));
-  }
+  // Pass 1: canonical fingerprint -> lowest input index. The visitor
+  // drives per-candidate minimisation AND canonicalisation; the per-key
+  // minimum is a pure function of the scanned family, independent of
+  // thread timing — the same dedup_scan contract the enumerations use.
+  // The key is complete, so each class is one isomorphism class.
+  ParallelVisitor visitor(pool);
+  visitor.dedup_scan<std::string>(
+      count,
+      [&](std::uint64_t i, auto&& emit) {
+        emit(model_fingerprint(minimise_at(i)));
+        progress.tick();
+      },
+      [&](std::uint64_t rep) {
+        result.representatives.push_back(rep);
+        return true;
+      });
+  // Pass 2 (order-preserving slots): rebuild the surviving
+  // representatives' minimal models.
+  result.models.assign(result.representatives.size(), KripkeModel(0, 0));
+  visitor.for_each(result.representatives.size(), [&](std::uint64_t j) {
+    result.models[j] = minimise_at(result.representatives[j]);
+  });
   WM_COUNT_ADD(quotient.classes, result.representatives.size());
   return result;
 }

@@ -6,7 +6,7 @@
 #include "obs/histogram.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
-#include "util/parallel.hpp"
+#include "util/visitor.hpp"
 
 namespace wm {
 
@@ -56,19 +56,14 @@ Decision decide_solvable(const Problem& problem,
   }
 
   // Joint model and per-instance state offsets. The per-instance Kripke
-  // builds are independent: with a pool they run concurrently into
-  // index-ordered slots; the fold below is sequential either way, so the
-  // state numbering (and hence every block id) is thread-count-invariant.
+  // builds are independent: the visitor runs them into index-ordered
+  // slots; the fold below is sequential either way, so the state
+  // numbering (and hence every block id) is thread-count-invariant.
+  ParallelVisitor visitor(opts.pool);
   std::vector<KripkeModel> parts(scope.size(), KripkeModel(0, 0));
-  if (opts.pool != nullptr) {
-    opts.pool->parallel_for(0, scope.size(), [&](std::uint64_t i) {
-      parts[i] = kripke_from_graph(scope[i], variant, delta);
-    });
-  } else {
-    for (std::size_t i = 0; i < scope.size(); ++i) {
-      parts[i] = kripke_from_graph(scope[i], variant, delta);
-    }
-  }
+  visitor.for_each(scope.size(), [&](std::uint64_t i) {
+    parts[i] = kripke_from_graph(scope[i], variant, delta);
+  });
   KripkeModel joint(0, 0);
   std::vector<int> offset;
   for (const KripkeModel& part : parts) {
@@ -110,61 +105,27 @@ Decision decide_solvable(const Problem& problem,
   // feeding the work counters the regression gate reads.
   obs::ProgressTask progress("decision.scan", combos);
 
-  if (opts.pool != nullptr) {
-    // Parallel scan: lowest-witness contract of parallel_find_first ==
-    // the first assignment the odometer below would accept, so the
-    // decision bit AND the colouring AND assignments_tried are identical
-    // to the sequential scan at any thread count.
-    const auto hit = opts.pool->parallel_find_first(
-        0, combos, [&](std::uint64_t a) {
-          progress.tick();
-          std::vector<int> colour(static_cast<std::size_t>(part.num_blocks));
-          colouring_for_index(a, alphabet, colour);
-          return outputs_valid(colour);
-        });
-    if (hit) {
-      decision.solvable = true;
-      decision.block_output.resize(static_cast<std::size_t>(part.num_blocks));
-      colouring_for_index(*hit, alphabet, decision.block_output);
-      decision.assignments_tried = static_cast<std::size_t>(*hit) + 1;
-    } else {
-      decision.assignments_tried = static_cast<std::size_t>(combos);
-    }
-    // Counted from the deterministic witness, not inside the predicate
-    // (which runs on a timing-dependent index set — see parallel.hpp).
-    WM_COUNT_ADD(decision.assignments, decision.assignments_tried);
-    return decision;
-  }
-
-  // Sequential odometer over block colourings.
-  std::vector<std::size_t> idx(static_cast<std::size_t>(part.num_blocks), 0);
-  std::vector<int> colour(static_cast<std::size_t>(part.num_blocks),
-                          alphabet[0]);
-  for (;;) {
+  // Lowest-witness contract of find_first == the first assignment a
+  // sequential odometer would accept, so the decision bit AND the
+  // colouring AND assignments_tried are identical at any worker count.
+  const auto hit = visitor.find_first(0, combos, [&](std::uint64_t a) {
     progress.tick();
-    ++decision.assignments_tried;
-    if (outputs_valid(colour)) {
-      decision.solvable = true;
-      decision.block_output = colour;
-      WM_COUNT_ADD(decision.assignments, decision.assignments_tried);
-      return decision;
-    }
-    // Increment the odometer.
-    std::size_t pos = 0;
-    while (pos < idx.size()) {
-      if (++idx[pos] < alphabet.size()) {
-        colour[pos] = alphabet[idx[pos]];
-        break;
-      }
-      idx[pos] = 0;
-      colour[pos] = alphabet[0];
-      ++pos;
-    }
-    if (pos == idx.size()) {  // exhausted: unsolvable
-      WM_COUNT_ADD(decision.assignments, decision.assignments_tried);
-      return decision;
-    }
+    std::vector<int> colour(static_cast<std::size_t>(part.num_blocks));
+    colouring_for_index(a, alphabet, colour);
+    return outputs_valid(colour);
+  });
+  if (hit) {
+    decision.solvable = true;
+    decision.block_output.resize(static_cast<std::size_t>(part.num_blocks));
+    colouring_for_index(*hit, alphabet, decision.block_output);
+    decision.assignments_tried = static_cast<std::size_t>(*hit) + 1;
+  } else {
+    decision.assignments_tried = static_cast<std::size_t>(combos);
   }
+  // Counted from the deterministic witness, not inside the predicate
+  // (which runs on a timing-dependent index set — see visitor.hpp).
+  WM_COUNT_ADD(decision.assignments, decision.assignments_tried);
+  return decision;
 }
 
 }  // namespace wm

@@ -6,7 +6,7 @@
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
-#include "util/parallel.hpp"
+#include "util/visitor.hpp"
 
 namespace wm {
 
@@ -32,8 +32,8 @@ ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
       std::uint64_t first = std::numeric_limits<std::uint64_t>::max();
       std::uint64_t count = 0;
     };
-    const Acc acc = pool->parallel_reduce<Acc>(
-        0, *space, Acc{},
+    const Acc acc = ParallelVisitor(pool).reduce<Acc>(
+        *space, Acc{},
         [&](std::uint64_t i) -> Acc {
           const std::vector<int> out = output_for_index(problem, g, i);
           if (problem.valid(g, out)) return Acc{i, 1};
@@ -112,57 +112,34 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
   };
 
   SolvabilityReport report;
-  if (pool != nullptr) {
-    // The t-step refinements are independent recomputations; both scans
-    // are lowest-witness searches, so the report is deterministic. The
-    // monochromatic search range mirrors the sequential loop: it never
-    // probes beyond the fixpoint round (nor beyond the cap).
-    const auto fix = pool->parallel_find_first(
-        1, static_cast<std::uint64_t>(max_rounds) + 1, [&](std::uint64_t t) {
-          const int ti = static_cast<int>(t);
-          return partition_at(ti).num_blocks ==
-                 partition_at(ti - 1).num_blocks;
-        });
-    int mono_cap;  // inclusive upper bound for the min_rounds search
-    if (fix) {
-      const int t_fix = static_cast<int>(*fix);
-      report.fixpoint_rounds = t_fix - 1;
-      report.blocks = partition_at(t_fix).num_blocks;
-      mono_cap = t_fix;
-    } else {
-      const Partition p = graded ? coarsest_graded_bisimulation(joint)
-                                 : coarsest_bisimulation(joint);
-      report.fixpoint_rounds = p.rounds;
-      report.blocks = p.num_blocks;
-      mono_cap = max_rounds;
-    }
-    const auto mono = pool->parallel_find_first(
-        0, static_cast<std::uint64_t>(mono_cap) + 1, [&](std::uint64_t t) {
-          return monochromatic(partition_at(static_cast<int>(t)));
-        });
-    if (mono) report.min_rounds = static_cast<int>(*mono);
-    WM_COUNT_ADD(solvability.fixpoint_rounds, report.fixpoint_rounds);
-    WM_COUNT_ADD(solvability.blocks, report.blocks);
-    return report;
+  // The t-step refinements are independent recomputations; both scans
+  // are lowest-witness searches, so the report is deterministic. The
+  // monochromatic search range never probes beyond the fixpoint round
+  // (nor beyond the cap).
+  ParallelVisitor visitor(pool);
+  const auto fix = visitor.find_first(
+      1, static_cast<std::uint64_t>(max_rounds) + 1, [&](std::uint64_t t) {
+        const int ti = static_cast<int>(t);
+        return partition_at(ti).num_blocks == partition_at(ti - 1).num_blocks;
+      });
+  int mono_cap;  // inclusive upper bound for the min_rounds search
+  if (fix) {
+    const int t_fix = static_cast<int>(*fix);
+    report.fixpoint_rounds = t_fix - 1;
+    report.blocks = partition_at(t_fix).num_blocks;
+    mono_cap = t_fix;
+  } else {
+    const Partition p = graded ? coarsest_graded_bisimulation(joint)
+                               : coarsest_bisimulation(joint);
+    report.fixpoint_rounds = p.rounds;
+    report.blocks = p.num_blocks;
+    mono_cap = max_rounds;
   }
-
-  int prev_blocks = -1;
-  for (int t = 0; t <= max_rounds; ++t) {
-    const Partition p = partition_at(t);
-    if (!report.min_rounds && monochromatic(p)) report.min_rounds = t;
-    if (p.num_blocks == prev_blocks) {
-      report.fixpoint_rounds = t - 1;
-      report.blocks = p.num_blocks;
-      WM_COUNT_ADD(solvability.fixpoint_rounds, report.fixpoint_rounds);
-      WM_COUNT_ADD(solvability.blocks, report.blocks);
-      return report;
-    }
-    prev_blocks = p.num_blocks;
-  }
-  const Partition p = graded ? coarsest_graded_bisimulation(joint)
-                             : coarsest_bisimulation(joint);
-  report.fixpoint_rounds = p.rounds;
-  report.blocks = p.num_blocks;
+  const auto mono = visitor.find_first(
+      0, static_cast<std::uint64_t>(mono_cap) + 1, [&](std::uint64_t t) {
+        return monochromatic(partition_at(static_cast<int>(t)));
+      });
+  if (mono) report.min_rounds = static_cast<int>(*mono);
   WM_COUNT_ADD(solvability.fixpoint_rounds, report.fixpoint_rounds);
   WM_COUNT_ADD(solvability.blocks, report.blocks);
   return report;

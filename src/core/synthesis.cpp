@@ -10,7 +10,7 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "runtime/combinators.hpp"
-#include "util/parallel.hpp"
+#include "util/visitor.hpp"
 
 namespace wm {
 
@@ -26,21 +26,15 @@ int common_delta(const std::vector<PortNumbering>& scope, int requested) {
 }
 
 /// Rebuilds the joint model exactly as decide_solvable does (so block
-/// ids line up with the returned colouring): per-instance builds run on
-/// the pool when available, the fold stays sequential — state numbering
-/// is therefore thread-count-invariant.
+/// ids line up with the returned colouring): per-instance builds run
+/// through the visitor into index-ordered slots, the fold stays
+/// sequential — state numbering is therefore thread-count-invariant.
 KripkeModel joint_model(const std::vector<PortNumbering>& scope,
                         Variant variant, int delta, ThreadPool* pool) {
   std::vector<KripkeModel> parts(scope.size(), KripkeModel(0, 0));
-  if (pool != nullptr) {
-    pool->parallel_for(0, scope.size(), [&](std::uint64_t i) {
-      parts[i] = kripke_from_graph(scope[i], variant, delta);
-    });
-  } else {
-    for (std::size_t i = 0; i < scope.size(); ++i) {
-      parts[i] = kripke_from_graph(scope[i], variant, delta);
-    }
-  }
+  ParallelVisitor(pool).for_each(scope.size(), [&](std::uint64_t i) {
+    parts[i] = kripke_from_graph(scope[i], variant, delta);
+  });
   KripkeModel joint(0, 0);
   for (const KripkeModel& part : parts) {
     joint = KripkeModel::disjoint_union(joint, part);

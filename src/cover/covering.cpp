@@ -8,7 +8,7 @@
 #include "graph/properties.hpp"
 #include "obs/histogram.hpp"
 #include "obs/progress.hpp"
-#include "util/parallel.hpp"
+#include "util/visitor.hpp"
 
 namespace wm {
 
@@ -110,19 +110,13 @@ std::optional<std::vector<NodeId>> find_covering_map(
   // candidates evaluated (timing-dependent under the speculative
   // parallel scan), not deterministic work.
   obs::ProgressTask progress("cover.anchors", space);
-  if (pool != nullptr) {
-    const auto hit = pool->parallel_find_first(0, space, [&](std::uint64_t a) {
-      progress.tick();
-      return candidate_at(a).has_value();
-    });
-    if (!hit) return std::nullopt;
-    return candidate_at(*hit);
-  }
-  for (std::uint64_t a = 0; a < space; ++a) {
-    progress.tick();
-    if (auto phi = candidate_at(a)) return phi;
-  }
-  return std::nullopt;
+  const auto hit =
+      ParallelVisitor(pool).find_first(0, space, [&](std::uint64_t a) {
+        progress.tick();
+        return candidate_at(a).has_value();
+      });
+  if (!hit) return std::nullopt;
+  return candidate_at(*hit);
 }
 
 namespace {

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
-#include <set>
 
 #include "graph/canonical.hpp"
 #include "graph/properties.hpp"
@@ -12,7 +11,7 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
-#include "util/sharded.hpp"
+#include "util/visitor.hpp"
 
 namespace wm {
 
@@ -52,6 +51,36 @@ struct SigHash {
     return h;
   }
 };
+
+/// The one modulo-key enumeration body behind all four public modulo
+/// variants (iso / refinement × sequential / pooled): a dedup_scan over
+/// the edge-mask space keyed by `key_of`, streaming the lowest-mask
+/// representative of each class in mask order. The per-key minimum is a
+/// pure function of the scanned family, so the pooled variants match the
+/// sequential first-seen representatives exactly (DESIGN.md).
+template <typename Key, typename Hash, typename KeyOf>
+std::size_t enumerate_modulo(int n, const EnumerateOptions& opts,
+                             ThreadPool* pool, KeyOf&& key_of,
+                             const std::function<bool(const Graph&)>& fn) {
+  WM_TIME_SCOPE("enumerate.scan");
+  const std::vector<Edge> all_edges = all_possible_edges(n);
+  const std::size_t m = all_edges.size();
+  obs::ProgressTask progress("enumerate.scan", 1ULL << m);
+  ParallelVisitor visitor(pool);
+  return visitor.template dedup_scan<Key, Hash>(
+      1ULL << m,
+      [&](std::uint64_t mask, auto&& emit) {
+        progress.tick();
+        const Graph g = graph_from_mask(n, all_edges, mask);
+        if (!admissible(g, opts)) return;
+        WM_COUNT(enumerate.graphs);
+        emit(key_of(g));
+      },
+      [&](std::uint64_t rep) {
+        WM_COUNT(enumerate.emitted);
+        return fn(graph_from_mask(n, all_edges, rep));
+      });
+}
 
 }  // namespace
 
@@ -108,68 +137,27 @@ std::size_t enumerate_graphs(int n, const EnumerateOptions& opts,
 std::size_t enumerate_graphs_modulo_refinement(
     int n, const EnumerateOptions& opts,
     const std::function<bool(const Graph&)>& fn) {
-  std::set<std::vector<int>> seen;
-  std::size_t visited = 0;
-  enumerate_graphs(n, opts, [&](const Graph& g) {
-    auto sig = refinement_signature(g);
-    if (!seen.insert(std::move(sig)).second) return true;
-    WM_COUNT(enumerate.emitted);
-    ++visited;
-    return fn(g);
-  });
-  return visited;
+  return enumerate_modulo<std::vector<int>, SigHash>(
+      n, opts, /*pool=*/nullptr, refinement_signature, fn);
 }
 
 std::size_t enumerate_graphs_modulo_iso(
     int n, const EnumerateOptions& opts,
     const std::function<bool(const Graph&)>& fn) {
-  std::set<std::string> seen;
-  std::size_t visited = 0;
-  enumerate_graphs(n, opts, [&](const Graph& g) {
-    if (!seen.insert(canonical_certificate(g)).second) return true;
-    WM_COUNT(enumerate.emitted);
-    ++visited;
-    return fn(g);
-  });
-  return visited;
+  return enumerate_modulo<std::string, std::hash<std::string>>(
+      n, opts, /*pool=*/nullptr,
+      [](const Graph& g) { return canonical_certificate(g); }, fn);
 }
 
 std::size_t enumerate_graphs_modulo_iso_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
     const std::function<bool(const Graph&)>& fn) {
   WM_TRACE_SCOPE("enumerate.modulo_iso");
-  WM_TIME_SCOPE("enumerate.scan");
-  const std::vector<Edge> all_edges = all_possible_edges(n);
-  const std::size_t m = all_edges.size();
-  obs::ProgressTask progress("enumerate.scan", 1ULL << m);
-  // Pass 1 (parallel): canonical certificate -> lowest admissible edge
-  // mask. Certificates are a complete isomorphism key, so the surviving
-  // set is exactly one graph per isomorphism class — the same
-  // first-seen (= lowest-mask) representative the sequential variant
-  // keeps, independent of thread timing.
-  ShardedMinMap<std::string, std::uint64_t> table;
-  pool.parallel_chunks_until(
-      0, 1ULL << m,
-      [&](std::uint64_t lo, std::uint64_t hi, int) {
-        for (std::uint64_t mask = lo; mask < hi; ++mask) {
-          const Graph g = graph_from_mask(n, all_edges, mask);
-          if (!admissible(g, opts)) continue;
-          WM_COUNT(enumerate.graphs);
-          table.insert_min(canonical_certificate(g), mask);
-        }
-        progress.tick(hi - lo);
-        return true;
-      });
-  // Pass 2 (sequential): replay representatives in mask order.
-  std::vector<std::uint64_t> reps = table.values();
-  std::sort(reps.begin(), reps.end());
-  std::size_t visited = 0;
-  for (const std::uint64_t mask : reps) {
-    WM_COUNT(enumerate.emitted);
-    ++visited;
-    if (!fn(graph_from_mask(n, all_edges, mask))) break;
-  }
-  return visited;
+  // Canonical certificates are a complete isomorphism key, so the
+  // surviving set is exactly one graph per isomorphism class.
+  return enumerate_modulo<std::string, std::hash<std::string>>(
+      n, opts, &pool,
+      [](const Graph& g) { return canonical_certificate(g); }, fn);
 }
 
 std::size_t enumerate_graphs_parallel(
@@ -204,38 +192,8 @@ std::size_t enumerate_graphs_modulo_refinement_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
     const std::function<bool(const Graph&)>& fn) {
   WM_TRACE_SCOPE("enumerate.modulo_refinement");
-  WM_TIME_SCOPE("enumerate.scan");
-  const std::vector<Edge> all_edges = all_possible_edges(n);
-  const std::size_t m = all_edges.size();
-  obs::ProgressTask progress("enumerate.scan", 1ULL << m);
-  // Pass 1 (parallel): signature -> lowest admissible edge mask. The
-  // per-key minimum is timing-independent, so the surviving set matches
-  // the sequential variant's first-seen (= lowest-mask) representatives.
-  ShardedMinMap<std::vector<int>, std::uint64_t, SigHash> table;
-  pool.parallel_chunks_until(
-      0, 1ULL << m,
-      [&](std::uint64_t lo, std::uint64_t hi, int) {
-        for (std::uint64_t mask = lo; mask < hi; ++mask) {
-          const Graph g = graph_from_mask(n, all_edges, mask);
-          if (!admissible(g, opts)) continue;
-          WM_COUNT(enumerate.graphs);
-          table.insert_min(refinement_signature(g), mask);
-        }
-        progress.tick(hi - lo);
-        return true;
-      });
-  // Pass 2 (sequential): replay the representatives in mask order —
-  // deterministic for any thread count, and identical to the order the
-  // sequential variant streams them in.
-  std::vector<std::uint64_t> reps = table.values();
-  std::sort(reps.begin(), reps.end());
-  std::size_t visited = 0;
-  for (const std::uint64_t mask : reps) {
-    WM_COUNT(enumerate.emitted);
-    ++visited;
-    if (!fn(graph_from_mask(n, all_edges, mask))) break;
-  }
-  return visited;
+  return enumerate_modulo<std::vector<int>, SigHash>(
+      n, opts, &pool, refinement_signature, fn);
 }
 
 }  // namespace wm

@@ -56,8 +56,9 @@ std::size_t enumerate_graphs_parallel(
     const std::function<bool(const Graph&, int worker)>& fn);
 
 /// Deterministic parallel modulo-refinement enumeration. Discovery is
-/// parallel — a sharded signature -> minimum-edge-mask table built over
-/// `pool` — and the surviving representatives (lowest mask per signature,
+/// parallel — a lock-free signature -> minimum-edge-mask table built over
+/// `pool` (util/visitor.hpp) — and the surviving representatives (lowest
+/// mask per signature,
 /// i.e. *the same graphs* the sequential variant picks) are then replayed
 /// to `fn` sequentially in increasing mask order. Output is therefore
 /// byte-identical at any thread count. Early stop (fn returning false)
@@ -79,7 +80,7 @@ std::size_t enumerate_graphs_modulo_iso(
     const std::function<bool(const Graph&)>& fn);
 
 /// Deterministic parallel variant: per-candidate canonicalisation runs
-/// on the pool into a sharded certificate -> minimum-edge-mask table
+/// on the pool into a lock-free certificate -> minimum-edge-mask table
 /// (the lowest-witness contract), then the surviving representatives —
 /// the same graphs the sequential variant picks — replay to `fn`
 /// sequentially in increasing mask order. Byte-identical at any thread

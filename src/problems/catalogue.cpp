@@ -10,7 +10,7 @@
 #include "graph/properties.hpp"
 #include "logic/model_checker.hpp"
 #include "port/port_numbering.hpp"
-#include "util/parallel.hpp"
+#include "util/visitor.hpp"
 
 namespace wm {
 
@@ -72,16 +72,16 @@ bool every_solution_splits(const Problem& p, const Graph& g,
     }
     return true;  // valid yet constant on X: a counterexample
   };
-  if (pool != nullptr) {
-    if (const auto space = output_space_size(p, g)) {
-      return !pool->parallel_find_first(0, *space, [&](std::uint64_t i) {
-                     return unsplit(output_for_index(p, g, i));
-                   })
-                  .has_value();
-    }
-    // Space too large for indexed scanning — fall through; the odometer
-    // below would never finish either, but keeps the semantics defined.
+  if (const auto space = output_space_size(p, g)) {
+    return !ParallelVisitor(pool)
+                .find_first(0, *space,
+                            [&](std::uint64_t i) {
+                              return unsplit(output_for_index(p, g, i));
+                            })
+                .has_value();
   }
+  // Space too large for indexed scanning — fall through; the odometer
+  // below would never finish either, but keeps the semantics defined.
   bool ok = true;
   for_each_output(p, g, [&](const std::vector<int>& out) {
     if (!unsplit(out)) return true;

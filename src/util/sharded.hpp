@@ -1,19 +1,25 @@
 // Sharded hash containers for concurrent dedup tables.
 //
-// The parallel graph enumeration dedups by colour-refinement signature
-// from many threads at once; a single locked std::set would serialise the
-// hot path. A sharded map (one mutex + hash map per shard, shard chosen
-// by key hash) keeps contention negligible at our chunk granularity while
-// staying simple enough to reason about.
+// Superseded as the search-dedup engine by the lock-free table in
+// util/lockfree_set.hpp (driven through util/visitor.hpp); kept as the
+// mutex-based comparison point for bench_dedup and the differential
+// tests that pin the two tables' results byte-identical.
+//
+// A sharded map is one mutex + hash map per shard, shard chosen by key
+// hash — contention stays modest at coarse chunk granularity but the
+// shard locks serialise under real concurrency, which is exactly what
+// bench_dedup measures.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "util/hash_mix.hpp"
 
 namespace wm {
 
@@ -76,7 +82,11 @@ class ShardedMinMap {
   };
 
   Shard& shard_for(const Key& key) {
-    return shards_[Hash{}(key) % shards_.size()];
+    // std::hash on integers is the identity, so a raw modulo sends
+    // sequential keys to adjacent shards in lock-step — every thread
+    // convoying over the same few mutexes. Mix first (hash_mix.hpp).
+    const auto h = hash_mix(static_cast<std::uint64_t>(Hash{}(key)));
+    return shards_[static_cast<std::size_t>(h) % shards_.size()];
   }
 
   std::vector<Shard> shards_;

@@ -1,0 +1,173 @@
+// The one parallel-search engine behind every exhaustive scan.
+//
+// Every search in this repo quantifies over an indexed candidate space —
+// edge masks, port numberings, block colourings, anchor assignments —
+// and needs one of four shapes:
+//
+//   dedup_scan   visit all candidates, keep one representative per
+//                equivalence class (lowest index), stream representatives
+//                in index order
+//   find_first   lowest index satisfying a predicate (early stop)
+//   for_each     independent per-index work into caller-owned slots
+//   reduce       chunk-ordered deterministic fold
+//
+// ParallelVisitor provides exactly those, runs them on the work-stealing
+// ThreadPool when one is supplied and inline (index order, zero threads)
+// when not, and owns the determinism contract in both modes: the result
+// of every method is a pure function of the candidate space, never of
+// thread timing. Searches above this layer (graph/enumerate,
+// bisim/quotient, cover/covering, core/decision, core/solvability,
+// core/synthesis, problems/catalogue) declare *what* to scan; this file
+// is the only place that knows *how* — DiVinE's shape: one generic
+// visitor driving all algorithms over one concurrent dedup table
+// (util/lockfree_set.hpp).
+//
+// Determinism contracts (see DESIGN.md "Parallel visitor core"):
+//  - dedup_scan keeps the *lowest* index per key (LockfreeMinMap's
+//    min-merge) and replays representatives sorted, so the streamed
+//    sequence is identical at any worker count — and identical to the
+//    sequential first-seen order, because a full in-order scan's first
+//    occurrence IS the lowest index.
+//  - find_first delegates to ThreadPool::parallel_find_first
+//    (lowest-witness contract); the inline path scans in order. Both run
+//    the predicate inside obs::SpeculativeScope, so work counters hit
+//    from predicates count 0 everywhere instead of a timing-dependent
+//    amount.
+//  - reduce combines partials in chunk order (associativity suffices,
+//    commutativity is not required).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "util/lockfree_set.hpp"
+#include "util/parallel.hpp"
+
+namespace wm {
+
+class ParallelVisitor {
+ public:
+  /// `pool` may be nullptr: every method then runs inline in the calling
+  /// thread, in index order — the sequential entry points of the layers
+  /// above are thin wrappers around this case.
+  explicit ParallelVisitor(ThreadPool* pool) : pool_(pool) {}
+
+  bool parallel() const { return pool_ != nullptr; }
+  int workers() const { return pool_ == nullptr ? 1 : pool_->num_threads(); }
+
+  /// Deduplicated exhaustive scan over [0, count). For each index,
+  /// visit(i, emit) classifies the candidate: emit(key) files index i
+  /// under `key` (zero emits = candidate inadmissible). The lowest index
+  /// of each class is its representative; representatives are streamed
+  /// to consume(rep) in increasing index order until consume returns
+  /// false. Returns the number of representatives streamed.
+  ///
+  /// Pooled: full frontier scan in per-worker batches into the lock-free
+  /// min-map, then sorted replay — consume's early stop ends the replay
+  /// but cannot cancel the (already complete) scan. Inline: first
+  /// occurrences stream immediately and a stop cancels the rest of the
+  /// scan. Either way the streamed prefix is the same sequence.
+  ///
+  /// Both paths emit the dedup.fresh_keys / dedup.dedup_hits work
+  /// counters (distinct keys / re-encounters across the indices actually
+  /// scanned), so pooled totals are thread-count-invariant by
+  /// construction. `expected_keys` pre-sizes the table (0 = grow
+  /// cooperatively).
+  template <typename Key, typename Hash = std::hash<Key>, typename Visit,
+            typename Consume>
+  std::size_t dedup_scan(std::uint64_t count, Visit&& visit,
+                         Consume&& consume,
+                         std::size_t expected_keys = 0) const {
+    if (pool_ != nullptr) {
+      LockfreeMinMap<Key, std::uint64_t, Hash> table(expected_keys);
+      pool_->parallel_chunks(0, count, [&](std::uint64_t lo, std::uint64_t hi,
+                                           int) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          visit(i, [&](Key key) { table.insert_min(std::move(key), i); });
+        }
+      });
+      std::vector<std::uint64_t> reps = table.values();
+      std::sort(reps.begin(), reps.end());
+      std::size_t streamed = 0;
+      for (const std::uint64_t rep : reps) {
+        ++streamed;
+        if (!consume(rep)) break;
+      }
+      return streamed;
+    }
+    // Inline: in-order scan, first occurrence per key streamed on the
+    // spot. Counter totals are emitted from the same two quantities the
+    // table harvest uses (inserts and distinct keys).
+    std::unordered_set<Key, Hash> seen;
+    std::uint64_t inserts = 0;
+    std::size_t streamed = 0;
+    bool stop = false;
+    for (std::uint64_t i = 0; i < count && !stop; ++i) {
+      visit(i, [&](Key key) {
+        ++inserts;
+        if (!seen.insert(std::move(key)).second || stop) return;
+        ++streamed;
+        if (!consume(i)) stop = true;
+      });
+    }
+    WM_COUNT_ADD(dedup.fresh_keys, seen.size());
+    WM_COUNT_ADD(dedup.dedup_hits, inserts - seen.size());
+    return streamed;
+  }
+
+  /// Lowest index in [begin, end) satisfying pred, or nullopt. The
+  /// predicate runs inside obs::SpeculativeScope in both modes: pooled
+  /// scans are speculative (indices above the witness may be probed), so
+  /// work counters incremented from predicates are suppressed everywhere
+  /// to keep totals thread-count-invariant — count deterministic work
+  /// from the returned witness instead.
+  std::optional<std::uint64_t> find_first(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<bool(std::uint64_t)>& pred) const {
+    if (pool_ != nullptr) return pool_->parallel_find_first(begin, end, pred);
+    obs::SpeculativeScope suppress_work_counters;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (pred(i)) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Runs body(i) for every i in [0, count): pooled parallel_for, or an
+  /// inline in-order loop. body must only touch data it owns (per-index
+  /// slots, per-worker scratch).
+  void for_each(std::uint64_t count,
+                const std::function<void(std::uint64_t)>& body) const {
+    if (pool_ != nullptr) {
+      pool_->parallel_for(0, count, body);
+      return;
+    }
+    for (std::uint64_t i = 0; i < count; ++i) body(i);
+  }
+
+  /// Deterministic fold of map(i) over [0, count) with an associative
+  /// combine: partials are combined in chunk order, so the result
+  /// matches the inline left fold at any worker count.
+  template <typename T, typename Map, typename Combine>
+  T reduce(std::uint64_t count, T identity, Map&& map,
+           Combine&& combine) const {
+    if (pool_ != nullptr) {
+      return pool_->parallel_reduce<T>(0, count, std::move(identity),
+                                       std::forward<Map>(map),
+                                       std::forward<Combine>(combine));
+    }
+    T acc = std::move(identity);
+    for (std::uint64_t i = 0; i < count; ++i) acc = combine(std::move(acc), map(i));
+    return acc;
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace wm
