@@ -32,12 +32,28 @@ struct Partition {
   std::vector<std::vector<int>> blocks() const;
 };
 
+/// The B1 partition alone: states grouped by atomic valuation profile,
+/// block ids in first-seen state order. Shared by refinement, quotient
+/// colouring and the distinguishing-formula base layer so all three agree
+/// on the initial blocks. Profiles are packed into one uint64 when the
+/// model has at most 64 propositions.
+Partition valuation_partition(const KripkeModel& k);
+
 /// Coarsest bisimulation equivalence (ungraded: ML/MML semantics).
 /// max_rounds < 0 means refine to the fixpoint.
 Partition coarsest_bisimulation(const KripkeModel& k, int max_rounds = -1);
 
 /// Coarsest graded bisimulation equivalence (GML/GMML semantics).
 Partition coarsest_graded_bisimulation(const KripkeModel& k, int max_rounds = -1);
+
+/// Scalar reference refinement (full signature pass per round, no
+/// worklist, no obs counters). The differential suites pin the production
+/// path against these exactly — same block ids, same round count. Do not
+/// optimise.
+Partition coarsest_bisimulation_reference(const KripkeModel& k,
+                                          int max_rounds = -1);
+Partition coarsest_graded_bisimulation_reference(const KripkeModel& k,
+                                                 int max_rounds = -1);
 
 /// True iff u and v lie in the same block of the coarsest (graded)
 /// bisimulation of k.

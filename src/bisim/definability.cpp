@@ -1,10 +1,20 @@
 #include "bisim/definability.hpp"
 
+#include <algorithm>
+
+#include "util/bitset.hpp"
+
 namespace wm {
 
 namespace {
 
-using Family = std::set<std::vector<bool>>;
+// Internal representation: packed bitsets, ordered lexicographically by
+// (size, words) so std::set dedups them. Complement and intersection are
+// word loops; only the API boundary unpacks. Note Bitset's ordering is
+// NOT the std::vector<bool> lexicographic order — irrelevant here, since
+// the public result is re-keyed into set<vector<bool>> below and set
+// equality is order-independent.
+using Family = std::set<Bitset>;
 
 void guard(const Family& family, std::size_t max_sets) {
   if (family.size() > max_sets) {
@@ -18,21 +28,15 @@ void boolean_closure(Family& family, std::size_t max_sets) {
   bool changed = true;
   while (changed) {
     changed = false;
-    std::vector<std::vector<bool>> snapshot(family.begin(), family.end());
+    std::vector<Bitset> snapshot(family.begin(), family.end());
     for (const auto& s : snapshot) {
-      std::vector<bool> neg(s.size());
-      for (std::size_t i = 0; i < s.size(); ++i) neg[i] = !s[i];
-      changed |= family.insert(std::move(neg)).second;
+      changed |= family.insert(~s).second;
     }
     guard(family, max_sets);
     snapshot.assign(family.begin(), family.end());
     for (std::size_t a = 0; a < snapshot.size(); ++a) {
       for (std::size_t b = a + 1; b < snapshot.size(); ++b) {
-        std::vector<bool> inter(snapshot[a].size());
-        for (std::size_t i = 0; i < inter.size(); ++i) {
-          inter[i] = snapshot[a][i] && snapshot[b][i];
-        }
-        changed |= family.insert(std::move(inter)).second;
+        changed |= family.insert(snapshot[a] & snapshot[b]).second;
       }
       guard(family, max_sets);
     }
@@ -40,16 +44,24 @@ void boolean_closure(Family& family, std::size_t max_sets) {
 }
 
 /// ||<alpha>_{>=g} S||: states with at least g alpha-successors in S.
-std::vector<bool> diamond_preimage(const KripkeModel& k, const Modality& alpha,
-                                   const std::vector<bool>& s, int grade) {
-  std::vector<bool> out(s.size(), false);
+Bitset diamond_preimage(const KripkeModel& k, const Modality& alpha,
+                        const Bitset& s, int grade) {
+  Bitset out(s.size());
+  const auto* succ = k.relation(alpha);
+  if (succ == nullptr) return out;
   for (int v = 0; v < k.num_states(); ++v) {
     int count = 0;
-    for (int w : k.successors(alpha, v)) {
-      if (s[w] && ++count >= grade) break;
+    for (int w : (*succ)[v]) {
+      if (s.test(static_cast<std::size_t>(w)) && ++count >= grade) break;
     }
-    out[v] = count >= grade;
+    if (count >= grade) out.set(static_cast<std::size_t>(v));
   }
+  return out;
+}
+
+std::set<std::vector<bool>> unpack(const Family& family) {
+  std::set<std::vector<bool>> out;
+  for (const auto& s : family) out.insert(s.to_bools());
   return out;
 }
 
@@ -57,14 +69,12 @@ std::vector<bool> diamond_preimage(const KripkeModel& k, const Modality& alpha,
 
 std::set<std::vector<bool>> definable_sets(const KripkeModel& k, int depth,
                                            bool graded, std::size_t max_sets) {
-  const int n = k.num_states();
+  const auto n = static_cast<std::size_t>(k.num_states());
   Family family;
-  family.insert(std::vector<bool>(static_cast<std::size_t>(n), true));   // T
-  family.insert(std::vector<bool>(static_cast<std::size_t>(n), false));  // F
+  family.insert(Bitset(n, true));   // T
+  family.insert(Bitset(n, false));  // F
   for (int q = 1; q <= k.num_props(); ++q) {
-    std::vector<bool> atom(static_cast<std::size_t>(n));
-    for (int v = 0; v < n; ++v) atom[v] = k.prop_holds(q, v);
-    family.insert(std::move(atom));
+    family.insert(k.prop_bits(q));
   }
   boolean_closure(family, max_sets);
 
@@ -72,7 +82,7 @@ std::set<std::vector<bool>> definable_sets(const KripkeModel& k, int depth,
   const auto modalities = k.modalities();
   std::vector<int> max_grade(modalities.size(), 1);
   for (std::size_t a = 0; a < modalities.size(); ++a) {
-    for (int v = 0; v < n; ++v) {
+    for (int v = 0; v < k.num_states(); ++v) {
       max_grade[a] = std::max(
           max_grade[a],
           static_cast<int>(k.successors(modalities[a], v).size()));
@@ -94,7 +104,7 @@ std::set<std::vector<bool>> definable_sets(const KripkeModel& k, int depth,
     if (next == family) break;  // fixpoint
     family = std::move(next);
   }
-  return family;
+  return unpack(family);
 }
 
 std::set<std::vector<bool>> unions_of_blocks(const Partition& p, int num_states,
@@ -105,13 +115,13 @@ std::set<std::vector<bool>> unions_of_blocks(const Partition& p, int num_states,
   }
   Family family;
   for (std::uint64_t mask = 0; mask < (1ull << p.num_blocks); ++mask) {
-    std::vector<bool> s(static_cast<std::size_t>(num_states));
+    Bitset s(static_cast<std::size_t>(num_states));
     for (int v = 0; v < num_states; ++v) {
-      s[v] = (mask >> p.block[v]) & 1;
+      if ((mask >> p.block[v]) & 1) s.set(static_cast<std::size_t>(v));
     }
     family.insert(std::move(s));
   }
-  return family;
+  return unpack(family);
 }
 
 }  // namespace wm

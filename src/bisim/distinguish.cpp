@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
+
+#include "bisim/bisimulation.hpp"
 
 namespace wm {
 
@@ -16,25 +19,28 @@ struct Layer {
 };
 
 Layer initial_layer(const KripkeModel& k) {
+  // B1 blocks from the shared helper (ids in first-seen state order, so
+  // each block's lowest-numbered state is its first representative);
+  // characteristic formula of a block = the full literal conjunction of
+  // its representative's valuation profile.
   Layer layer;
   const int n = k.num_states();
-  layer.block.assign(static_cast<std::size_t>(n), 0);
-  std::map<std::vector<bool>, int> dict;
+  Partition p = valuation_partition(k);
+  layer.block = std::move(p.block);
+  layer.num_blocks = p.num_blocks;
+  layer.chi.resize(static_cast<std::size_t>(p.num_blocks));
+  std::vector<char> built(static_cast<std::size_t>(p.num_blocks), 0);
   for (int v = 0; v < n; ++v) {
-    std::vector<bool> profile(static_cast<std::size_t>(k.num_props()));
-    for (int q = 1; q <= k.num_props(); ++q) profile[q - 1] = k.prop_holds(q, v);
-    auto [it, fresh] = dict.try_emplace(profile, static_cast<int>(dict.size()));
-    layer.block[v] = it->second;
-    if (fresh) {
-      FormulaVec conj;
-      for (int q = 1; q <= k.num_props(); ++q) {
-        conj.push_back(profile[q - 1] ? Formula::prop(q)
-                                      : Formula::negate(Formula::prop(q)));
-      }
-      layer.chi.push_back(Formula::conj_all(std::move(conj)));
+    const int b = layer.block[v];
+    if (built[b]) continue;
+    built[b] = 1;
+    FormulaVec conj;
+    for (int q = 1; q <= k.num_props(); ++q) {
+      conj.push_back(k.prop_holds(q, v) ? Formula::prop(q)
+                                        : Formula::negate(Formula::prop(q)));
     }
+    layer.chi[b] = Formula::conj_all(std::move(conj));
   }
-  layer.num_blocks = static_cast<int>(dict.size());
   return layer;
 }
 

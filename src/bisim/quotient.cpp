@@ -82,20 +82,9 @@ namespace {
 std::vector<int> refinement_colours(const KripkeModel& k) {
   const int n = k.num_states();
   const std::vector<Modality> mods = k.modalities();
-  // Initial colour: the valuation profile.
-  std::vector<int> colour(static_cast<std::size_t>(n), 0);
-  {
-    std::map<std::vector<bool>, int> dict;
-    for (int v = 0; v < n; ++v) {
-      std::vector<bool> profile;
-      for (int q = 1; q <= k.num_props(); ++q) {
-        profile.push_back(k.prop_holds(q, v));
-      }
-      auto [it, fresh] =
-          dict.try_emplace(std::move(profile), static_cast<int>(dict.size()));
-      colour[v] = it->second;
-    }
-  }
+  // Initial colour: the valuation profile (shared B1 helper, so colour 0
+  // here is block 0 of the refinement partition).
+  std::vector<int> colour = valuation_partition(k).block;
   for (int round = 0; round < n; ++round) {
     std::map<std::pair<int, std::vector<int>>, int> dict;
     std::vector<int> next(static_cast<std::size_t>(n));

@@ -11,7 +11,7 @@ namespace wm {
 KripkeModel::KripkeModel(int num_states, int num_props)
     : num_states_(num_states), num_props_(num_props) {
   valuation_.assign(static_cast<std::size_t>(num_props),
-                    std::vector<bool>(static_cast<std::size_t>(num_states), false));
+                    Bitset(static_cast<std::size_t>(num_states)));
 }
 
 void KripkeModel::add_edge(const Modality& alpha, int from, int to) {
@@ -29,7 +29,7 @@ void KripkeModel::ensure_relation(const Modality& alpha) {
 
 void KripkeModel::set_prop(int q, int state, bool value) {
   if (q < 1 || q > num_props_) throw std::out_of_range("set_prop: bad q");
-  valuation_[q - 1][state] = value;
+  valuation_[q - 1].set(static_cast<std::size_t>(state), value);
 }
 
 const std::vector<int>& KripkeModel::successors(const Modality& alpha,
@@ -38,6 +38,12 @@ const std::vector<int>& KripkeModel::successors(const Modality& alpha,
   auto it = rel_.find(alpha);
   if (it == rel_.end()) return empty;
   return it->second[state];
+}
+
+const std::vector<std::vector<int>>* KripkeModel::relation(
+    const Modality& alpha) const {
+  auto it = rel_.find(alpha);
+  return it == rel_.end() ? nullptr : &it->second;
 }
 
 std::vector<Modality> KripkeModel::modalities() const {

@@ -8,6 +8,7 @@
 
 #include "logic/formula.hpp"
 #include "port/port_numbering.hpp"
+#include "util/bitset.hpp"
 
 namespace wm {
 
@@ -24,9 +25,17 @@ class KripkeModel {
   void add_edge(const Modality& alpha, int from, int to);
   void set_prop(int q, int state, bool value = true);
 
-  bool prop_holds(int q, int state) const { return valuation_[q - 1][state]; }
+  bool prop_holds(int q, int state) const {
+    return valuation_[q - 1].test(static_cast<std::size_t>(state));
+  }
+  /// Valuation row ||q_q|| as a packed bitset over the state set — the
+  /// model checker's leaf representation (64 states per word op).
+  const Bitset& prop_bits(int q) const { return valuation_[q - 1]; }
   /// Successors of `state` under alpha (empty if relation absent).
   const std::vector<int>& successors(const Modality& alpha, int state) const;
+  /// The whole successor-list array for alpha (nullptr if unregistered) —
+  /// lets hot loops hoist the per-call modality lookup out of state scans.
+  const std::vector<std::vector<int>>* relation(const Modality& alpha) const;
   /// All modalities with a (possibly empty) registered relation.
   std::vector<Modality> modalities() const;
   bool has_relation(const Modality& alpha) const { return rel_.contains(alpha); }
@@ -45,7 +54,7 @@ class KripkeModel {
   int num_states_ = 0;
   int num_props_ = 0;
   std::map<Modality, std::vector<std::vector<int>>> rel_;
-  std::vector<std::vector<bool>> valuation_;  // [q-1][state]
+  std::vector<Bitset> valuation_;  // [q-1], one packed row per prop
 };
 
 /// Builds K_{a,b}(G, p): states = V; R_(i,j) = {(u,v) : p((v,j)) = (u,i)}

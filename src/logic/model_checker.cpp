@@ -9,16 +9,98 @@ namespace wm {
 
 namespace {
 
-std::vector<bool> eval(const KripkeModel& k, const Formula& f,
-                       std::unordered_map<Formula, std::vector<bool>>* memo) {
+// --- Packed fast path -----------------------------------------------------
+//
+// ||phi||_K is one Bitset over the state set; every Boolean connective is
+// a word loop (64 states per operation). The memo maps subformulas to
+// their packed denotations and eval_bits returns *references* into it:
+// unordered_map nodes are pointer-stable across rehash, so a parent can
+// hold its children's rows by reference while inserting its own — no
+// copy-on-eval (the former std::vector<bool> memo copied every hit).
+// modelcheck.word_ops counts the 64-bit words written by those bulk
+// passes: a deterministic function of (model, formula), hence work-kind.
+
+using Memo = std::unordered_map<Formula, Bitset>;
+
+const Bitset& eval_bits(const KripkeModel& k, const Formula& f, Memo& memo) {
   WM_COUNT(modelcheck.evals);
-  if (memo) {
-    auto it = memo->find(f);
-    if (it != memo->end()) {
-      WM_COUNT(modelcheck.memo_hits);
-      return it->second;
+  if (auto it = memo.find(f); it != memo.end()) {
+    WM_COUNT(modelcheck.memo_hits);
+    return it->second;
+  }
+  const auto n = static_cast<std::size_t>(k.num_states());
+  Bitset out(n);
+  switch (f.kind()) {
+    case Formula::Kind::True:
+      out.set_all();
+      WM_COUNT_ADD(modelcheck.word_ops, out.num_words());
+      break;
+    case Formula::Kind::False:
+      break;
+    case Formula::Kind::Prop: {
+      const int q = f.prop_id();
+      if (q <= k.num_props()) {
+        out = k.prop_bits(q);
+        WM_COUNT_ADD(modelcheck.word_ops, out.num_words());
+      }
+      break;
+    }
+    case Formula::Kind::Not: {
+      out = eval_bits(k, f.child(), memo);
+      out.flip();
+      WM_COUNT_ADD(modelcheck.word_ops, 2 * out.num_words());
+      break;
+    }
+    case Formula::Kind::And: {
+      out = eval_bits(k, f.child(0), memo);
+      out &= eval_bits(k, f.child(1), memo);
+      WM_COUNT_ADD(modelcheck.word_ops, 2 * out.num_words());
+      break;
+    }
+    case Formula::Kind::Or: {
+      out = eval_bits(k, f.child(0), memo);
+      out |= eval_bits(k, f.child(1), memo);
+      WM_COUNT_ADD(modelcheck.word_ops, 2 * out.num_words());
+      break;
+    }
+    case Formula::Kind::Diamond: {
+      const Bitset& c = eval_bits(k, f.child(), memo);
+      const int need = f.grade();
+      for (int v = 0; v < k.num_states(); ++v) {
+        int cnt = 0;
+        for (int w : k.successors(f.modality(), v)) {
+          if (c.test(static_cast<std::size_t>(w)) && ++cnt >= need) break;
+        }
+        if (cnt >= need) out.set(static_cast<std::size_t>(v));
+      }
+      break;
+    }
+    case Formula::Kind::Box: {
+      const Bitset& c = eval_bits(k, f.child(), memo);
+      for (int v = 0; v < k.num_states(); ++v) {
+        bool all = true;
+        for (int w : k.successors(f.modality(), v)) {
+          if (!c.test(static_cast<std::size_t>(w))) {
+            all = false;
+            break;
+          }
+        }
+        if (all) out.set(static_cast<std::size_t>(v));
+      }
+      break;
     }
   }
+  return memo.emplace(f, std::move(out)).first->second;
+}
+
+// --- Scalar reference -----------------------------------------------------
+//
+// Direct recursion over std::vector<bool> following the truth definition,
+// exactly the pre-bitset implementation. The differential suites pin the
+// packed path against this bit-for-bit; do not optimise it.
+
+std::vector<bool> eval_naive(const KripkeModel& k, const Formula& f) {
+  WM_COUNT(modelcheck.evals);
   const int n = k.num_states();
   std::vector<bool> out(static_cast<std::size_t>(n), false);
   switch (f.kind()) {
@@ -35,24 +117,24 @@ std::vector<bool> eval(const KripkeModel& k, const Formula& f,
       break;
     }
     case Formula::Kind::Not: {
-      auto c = eval(k, f.child(), memo);
+      auto c = eval_naive(k, f.child());
       for (int v = 0; v < n; ++v) out[v] = !c[v];
       break;
     }
     case Formula::Kind::And: {
-      auto a = eval(k, f.child(0), memo);
-      auto b = eval(k, f.child(1), memo);
+      auto a = eval_naive(k, f.child(0));
+      auto b = eval_naive(k, f.child(1));
       for (int v = 0; v < n; ++v) out[v] = a[v] && b[v];
       break;
     }
     case Formula::Kind::Or: {
-      auto a = eval(k, f.child(0), memo);
-      auto b = eval(k, f.child(1), memo);
+      auto a = eval_naive(k, f.child(0));
+      auto b = eval_naive(k, f.child(1));
       for (int v = 0; v < n; ++v) out[v] = a[v] || b[v];
       break;
     }
     case Formula::Kind::Diamond: {
-      auto c = eval(k, f.child(), memo);
+      auto c = eval_naive(k, f.child());
       const int need = f.grade();
       for (int v = 0; v < n; ++v) {
         int cnt = 0;
@@ -64,7 +146,7 @@ std::vector<bool> eval(const KripkeModel& k, const Formula& f,
       break;
     }
     case Formula::Kind::Box: {
-      auto c = eval(k, f.child(), memo);
+      auto c = eval_naive(k, f.child());
       for (int v = 0; v < n; ++v) {
         bool all = true;
         for (int w : k.successors(f.modality(), v)) {
@@ -78,25 +160,29 @@ std::vector<bool> eval(const KripkeModel& k, const Formula& f,
       break;
     }
   }
-  if (memo) memo->emplace(f, out);
   return out;
 }
 
 }  // namespace
 
-std::vector<bool> model_check(const KripkeModel& k, const Formula& phi) {
+Bitset model_check_bits(const KripkeModel& k, const Formula& phi) {
   WM_TIME_SCOPE("modelcheck.check");
   WM_COUNT(modelcheck.checks);
-  std::unordered_map<Formula, std::vector<bool>> memo;
-  return eval(k, phi, &memo);
+  Memo memo;
+  eval_bits(k, phi, memo);
+  return std::move(memo.find(phi)->second);  // the root's row; memo dies here
+}
+
+std::vector<bool> model_check(const KripkeModel& k, const Formula& phi) {
+  return model_check_bits(k, phi).to_bools();
 }
 
 bool model_check_at(const KripkeModel& k, const Formula& phi, int state) {
-  return model_check(k, phi)[static_cast<std::size_t>(state)];
+  return model_check_bits(k, phi).test(static_cast<std::size_t>(state));
 }
 
 std::vector<bool> model_check_naive(const KripkeModel& k, const Formula& phi) {
-  return eval(k, phi, nullptr);
+  return eval_naive(k, phi);
 }
 
 }  // namespace wm

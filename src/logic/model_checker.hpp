@@ -5,19 +5,27 @@
 
 #include "logic/formula.hpp"
 #include "logic/kripke.hpp"
+#include "util/bitset.hpp"
 
 namespace wm {
 
-/// Evaluates phi on every state of K; result[v] == true iff K, v |= phi.
-/// Bottom-up over the subformula closure with memoisation — O(|phi| * |K|).
+/// Evaluates phi on every state of K as a packed bitset: bit v is set iff
+/// K, v |= phi. Bottom-up over the subformula closure with a memo of
+/// packed rows — Boolean connectives run word-wise (64 states per op),
+/// modal sweeps gather through the packed child row. This is the
+/// production representation; prefer it when the caller can consume bits.
+Bitset model_check_bits(const KripkeModel& k, const Formula& phi);
+
+/// Same result unpacked: result[v] == true iff K, v |= phi.
 std::vector<bool> model_check(const KripkeModel& k, const Formula& phi);
 
 /// Single-state convenience.
 bool model_check_at(const KripkeModel& k, const Formula& phi, int state);
 
-/// Reference implementation: direct recursion following the truth
-/// definition, no memoisation. Exponential on DAG-shaped formulas; used
-/// only to cross-validate `model_check` in tests.
+/// Reference implementation: direct scalar recursion over
+/// std::vector<bool> following the truth definition, no memoisation.
+/// Exponential on DAG-shaped formulas; kept as the differential oracle
+/// the bitset path is pinned against bit-for-bit — do not optimise.
 std::vector<bool> model_check_naive(const KripkeModel& k, const Formula& phi);
 
 }  // namespace wm

@@ -14,39 +14,48 @@ Value key_of(const PortNumbering& p, const std::vector<Value>& beta_t,
                        Value::integer(p.out_port(u, v)));
 }
 
+/// One synchronous round: (beta_{t-1}, B_{t-1}) -> (beta_t, B_t).
+std::pair<std::vector<Value>, std::vector<Value>> refinement_step(
+    const PortNumbering& p, const std::vector<Value>& beta_prev,
+    const std::vector<Value>& bset_prev) {
+  const Graph& g = p.graph();
+  const int n = g.num_nodes();
+  std::vector<Value> beta(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    beta[v] = Value::pair(beta_prev[v], bset_prev[v]);
+  }
+  std::vector<Value> bset(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    ValueVec received;
+    received.reserve(g.neighbours(v).size());
+    for (NodeId u : g.neighbours(v)) {
+      received.push_back(key_of(p, beta, u, v));
+    }
+    bset[v] = Value::set(std::move(received));
+  }
+  // Intern per round: equal betas / B-sets share one node so deeper
+  // comparisons short-circuit on pointer identity (cf. cover/views).
+  std::unordered_map<Value, Value> canon;
+  for (auto* layer : {&beta, &bset}) {
+    for (Value& x : *layer) {
+      auto [it, _] = canon.try_emplace(x, x);
+      x = it->second;
+    }
+  }
+  return {std::move(beta), std::move(bset)};
+}
+
 }  // namespace
 
 RefinementTrace run_refinement(const PortNumbering& p, int rounds) {
-  const Graph& g = p.graph();
-  const int n = g.num_nodes();
+  const int n = p.graph().num_nodes();
   RefinementTrace trace;
   trace.beta.assign(1, std::vector<Value>(static_cast<std::size_t>(n),
                                           Value::unit()));
   trace.bset.assign(1, std::vector<Value>(static_cast<std::size_t>(n),
                                           Value::set({})));
   for (int t = 1; t <= rounds; ++t) {
-    std::vector<Value> beta(static_cast<std::size_t>(n));
-    for (NodeId v = 0; v < n; ++v) {
-      beta[v] = Value::pair(trace.beta[t - 1][v], trace.bset[t - 1][v]);
-    }
-    std::vector<Value> bset(static_cast<std::size_t>(n));
-    for (NodeId v = 0; v < n; ++v) {
-      ValueVec received;
-      received.reserve(g.neighbours(v).size());
-      for (NodeId u : g.neighbours(v)) {
-        received.push_back(key_of(p, beta, u, v));
-      }
-      bset[v] = Value::set(std::move(received));
-    }
-    // Intern per round: equal betas / B-sets share one node so deeper
-    // comparisons short-circuit on pointer identity (cf. cover/views).
-    std::unordered_map<Value, Value> canon;
-    for (auto* layer : {&beta, &bset}) {
-      for (Value& x : *layer) {
-        auto [it, _] = canon.try_emplace(x, x);
-        x = it->second;
-      }
-    }
+    auto [beta, bset] = refinement_step(p, trace.beta[t - 1], trace.bset[t - 1]);
     trace.beta.push_back(std::move(beta));
     trace.bset.push_back(std::move(bset));
   }
@@ -66,9 +75,17 @@ bool neighbour_keys_distinct(const PortNumbering& p,
 }
 
 int rounds_until_keys_distinct(const PortNumbering& p, int limit) {
-  const RefinementTrace trace = run_refinement(p, limit);
+  // Incremental: advance one round at a time and stop at the first layer
+  // whose keys are locally distinct — no full trace when t* << limit.
+  const int n = p.graph().num_nodes();
+  std::vector<Value> beta(static_cast<std::size_t>(n), Value::unit());
+  std::vector<Value> bset(static_cast<std::size_t>(n), Value::set({}));
   for (int t = 0; t <= limit; ++t) {
-    if (neighbour_keys_distinct(p, trace.beta[t])) return t;
+    if (neighbour_keys_distinct(p, beta)) return t;
+    if (t == limit) break;
+    auto [nb, ns] = refinement_step(p, beta, bset);
+    beta = std::move(nb);
+    bset = std::move(ns);
   }
   return -1;
 }

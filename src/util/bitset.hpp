@@ -1,0 +1,192 @@
+// Dynamic packed bitset over uint64_t words — the SIMD-within-a-register
+// representation behind the logic core's hot paths.
+//
+// The model checker stores ||phi||_K (and the Kripke valuation rows) as
+// one Bitset over the state set, so every Boolean connective is a
+// word-wise loop touching 64 states per operation instead of one; the
+// bisimulation refinement uses Bitsets for its dirty-state worklist.
+// std::vector<bool> stays the *reference* representation: the scalar
+// model-checker path and the differential tests unpack through to_bools
+// and pin the two representations bit-for-bit against each other.
+//
+// Invariant: bits past size() in the last word are always zero. Every
+// mutating operation restores it (see trim()), which is what makes
+// operator==, operator<, count() and the find loops plain word scans
+// with no masking at the read side.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wm {
+
+class Bitset {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kWordBits = 64;
+
+  Bitset() = default;
+  explicit Bitset(std::size_t n, bool value = false)
+      : size_(n), words_((n + kWordBits - 1) / kWordBits,
+                         value ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t num_words() const { return words_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// Raw word access for word-wise iteration (callers own the masking of
+  /// any bits they might *write* past size(); reads need none).
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+
+  void assign(std::size_t n, bool value) {
+    size_ = n;
+    words_.assign((n + kWordBits - 1) / kWordBits,
+                  value ? ~std::uint64_t{0} : 0);
+    trim();
+  }
+
+  bool test(std::size_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  void set(std::size_t i, bool value = true) {
+    const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+    if (value) {
+      words_[i / kWordBits] |= mask;
+    } else {
+      words_[i / kWordBits] &= ~mask;
+    }
+  }
+  void reset(std::size_t i) { set(i, false); }
+
+  void set_all() {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trim();
+  }
+  void reset_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits (one hardware popcount per word).
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) {
+      c += static_cast<std::size_t>(std::popcount(w));
+    }
+    return c;
+  }
+  bool any() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  Bitset& operator&=(const Bitset& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+    return *this;
+  }
+  Bitset& operator|=(const Bitset& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+    return *this;
+  }
+  Bitset& operator^=(const Bitset& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+    return *this;
+  }
+  /// this &= ~o — set difference without materialising the complement.
+  Bitset& andnot_assign(const Bitset& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~o.words_[w];
+    return *this;
+  }
+  /// In-place complement (restores the trailing-zero invariant).
+  Bitset& flip() {
+    for (auto& w : words_) w = ~w;
+    trim();
+    return *this;
+  }
+
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator^(Bitset a, const Bitset& b) { return a ^= b; }
+  friend Bitset operator~(Bitset a) { return a.flip(); }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+  /// Lexicographic on (size, words): a strict weak order so Bitsets can
+  /// key std::set/std::map (the definability family uses this).
+  friend bool operator<(const Bitset& a, const Bitset& b) {
+    if (a.size_ != b.size_) return a.size_ < b.size_;
+    return a.words_ < b.words_;
+  }
+
+  /// Index of the lowest set bit, or npos when none.
+  std::size_t find_first() const { return find_from_word(0); }
+  /// Index of the lowest set bit strictly after i, or npos.
+  std::size_t find_next(std::size_t i) const {
+    ++i;
+    if (i >= size_) return npos;
+    const std::size_t w = i / kWordBits;
+    const std::uint64_t rest = words_[w] >> (i % kWordBits);
+    if (rest != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(rest));
+    }
+    return find_from_word(w + 1);
+  }
+
+  /// Calls fn(index) for every set bit in increasing order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        fn(w * kWordBits + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Unpacks to the reference representation (differential tests and the
+  /// vector<bool>-facing public APIs).
+  std::vector<bool> to_bools() const {
+    std::vector<bool> out(size_);
+    for_each_set([&](std::size_t i) { out[i] = true; });
+    return out;
+  }
+  static Bitset from_bools(const std::vector<bool>& bits) {
+    Bitset out(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) out.set(i);
+    }
+    return out;
+  }
+
+ private:
+  /// Zeroes the bits past size() in the last word.
+  void trim() {
+    const std::size_t used = size_ % kWordBits;
+    if (used != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << used) - 1;
+    }
+  }
+  std::size_t find_from_word(std::size_t w) const {
+    for (; w < words_.size(); ++w) {
+      if (words_[w] != 0) {
+        return w * kWordBits +
+               static_cast<std::size_t>(std::countr_zero(words_[w]));
+      }
+    }
+    return npos;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wm

@@ -2,9 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "graph/generators.hpp"
 #include "graph/matching.hpp"
+#include "obs/counters.hpp"
 #include "port/port_numbering.hpp"
+#include "support/canon_harness.hpp"
+#include "support/diff_harness.hpp"
+#include "util/parallel.hpp"
 
 namespace wm {
 namespace {
@@ -160,6 +171,133 @@ TEST(Bisim, PartitionBlocksHelper) {
   std::size_t total = 0;
   for (const auto& b : blocks) total += b.size();
   EXPECT_EQ(total, 4u);
+}
+
+// --- Differential: worklist refinement ≡ scalar reference -----------------
+//
+// The smaller-half worklist path promises the EXACT output of the full
+// signature-pass reference — same block ids, same block count and, most
+// delicately, the same round count (which carries modal-depth semantics
+// via bounded refinement). WM_SEED=<n> narrows a failure to one seed.
+
+class RefinementDifferential : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RefinementDifferential, WorklistMatchesReferenceExactly) {
+  const bool graded = GetParam();
+  auto fast = [&](const KripkeModel& k, int t) {
+    return graded ? coarsest_graded_bisimulation(k, t)
+                  : coarsest_bisimulation(k, t);
+  };
+  auto reference = [&](const KripkeModel& k, int t) {
+    return graded ? coarsest_graded_bisimulation_reference(k, t)
+                  : coarsest_bisimulation_reference(k, t);
+  };
+  for (const std::uint64_t seed : difftest::seeds_under_test()) {
+    Rng mrng(seed + 21);
+    for (int trial = 0; trial < 100; ++trial) {
+      const KripkeModel k = canontest::random_kripke_model(mrng);
+      for (const int t : {-1, 0, 1, 2, 3}) {
+        const Partition got = fast(k, t);
+        const Partition want = reference(k, t);
+        EXPECT_EQ(got.block, want.block)
+            << "t=" << t << " — reproduce with WM_SEED=" << seed;
+        EXPECT_EQ(got.num_blocks, want.num_blocks) << "t=" << t;
+        EXPECT_EQ(got.rounds, want.rounds)
+            << "t=" << t << " — reproduce with WM_SEED=" << seed;
+      }
+    }
+  }
+}
+
+// Metamorphic: relabelling the states permutes the partition — the block
+// *contents* (as a set of state sets, after unpermuting) and the round
+// count are invariants of the model's shape.
+TEST_P(RefinementDifferential, PartitionCommutesWithRelabelling) {
+  const bool graded = GetParam();
+  auto fast = [&](const KripkeModel& k) {
+    return graded ? coarsest_graded_bisimulation(k)
+                  : coarsest_bisimulation(k);
+  };
+  for (const std::uint64_t seed : difftest::seeds_under_test()) {
+    Rng mrng(seed + 63);
+    for (int trial = 0; trial < 40; ++trial) {
+      const KripkeModel k = canontest::random_kripke_model(mrng);
+      const std::vector<int> perm =
+          canontest::random_permutation(k.num_states(), mrng);
+      const KripkeModel m = canontest::relabelled_model(k, perm);
+      const Partition on_k = fast(k);
+      const Partition on_m = fast(m);
+      EXPECT_EQ(on_k.num_blocks, on_m.num_blocks);
+      EXPECT_EQ(on_k.rounds, on_m.rounds)
+          << "round count changed under relabelling — WM_SEED=" << seed;
+      auto as_sets = [](const Partition& p) {
+        std::set<std::set<int>> out;
+        for (const auto& b : p.blocks()) out.emplace(b.begin(), b.end());
+        return out;
+      };
+      // Unpermute m's blocks back into k's state names.
+      Partition unpermuted = on_m;
+      for (int v = 0; v < k.num_states(); ++v) {
+        unpermuted.block[v] = on_m.block[perm[v]];
+      }
+      EXPECT_EQ(as_sets(on_k), as_sets(unpermuted))
+          << "block contents changed under relabelling — WM_SEED=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Logics, RefinementDifferential, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Graded" : "Ungraded";
+                         });
+
+TEST(Bisim, ValuationPartitionMatchesDepthZeroRefinement) {
+  for (const std::uint64_t seed : difftest::seeds_under_test()) {
+    Rng mrng(seed + 99);
+    for (int trial = 0; trial < 50; ++trial) {
+      const KripkeModel k = canontest::random_kripke_model(mrng);
+      const Partition b1 = valuation_partition(k);
+      const Partition depth0 = coarsest_bisimulation(k, 0);
+      EXPECT_EQ(b1.block, depth0.block) << "WM_SEED=" << seed;
+      EXPECT_EQ(b1.num_blocks, depth0.num_blocks);
+    }
+  }
+}
+
+// The gated refinement work counters (`bisim.refine_rounds` above all —
+// it carries the paper's round/modal-depth correspondence) must not
+// depend on pool size when refinements run from worker threads.
+TEST(BisimObs, RefinementWorkInvariantAcrossThreadCounts) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  std::vector<KripkeModel> models;
+  Rng mrng(42);
+  for (int i = 0; i < 8; ++i) {
+    models.push_back(canontest::random_kripke_model(mrng));
+  }
+  auto run_batch = [&](int threads) {
+    const auto before = obs::registry().snapshot(obs::CounterKind::kWork);
+    ThreadPool pool(threads);
+    pool.parallel_for(0, models.size(), [&](std::uint64_t i) {
+      (void)coarsest_bisimulation(models[i]);
+      (void)coarsest_graded_bisimulation(models[i]);
+    });
+    const auto after = obs::registry().snapshot(obs::CounterKind::kWork);
+    std::map<std::string, std::uint64_t> delta;
+    for (const auto& [name, value] : after) {
+      const auto it = before.find(name);
+      const std::uint64_t base = it == before.end() ? 0 : it->second;
+      if (value != base) delta[name] = value - base;
+    }
+    return delta;
+  };
+  const auto serial = run_batch(1);
+  ASSERT_TRUE(serial.contains("bisim.refine_rounds"));
+  ASSERT_TRUE(serial.contains("bisim.refinements"));
+  const auto parallel = run_batch(8);
+  EXPECT_EQ(serial, parallel);
+#endif
 }
 
 TEST(Bisim, VariantsSeeDifferentAmountsOfInformation) {

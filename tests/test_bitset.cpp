@@ -1,0 +1,207 @@
+// Unit + property tests for the packed bitset (src/util/bitset.hpp).
+//
+// The property layer drives every operation against a std::vector<bool>
+// oracle over WM_SEED-seeded random inputs (diff_harness seed
+// convention: WM_SEED=<n> narrows to one seed), across word-boundary
+// sizes 0/1/63/64/65/1000 — the packed representation must agree with
+// the scalar one bit-for-bit, which is the same contract the model
+// checker's differential suite enforces at the system level.
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/diff_harness.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+const std::vector<std::size_t>& boundary_sizes() {
+  static const std::vector<std::size_t> sizes = {0, 1, 63, 64, 65, 1000};
+  return sizes;
+}
+
+std::vector<bool> random_bools(std::size_t n, Rng& rng) {
+  std::vector<bool> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = rng.chance(1, 2);
+  return out;
+}
+
+TEST(Bitset, EmptyAndConstruction) {
+  for (const std::size_t n : boundary_sizes()) {
+    const Bitset zero(n);
+    EXPECT_EQ(zero.size(), n);
+    EXPECT_EQ(zero.count(), 0u);
+    EXPECT_TRUE(zero.none());
+    EXPECT_EQ(zero.num_words(), (n + 63) / 64);
+    const Bitset ones(n, true);
+    EXPECT_EQ(ones.count(), n);
+    EXPECT_EQ(ones.any(), n > 0);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(ones.test(i));
+  }
+}
+
+TEST(Bitset, SetResetAtWordBoundaries) {
+  Bitset b(130);
+  for (const std::size_t i : {0u, 62u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    b.set(i);
+    EXPECT_TRUE(b.test(i));
+  }
+  EXPECT_EQ(b.count(), 8u);
+  b.reset(63);
+  b.reset(64);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 6u);
+}
+
+TEST(Bitset, TrailingBitsStayZeroAfterFlipAndSetAll) {
+  for (const std::size_t n : boundary_sizes()) {
+    Bitset b(n);
+    b.flip();
+    EXPECT_EQ(b.count(), n);  // a dirty trailing word would overcount
+    b.set_all();
+    EXPECT_EQ(b.count(), n);
+    b.flip();
+    EXPECT_EQ(b.count(), 0u);
+    if (b.num_words() > 0) {
+      EXPECT_EQ(b.word(b.num_words() - 1), 0u);
+    }
+  }
+}
+
+TEST(Bitset, FindFirstNextGoldens) {
+  Bitset b(200);
+  EXPECT_EQ(b.find_first(), Bitset::npos);
+  b.set(5);
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_next(5), 63u);
+  EXPECT_EQ(b.find_next(63), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), Bitset::npos);
+  // Single-bit and empty extremes.
+  Bitset one(1);
+  EXPECT_EQ(one.find_first(), Bitset::npos);
+  one.set(0);
+  EXPECT_EQ(one.find_first(), 0u);
+  EXPECT_EQ(one.find_next(0), Bitset::npos);
+  EXPECT_EQ(Bitset().find_first(), Bitset::npos);
+}
+
+TEST(Bitset, PopcountGoldens) {
+  Bitset b(65);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(0);
+  b.set(64);
+  EXPECT_EQ(b.count(), 2u);
+  b.set_all();
+  EXPECT_EQ(b.count(), 65u);
+  b.reset(64);
+  EXPECT_EQ(b.count(), 64u);
+}
+
+TEST(Bitset, RoundTripThroughBools) {
+  for (const std::uint64_t seed : difftest::seeds_under_test()) {
+    Rng rng(seed);
+    for (const std::size_t n : boundary_sizes()) {
+      const std::vector<bool> ref = random_bools(n, rng);
+      const Bitset b = Bitset::from_bools(ref);
+      EXPECT_EQ(b.to_bools(), ref) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ(b.count(),
+                static_cast<std::size_t>(
+                    std::count(ref.begin(), ref.end(), true)));
+    }
+  }
+}
+
+TEST(Bitset, BooleanOpsAgainstOracle) {
+  for (const std::uint64_t seed : difftest::seeds_under_test()) {
+    Rng rng(seed);
+    for (const std::size_t n : boundary_sizes()) {
+      const std::vector<bool> ra = random_bools(n, rng);
+      const std::vector<bool> rb = random_bools(n, rng);
+      const Bitset a = Bitset::from_bools(ra);
+      const Bitset b = Bitset::from_bools(rb);
+      std::vector<bool> r_and(n), r_or(n), r_xor(n), r_andnot(n), r_not(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        r_and[i] = ra[i] && rb[i];
+        r_or[i] = ra[i] || rb[i];
+        r_xor[i] = ra[i] != rb[i];
+        r_andnot[i] = ra[i] && !rb[i];
+        r_not[i] = !ra[i];
+      }
+      EXPECT_EQ((a & b).to_bools(), r_and) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ((a | b).to_bools(), r_or) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ((a ^ b).to_bools(), r_xor) << "n=" << n << " seed=" << seed;
+      Bitset diff = a;
+      diff.andnot_assign(b);
+      EXPECT_EQ(diff.to_bools(), r_andnot) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ((~a).to_bools(), r_not) << "n=" << n << " seed=" << seed;
+      // In-place forms match the value forms.
+      Bitset c = a;
+      c &= b;
+      EXPECT_EQ(c, a & b);
+      c = a;
+      c |= b;
+      EXPECT_EQ(c, a | b);
+      c = a;
+      c ^= b;
+      EXPECT_EQ(c, a ^ b);
+    }
+  }
+}
+
+TEST(Bitset, FindIterationAgainstOracle) {
+  for (const std::uint64_t seed : difftest::seeds_under_test()) {
+    Rng rng(seed);
+    for (const std::size_t n : boundary_sizes()) {
+      const std::vector<bool> ref = random_bools(n, rng);
+      const Bitset b = Bitset::from_bools(ref);
+      std::vector<std::size_t> expected;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ref[i]) expected.push_back(i);
+      }
+      std::vector<std::size_t> via_find;
+      for (std::size_t i = b.find_first(); i != Bitset::npos;
+           i = b.find_next(i)) {
+        via_find.push_back(i);
+      }
+      std::vector<std::size_t> via_for_each;
+      b.for_each_set([&](std::size_t i) { via_for_each.push_back(i); });
+      EXPECT_EQ(via_find, expected) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ(via_for_each, expected) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Bitset, EqualityAndOrdering) {
+  Bitset a(65), b(65);
+  EXPECT_EQ(a, b);
+  a.set(64);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(b < a);  // lexicographic on words
+  b.set(64);
+  EXPECT_EQ(a, b);
+  // Different sizes are never equal, even when both are all-zero.
+  EXPECT_NE(Bitset(64), Bitset(65));
+  EXPECT_TRUE(Bitset(64) < Bitset(65));
+}
+
+TEST(Bitset, AssignReuses) {
+  Bitset b(10, true);
+  b.assign(130, false);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.none());
+  b.assign(65, true);
+  EXPECT_EQ(b.count(), 65u);
+}
+
+}  // namespace
+}  // namespace wm

@@ -2,9 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "bisim/bisimulation.hpp"
 #include "graph/generators.hpp"
 #include "logic/random_formula.hpp"
+#include "obs/counters.hpp"
+#include "support/canon_harness.hpp"
+#include "support/diff_harness.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace wm {
@@ -142,6 +151,121 @@ INSTANTIATE_TEST_SUITE_P(AllVariants, Fact1Property,
                          ::testing::Values(Variant::PlusPlus, Variant::MinusPlus,
                                            Variant::PlusMinus,
                                            Variant::MinusMinus));
+
+// --- Differential: packed path ≡ scalar reference -------------------------
+//
+// The bitset evaluator promises the EXACT denotation of the naive scalar
+// recursion, bit for bit, on arbitrary seeded models and formulas — the
+// same contract the canonical and parallel subsystems pin with their
+// harnesses. WM_SEED=<n> narrows a reported failure to one seed.
+
+RandomFormulaOptions formula_options_for(const KripkeModel& k, bool graded) {
+  RandomFormulaOptions opts;
+  opts.num_props = k.num_props();
+  opts.delta = k.num_props();
+  opts.graded = graded;
+  opts.max_depth = 3;
+  return opts;
+}
+
+class BitsetDifferential : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BitsetDifferential, PackedMatchesScalarReference) {
+  const bool graded = GetParam();
+  for (const std::uint64_t seed : difftest::seeds_under_test()) {
+    Rng mrng(seed);
+    Rng frng(seed + 1000);
+    for (int trial = 0; trial < 100; ++trial) {
+      const KripkeModel k = canontest::random_kripke_model(mrng);
+      Rng rng(frng.below(~0ull));
+      const Formula f = random_formula(rng, formula_options_for(k, graded));
+      const std::vector<bool> oracle = model_check_naive(k, f);
+      const Bitset bits = model_check_bits(k, f);
+      EXPECT_EQ(bits.to_bools(), oracle)
+          << f.to_string() << " — reproduce with WM_SEED=" << seed;
+      EXPECT_EQ(model_check(k, f), oracle)
+          << f.to_string() << " — reproduce with WM_SEED=" << seed;
+      for (int v = 0; v < k.num_states(); ++v) {
+        EXPECT_EQ(model_check_at(k, f, v), oracle[v]);
+      }
+    }
+  }
+}
+
+// Metamorphic: relabelling the states permutes the denotation and
+// nothing else — ||phi||_{perm(K)}[perm[v]] == ||phi||_K[v].
+TEST_P(BitsetDifferential, DenotationCommutesWithRelabelling) {
+  const bool graded = GetParam();
+  for (const std::uint64_t seed : difftest::seeds_under_test()) {
+    Rng mrng(seed + 7);
+    Rng frng(seed + 1007);
+    for (int trial = 0; trial < 40; ++trial) {
+      const KripkeModel k = canontest::random_kripke_model(mrng);
+      const std::vector<int> perm =
+          canontest::random_permutation(k.num_states(), mrng);
+      const KripkeModel m = canontest::relabelled_model(k, perm);
+      Rng rng(frng.below(~0ull));
+      const Formula f = random_formula(rng, formula_options_for(k, graded));
+      const Bitset on_k = model_check_bits(k, f);
+      const Bitset on_m = model_check_bits(m, f);
+      for (int v = 0; v < k.num_states(); ++v) {
+        EXPECT_EQ(on_m.test(static_cast<std::size_t>(perm[v])),
+                  on_k.test(static_cast<std::size_t>(v)))
+            << f.to_string() << " at state " << v
+            << " — reproduce with WM_SEED=" << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Logics, BitsetDifferential, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Graded" : "Ungraded";
+                         });
+
+// Regression for the memo copy-on-eval fix: the memoised call structure
+// (and with it `modelcheck.evals` / `modelcheck.memo_hits`) is a pure
+// function of the batch, identical whether the checks run on a 1- or
+// 8-worker pool. The formula reuses a subterm (f ∧ f) so memo hits are
+// actually exercised.
+TEST(ModelCheckerObs, MemoCountersInvariantAcrossThreadCounts) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  std::vector<KripkeModel> models;
+  Rng mrng(2012);
+  for (int i = 0; i < 8; ++i) {
+    models.push_back(canontest::random_kripke_model(mrng));
+  }
+  Rng frng(13);
+  RandomFormulaOptions opts = formula_options_for(models[0], /*graded=*/true);
+  const Formula sub = random_formula(frng, opts);
+  const Formula f = Formula::conj(sub, sub);  // shared subterm => memo hits
+
+  auto run_batch = [&](int threads) {
+    const auto before = obs::registry().snapshot(obs::CounterKind::kWork);
+    ThreadPool pool(threads);
+    pool.parallel_for(0, models.size(), [&](std::uint64_t i) {
+      (void)model_check_bits(models[i], f);
+    });
+    const auto after = obs::registry().snapshot(obs::CounterKind::kWork);
+    std::map<std::string, std::uint64_t> delta;
+    for (const auto& [name, value] : after) {
+      const auto it = before.find(name);
+      const std::uint64_t base = it == before.end() ? 0 : it->second;
+      if (value != base) delta[name] = value - base;
+    }
+    return delta;
+  };
+
+  const auto serial = run_batch(1);
+  ASSERT_TRUE(serial.contains("modelcheck.evals"));
+  ASSERT_TRUE(serial.contains("modelcheck.memo_hits"));
+  EXPECT_GT(serial.at("modelcheck.memo_hits"), 0u);
+  const auto parallel = run_batch(8);
+  EXPECT_EQ(serial, parallel);
+#endif
+}
 
 }  // namespace
 }  // namespace wm
