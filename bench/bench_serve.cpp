@@ -1,0 +1,167 @@
+// Load bench for the serve layer: an in-process Service hammered by
+// `--threads N` client threads with a fixed request mix — 420 requests
+// round-robined over 18 distinct keys spanning run/modelcheck/canon/
+// classify. No sockets: the bench measures the dispatch + memo-cache
+// path itself, not the kernel's TCP stack.
+//
+// Determinism across thread counts is the single-flight contract, not
+// an accident: one miss per distinct key (waiters on an in-flight
+// compute count as hits), so the cache hit/miss tallies — and every
+// library work counter behind them, since each distinct key computes
+// exactly once — come out identical whether one client walks the mix
+// or sixteen fight over it. stdout prints a digest per distinct reply
+// plus the closed-form cache stats; perf goes to stderr.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/json.hpp"
+#include "serve/memo_cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using namespace wm;
+
+void append_edge(std::string& edges, int u, int v) {
+  if (edges.size() > 1) edges += ", ";
+  edges += '[';
+  edges += std::to_string(u);
+  edges += ", ";
+  edges += std::to_string(v);
+  edges += ']';
+}
+
+std::string path_edges(int n) {
+  std::string edges = "[";
+  for (int v = 0; v + 1 < n; ++v) append_edge(edges, v, v + 1);
+  edges += ']';
+  return edges;
+}
+
+std::string cycle_edges(int n) {
+  std::string edges = "[";
+  for (int v = 0; v < n; ++v) append_edge(edges, v, (v + 1) % n);
+  edges += ']';
+  return edges;
+}
+
+std::string graph_json(int n, const std::string& edges) {
+  return R"({"n": )" + std::to_string(n) + R"(, "edges": )" + edges + "}";
+}
+
+/// The 18 distinct requests. Everything here is deterministic — the
+/// stats endpoint (whose reply embeds live counters) is deliberately
+/// absent from the mix.
+std::vector<std::string> distinct_requests() {
+  std::vector<std::string> reqs;
+  // 6 run/degree-parity on paths, 2 run/odd-odd.
+  for (int n = 2; n <= 7; ++n) {
+    reqs.push_back(R"({"op": "run", "machine": "degree-parity", "graph": )" +
+                   graph_json(n, path_edges(n)) + "}");
+  }
+  for (int n = 3; n <= 4; ++n) {
+    reqs.push_back(R"({"op": "run", "machine": "odd-odd", "graph": )" +
+                   graph_json(n, path_edges(n)) + "}");
+  }
+  // 4 modelcheck on cycles under the weakest variant.
+  for (int n = 3; n <= 6; ++n) {
+    reqs.push_back(
+        R"({"op": "modelcheck", "formula": "<*,*> q2", "model": )"
+        R"({"variant": "--", "graph": )" +
+        graph_json(n, cycle_edges(n)) + "}}");
+  }
+  // 4 canon on cycles.
+  for (int n = 4; n <= 7; ++n) {
+    reqs.push_back(R"({"op": "canon", "kind": "graph", "graph": )" +
+                   graph_json(n, cycle_edges(n)) + "}");
+  }
+  // 2 classify (the heavy endpoint) on small paths.
+  for (int n = 2; n <= 3; ++n) {
+    reqs.push_back(R"({"op": "classify", "problem": "degree-parity", )"
+                   R"("graph": )" +
+                   graph_json(n, path_edges(n)) + "}");
+  }
+  return reqs;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = std::max(1, benchutil::parse_threads(argc, argv));
+  const std::vector<std::string> distinct = distinct_requests();
+  constexpr int kTotal = 420;
+  const int kDistinct = static_cast<int>(distinct.size());
+
+  serve::Service service;
+  std::vector<std::string> replies(kTotal);
+
+  benchutil::Timer total;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  for (int c = 0; c < threads; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = c; i < kTotal; i += threads) {
+        replies[static_cast<std::size_t>(i)] =
+            service.handle_line(distinct[static_cast<std::size_t>(i) %
+                                         static_cast<std::size_t>(kDistinct)]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall = total.ms();
+
+  // Every repeat of a key must be byte-identical to its first serving —
+  // whether it came from the cache, a single-flight wait, or (for the
+  // first requester) the compute itself.
+  int mismatches = 0;
+  for (int i = kDistinct; i < kTotal; ++i) {
+    if (replies[static_cast<std::size_t>(i)] !=
+        replies[static_cast<std::size_t>(i % kDistinct)]) {
+      ++mismatches;
+    }
+  }
+
+  std::printf("serve mix: %d requests over %d distinct keys\n", kTotal,
+              kDistinct);
+  for (int k = 0; k < kDistinct; ++k) {
+    const auto& reply = replies[static_cast<std::size_t>(k)];
+    const serve::Json j = serve::parse_json(reply);
+    std::printf("reply %2d  op=%-10s  len=%4zu  fnv=%016llx\n", k,
+                j.find("op")->as_string().c_str(), reply.size(),
+                static_cast<unsigned long long>(fnv1a(reply)));
+  }
+  std::printf("repeat mismatches: %d\n", mismatches);
+
+  const serve::MemoCache::Stats st = service.cache().stats();
+  std::printf("cache: hits=%llu misses=%llu evictions=%llu bypasses=%llu\n",
+              static_cast<unsigned long long>(st.hits),
+              static_cast<unsigned long long>(st.misses),
+              static_cast<unsigned long long>(st.evictions),
+              static_cast<unsigned long long>(st.bypasses));
+  const double hit_rate =
+      100.0 * static_cast<double>(st.hits) /
+      static_cast<double>(st.hits + st.misses);
+  std::printf("hit rate: %.1f%%\n", hit_rate);
+  if (mismatches != 0 || st.misses != static_cast<std::uint64_t>(kDistinct) ||
+      st.hits != static_cast<std::uint64_t>(kTotal - kDistinct)) {
+    std::printf("FAIL: single-flight closed form violated\n");
+    return 1;
+  }
+
+  const double rps = wall > 0 ? 1000.0 * kTotal / wall : 0;
+  benchutil::report_phase("serve load", wall, kTotal);
+  benchutil::write_bench_json("serve", kTotal, threads, wall, rps);
+  return 0;
+}

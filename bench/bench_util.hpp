@@ -66,19 +66,10 @@ inline void report_phase(const char* label, double ms, std::size_t items = 0) {
 }
 
 /// Serialises one counter-snapshot kind as a JSON object body.
+/// (Thin alias — the implementation moved to obs::counters_json so the
+/// serve stats endpoint and the benches emit the identical encoding.)
 inline std::string metrics_json(wm::obs::CounterKind kind) {
-  std::string out = "{";
-  bool first = true;
-  for (const auto& [name, value] : wm::obs::registry().snapshot(kind)) {
-    if (!first) out += ", ";
-    first = false;
-    out += '"';
-    out += name;
-    out += "\": ";
-    out += std::to_string(value);
-  }
-  out += "}";
-  return out;
+  return wm::obs::counters_json(kind);
 }
 
 /// Writes BENCH_<name>.json in the working directory: the cross-PR perf

@@ -6,12 +6,13 @@
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 #include "util/visitor.hpp"
 
 namespace wm {
 
 ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
-                            ThreadPool* pool) {
+                            ThreadPool* pool, const CancelToken* cancel) {
   WM_TRACE_SCOPE("solvability.instance");
   WM_TIME_SCOPE("solvability.instance");
   WM_COUNT(solvability.instances);
@@ -53,6 +54,7 @@ ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
     std::uint64_t scanned = 0;
     for_each_output(problem, g, [&](const std::vector<int>& out) {
       ++scanned;
+      if ((scanned & 1023) == 0) poll_cancel(cancel);
       if (problem.valid(g, out)) {
         if (unique) {
           throw std::invalid_argument(
@@ -75,7 +77,8 @@ ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
 
 SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
                                       ProblemClass c, int delta,
-                                      int max_rounds, ThreadPool* pool) {
+                                      int max_rounds, ThreadPool* pool,
+                                      const CancelToken* cancel) {
   WM_TRACE_SCOPE("solvability.analyse");
   WM_TIME_SCOPE("solvability.analyse");
   WM_COUNT(solvability.analyses);
@@ -95,6 +98,7 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
   }
 
   auto partition_at = [&](int t) {
+    poll_cancel(cancel);
     return graded ? coarsest_graded_bisimulation(joint, t)
                   : coarsest_bisimulation(joint, t);
   };

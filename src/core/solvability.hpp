@@ -21,6 +21,7 @@
 
 namespace wm {
 
+class CancelToken;
 class ThreadPool;
 
 struct ScopedInstance {
@@ -48,10 +49,17 @@ struct SolvabilityReport {
 /// exactly as the sequential loop does) are scanned with
 /// parallel_find_first — min_rounds and fixpoint_rounds are lowest
 /// witnesses, so the report is identical at any thread count.
+///
+/// `cancel` (util/cancel.hpp) is polled once per per-round-bound
+/// refinement; an expired token aborts with CancelledError. Sequential
+/// callers only — the parallel scans run the refinements inside
+/// speculative predicates whose exception contract already covers
+/// cancellation, but the serving layer always calls this pool-less.
 SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
                                       ProblemClass c, int delta,
                                       int max_rounds = 64,
-                                      ThreadPool* pool = nullptr);
+                                      ThreadPool* pool = nullptr,
+                                      const CancelToken* cancel = nullptr);
 
 /// Builds a scope from graphs: instances get the given numberings and
 /// targets from a uniquely-solvable problem's solution (computed by
@@ -60,7 +68,9 @@ SolvabilityReport analyse_solvability(const std::vector<ScopedInstance>& scope,
 /// With a pool the |Y|^n output scan runs as a chunk-ordered parallel
 /// reduction (lowest valid index + validity count), so the instance —
 /// and the thrown diagnostics — match the sequential scan exactly.
+/// `cancel` is polled every 1024 outputs in the sequential scan.
 ScopedInstance instance_for(const Problem& problem, PortNumbering numbering,
-                            ThreadPool* pool = nullptr);
+                            ThreadPool* pool = nullptr,
+                            const CancelToken* cancel = nullptr);
 
 }  // namespace wm

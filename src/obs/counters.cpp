@@ -45,4 +45,19 @@ void Registry::reset() {
   for (auto& [name, counter] : counters_) counter->reset();
 }
 
+std::string counters_json(CounterKind kind) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : registry().snapshot(kind)) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace wm::obs

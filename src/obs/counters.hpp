@@ -115,6 +115,11 @@ class Registry {
 
 inline Registry& registry() { return Registry::instance(); }
 
+/// Serialises the registry's snapshot of `kind` as a JSON object body,
+/// names sorted: {"engine.rounds": 42, ...}. Shared by the bench JSON
+/// summaries (bench_util.hpp) and the serve stats endpoint.
+std::string counters_json(CounterKind kind);
+
 }  // namespace wm::obs
 
 #if !defined(WM_OBS_DISABLED)

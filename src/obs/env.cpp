@@ -1,5 +1,7 @@
 #include "obs/env.hpp"
 
+#include <mutex>
+
 #include "obs/manifest.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -7,9 +9,18 @@
 namespace wm::obs {
 
 void init_from_env() {
-  mark_process_start();
-  trace_init_from_env();
-  progress_init_from_env();
+  // Explicitly once: the constituents each guard themselves, but a
+  // binary that calls both init_from_env() and benchutil::parse_threads
+  // (which calls it again) must not re-arm anything — in particular it
+  // must not launch a second heartbeat thread or re-stamp the manifest
+  // start clock. One guard here keeps that property independent of how
+  // the constituents evolve.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    mark_process_start();
+    trace_init_from_env();
+    progress_init_from_env();
+  });
 }
 
 }  // namespace wm::obs

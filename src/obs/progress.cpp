@@ -24,6 +24,7 @@ struct ProgressState {
 };
 
 std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_launches{0};
 
 ProgressState& state() {
   // Leaked: ProgressTask destructors may run during static destruction.
@@ -110,7 +111,12 @@ void progress_start(double interval_secs) {
   if (s.running) return;
   s.running = true;
   g_enabled.store(true, std::memory_order_relaxed);
+  g_launches.fetch_add(1, std::memory_order_relaxed);
   s.heartbeat = std::thread(heartbeat_loop, interval_secs);
+}
+
+std::uint64_t progress_heartbeat_launches() noexcept {
+  return g_launches.load(std::memory_order_relaxed);
 }
 
 void progress_stop() {

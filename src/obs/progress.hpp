@@ -48,6 +48,11 @@ void progress_stop();
 /// entirely silent — when the variable is unset. Idempotent.
 void progress_init_from_env();
 
+/// How many heartbeat threads this process has ever launched.
+/// Introspection for the init-idempotence regression tests: repeated
+/// init_from_env()/progress_start() calls must not grow this past 1.
+std::uint64_t progress_heartbeat_launches() noexcept;
+
 /// One live search: registers under `name` with an expected candidate
 /// count (`total` 0 = unknown; the heartbeat then omits ETA). Workers
 /// call tick(); destruction unregisters and, when a heartbeat thread is
@@ -85,6 +90,7 @@ inline bool progress_enabled() noexcept { return false; }
 inline void progress_start(double) {}
 inline void progress_stop() {}
 inline void progress_init_from_env() {}
+inline std::uint64_t progress_heartbeat_launches() noexcept { return 0; }
 
 class ProgressTask {
  public:

@@ -8,6 +8,7 @@
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 
 namespace wm {
 
@@ -125,6 +126,7 @@ ExecutionResult execute_with_states(const StateMachine& m,
 
   int t = 0;
   while (!all_stopped()) {
+    poll_cancel(options.cancel);
     if (t >= options.max_rounds) {
       result.stopped = false;
       result.rounds = t;

@@ -21,11 +21,17 @@
 
 namespace wm {
 
+class CancelToken;
+
 struct ExecutionOptions {
   /// Abort (stopped = false) if not all nodes reached Y by this round.
   int max_rounds = 100000;
   /// Record x_t for every t (trace[t][v]); costs memory.
   bool record_trace = false;
+  /// Optional cooperative cancellation (util/cancel.hpp): polled once per
+  /// round; an expired token makes execute throw CancelledError. The
+  /// serving layer uses this to enforce per-request deadlines.
+  const CancelToken* cancel = nullptr;
 };
 
 struct MessageStats {

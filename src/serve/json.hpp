@@ -1,0 +1,88 @@
+// Minimal JSON for the wm_serve wire protocol.
+//
+// The daemon speaks newline-delimited JSON (one object per line each
+// way), so all it needs is a strict RFC 8259 reader into a small value
+// tree plus escape helpers for the hand-composed replies. Replies are
+// NOT serialised through this tree: the protocol layer writes them
+// field-by-field in a fixed order with the repo-wide `", "` / `": "`
+// separator style (obs/manifest.cpp), which is what makes the golden
+// tests byte-exact. No external dependency, by design — the container
+// bakes in nothing beyond the toolchain.
+//
+// Deliberate strictness (malformed input is an error reply, never UB):
+// depth-bounded recursion, no trailing garbage, no NaN/Inf, \uXXXX
+// escapes decoded to UTF-8 (surrogate pairs included), integers kept
+// exact when they fit a long long.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wm::serve {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_number() const { return kind_ == Kind::Int || kind_ == Kind::Double; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  long long as_int() const { return int_; }
+  double as_double() const {
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Member lookup (first match); nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  static Json null();
+  static Json boolean(bool b);
+  static Json integer(long long i);
+  static Json number(double d);
+  static Json string(std::string s);
+  static Json array(std::vector<Json> items);
+  static Json object(std::vector<std::pair<std::string, Json>> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Strict parse of exactly one JSON value (leading/trailing whitespace
+/// allowed, nothing else). Throws JsonError with a position-bearing
+/// message on malformed input or nesting deeper than `max_depth`.
+Json parse_json(std::string_view text, int max_depth = 64);
+
+/// Appends `text` as a quoted JSON string (escapes ", \, control chars).
+void append_json_quoted(std::string& out, std::string_view text);
+
+/// `text` as a quoted JSON string.
+std::string json_quoted(std::string_view text);
+
+}  // namespace wm::serve

@@ -1,0 +1,135 @@
+// The wm_serve request protocol: newline-delimited JSON, one object per
+// line each way.
+//
+// Request envelope (any endpoint):
+//
+//   {"op": "<endpoint>", "id": <int|string, optional, echoed>,
+//    "timeout_ms": <int, optional>, ...endpoint fields...}
+//
+// Reply envelope, exactly one line, fields always in this order:
+//
+//   {"ok": true[, "id": ...], "op": "<endpoint>", "result": {...}}
+//   {"ok": false[, "id": ...], "op": <endpoint|null>,
+//    "error": {"code": "<code>", "message": "..."}}
+//
+// Error codes: parse_error, oversized, bad_request, unknown_op,
+// unknown_problem, unknown_machine, bad_formula, unsupported, deadline,
+// internal. Malformed input of any shape gets a structured error reply,
+// never a crash or a dropped connection (the transport closes only when
+// a line exceeds the size bound with no newline in sight — there is no
+// way to resynchronise a stream without line boundaries).
+//
+// Endpoints (field details in README.md "Serving"):
+//
+//   classify    problem name + graph + port numbering -> per-class
+//               solvability vector (min_rounds across SB..VVc)
+//   modelcheck  formula + Kripke model (explicit or K_{a,b}(G,p)) ->
+//               denotation bits per state
+//   run         machine name + graph + port numbering -> outputs,
+//               rounds, message stats
+//   canon       graph / pn / kripke -> canonical certificate hash +
+//               canonical labelling
+//   stats       -> counters + latency histograms + cache stats + run
+//               manifest
+//
+// Results are answered through the canonical-certificate memo-cache;
+// DESIGN.md "Serving and the memo-cache" gives the soundness argument
+// for sharing blobs across clients (results are stored in canonical
+// coordinates and transported back through each querying structure's
+// own canonical labelling).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "logic/formula.hpp"
+#include "logic/kripke.hpp"
+#include "port/port_numbering.hpp"
+#include "serve/memo_cache.hpp"
+
+namespace wm::serve {
+
+// --- Typed requests (the wire layer parses into these) ----------------------
+
+struct ClassifyRequest {
+  std::string problem;      // catalogue name, e.g. "odd-odd-neighbours"
+  PortNumbering numbering;  // carries its graph
+  int max_rounds = 8;       // per-class refinement cap (1..64)
+};
+
+struct ModelcheckRequest {
+  Formula formula;
+  KripkeModel model;
+};
+
+struct RunRequest {
+  std::string machine;  // algorithm-catalogue name, e.g. "odd-odd"
+  PortNumbering numbering;
+  int max_rounds = 1000;
+};
+
+struct CanonRequest {
+  std::string kind;  // "graph" | "pn" | "kripke"
+  // Exactly one of these is meaningful, per `kind`.
+  Graph graph;
+  PortNumbering numbering;
+  KripkeModel kripke;
+  /// Deterministic normalised encoding of the input — the cache key
+  /// material (computing the certificate IS this endpoint's work, so
+  /// its cache is exact-repeat rather than isomorphism-closed).
+  std::string input_encoding;
+};
+
+struct StatsRequest {};
+
+struct Request {
+  std::string op;
+  /// The "id" field re-serialised for echoing ("" = absent).
+  std::string id_echo;
+  int timeout_ms = 0;  // 0 = no deadline
+  std::variant<std::monostate, ClassifyRequest, ModelcheckRequest, RunRequest,
+               CanonRequest, StatsRequest>
+      payload;
+};
+
+// --- The service ------------------------------------------------------------
+
+struct ServiceConfig {
+  /// Memo-cache bound on live entries (across all shards).
+  std::size_t cache_capacity = 4096;
+  /// 0 = MemoCache's default; tests pass 1 for deterministic eviction.
+  int cache_shards = 0;
+  /// Hard bound on one request line (bytes, newline excluded).
+  std::size_t max_request_bytes = 1 << 20;
+  /// Applied when a request carries no timeout_ms of its own; 0 = none.
+  int default_timeout_ms = 0;
+  /// Executor count reported by the stats endpoint's manifest.
+  int threads = 1;
+};
+
+/// The transport-independent core of wm_serve: one request line in, one
+/// reply line out (newline excluded both ways). Thread-safe — the
+/// memo-cache synchronises internally and every library call underneath
+/// is a pure observer, so connection handlers and pool workers may call
+/// handle_line concurrently.
+class Service {
+ public:
+  explicit Service(const ServiceConfig& cfg = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Never throws in response to request content: malformed input of
+  /// any kind becomes an {"ok": false, ...} reply.
+  std::string handle_line(std::string_view line);
+
+  MemoCache& cache() { return cache_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  ServiceConfig cfg_;
+  MemoCache cache_;
+};
+
+}  // namespace wm::serve

@@ -1,0 +1,89 @@
+// The transport shell around serve::Service: a TCP listener speaking
+// newline-delimited JSON, one reply line per request line.
+//
+// Threading model — deliberately boring:
+//
+//  - one *accept thread* poll()ing the listen socket alongside a
+//    self-pipe (the wakeup channel for request_stop, which is the only
+//    async-signal-safe way to interrupt poll from a SIGTERM handler);
+//  - one *connection thread* per accepted socket, reading lines and
+//    answering them. Request execution is either inline on that thread
+//    or submitted to the shared ThreadPool (config.threads > 1) so a
+//    slow classify on one connection cannot starve the others. The
+//    pool is never used with a single executor — ThreadPool tasks do
+//    not run on the submitting thread, so submit-and-wait from the only
+//    executor would deadlock.
+//
+// Shutdown ("drain"): request_stop() closes the listen socket (no new
+// connections), then each connection thread finishes the requests whose
+// bytes it has already received — complete lines in its buffer plus a
+// short linger for a final partially-received line — writes the replies
+// and closes. wait() joins everything. In-flight requests are never
+// abandoned; this is what the SIGTERM path of tools/wm_serve.cpp and
+// the drain test in tests/test_serve_parallel.cpp pin down.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace wm {
+class ThreadPool;
+}  // namespace wm
+
+namespace wm::serve {
+
+struct ServerConfig {
+  /// Port to bind on 127.0.0.1; 0 = ephemeral (read back via port()).
+  int port = 0;
+  ServiceConfig service;
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws std::runtime_error on bind failure.
+  explicit Server(const ServerConfig& cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves ephemeral port 0 at construction).
+  int port() const { return port_; }
+
+  Service& service() { return service_; }
+
+  /// Starts the accept thread. Call once.
+  void start();
+
+  /// Initiates drain: stop accepting, let every connection finish the
+  /// requests it has already received, then close. Idempotent,
+  /// thread-safe, returns without waiting — the SIGTERM path calls this
+  /// from a watcher thread. wait() observes completion.
+  void request_stop();
+
+  /// Joins the accept thread and every connection thread. Returns once
+  /// all replies are written and all sockets are closed.
+  void wait();
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+
+  ServerConfig cfg_;
+  Service service_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::unique_ptr<ThreadPool> pool_;  // nullptr when service.threads <= 1
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;  // guarded by conn_mu_
+};
+
+}  // namespace wm::serve

@@ -1,0 +1,77 @@
+// Cooperative cancellation for long-running drivers.
+//
+// The serving layer (src/serve) admits requests with per-request
+// deadlines; the paper's decision procedures can run for seconds on
+// adversarial inputs, so every search driver a request can reach
+// accepts an optional `const CancelToken*` and polls it at its natural
+// round/iteration boundary. Cancellation is cooperative and exception
+// based: `check()` throws CancelledError, which unwinds through the
+// driver (the parallel helpers rethrow it in the calling thread after
+// draining workers) and is mapped to a structured "deadline" error
+// reply by the protocol layer.
+//
+// A token is armed either by an explicit `request_cancel()` (shutdown
+// paths) or by an absolute steady-clock deadline (per-request budgets).
+// `cancelled()` is safe from any thread; the deadline comparison is a
+// clock read, so polling belongs at round granularity, not inside
+// per-node inner loops.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace wm {
+
+/// Thrown by CancelToken::check(); derives from runtime_error so
+/// drivers that funnel everything through std::exception still
+/// propagate it intact.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("cancelled: deadline exceeded") {}
+};
+
+class CancelToken {
+ public:
+  /// Never cancels on its own; request_cancel() arms it.
+  CancelToken() = default;
+
+  /// Cancels automatically once `deadline` passes.
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  /// Convenience: a token expiring `ms` milliseconds from now.
+  static CancelToken after_ms(long long ms) {
+    return CancelToken(std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms));
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void request_cancel() noexcept {
+    flag_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const noexcept {
+    if (flag_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Throws CancelledError if cancelled; the drivers' polling point.
+  void check() const {
+    if (cancelled()) throw CancelledError();
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+  const bool has_deadline_ = false;
+  const std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Null-safe polling helper for drivers taking `const CancelToken*`.
+inline void poll_cancel(const CancelToken* token) {
+  if (token != nullptr) token->check();
+}
+
+}  // namespace wm

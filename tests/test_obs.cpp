@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -18,6 +19,7 @@
 #include "graph/enumerate.hpp"
 #include "graph/generators.hpp"
 #include "logic/kripke.hpp"
+#include "obs/env.hpp"
 #include "obs/histogram.hpp"
 #include "obs/manifest.hpp"
 #include "obs/progress.hpp"
@@ -476,6 +478,59 @@ TEST(ObsDeterminism, IsoFreeEnumerationWorkInvariantAcrossThreadCounts) {
     });
     EXPECT_GT(reps, 0u);
   });
+}
+
+// --- Init idempotence ------------------------------------------------------
+// The footgun: a binary calling obs::init_from_env() itself AND using
+// benchutil::parse_threads (which also calls it) used to depend on every
+// constituent guarding itself. These pin the contract directly: however
+// many times init runs, at most one heartbeat thread is ever launched.
+
+TEST(ObsInit, RepeatedInitArmsAtMostOneHeartbeat) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  // gtest runs this in its own process (gtest_discover_tests), so
+  // setting the env var and calling init twice models the
+  // double-initialising binary exactly.
+  ::setenv("WM_PROGRESS", "30", /*overwrite=*/1);
+  const std::uint64_t before = obs::progress_heartbeat_launches();
+  obs::init_from_env();
+  obs::init_from_env();  // e.g. main() + benchutil::parse_threads
+  const std::uint64_t after = obs::progress_heartbeat_launches();
+  EXPECT_LE(after - before, 1u)
+      << "double init_from_env launched a second heartbeat thread";
+  obs::progress_stop();
+  ::unsetenv("WM_PROGRESS");
+#endif
+}
+
+TEST(ObsInit, RepeatedProgressStartLaunchesExactlyOnce) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  const std::uint64_t before = obs::progress_heartbeat_launches();
+  obs::progress_start(30.0);
+  obs::progress_start(30.0);  // second call must be a no-op
+  obs::progress_start(30.0);
+  const std::uint64_t after = obs::progress_heartbeat_launches();
+  EXPECT_EQ(after - before, 1u);
+  obs::progress_stop();
+#endif
+}
+
+TEST(ObsInit, CountersJsonMatchesRegistrySnapshot) {
+  obs::registry().counter("obstest.json.alpha", CounterKind::kWork).add(3);
+  obs::registry().counter("obstest.json.beta", CounterKind::kWork).add(5);
+  const std::string json = obs::counters_json(CounterKind::kWork);
+  EXPECT_NE(json.find("\"obstest.json.alpha\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"obstest.json.beta\": 5"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Info counters stay out of the work snapshot.
+  obs::registry().counter("obstest.json.info", CounterKind::kInfo).add(1);
+  EXPECT_EQ(obs::counters_json(CounterKind::kWork).find("obstest.json.info"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Ten-second end-to-end smoke for the wm_serve daemon (CI step).
+
+Starts the daemon on an ephemeral port, sends one request per endpoint
+plus a malformed line, checks the replies, then SIGTERMs and verifies
+the drain exits cleanly within the deadline.
+
+usage: serve_smoke.py path/to/wm_serve
+"""
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+DEADLINE = 10.0
+
+
+def fail(msg):
+    print("serve_smoke: FAIL:", msg)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: serve_smoke.py path/to/wm_serve")
+    start = time.monotonic()
+    proc = subprocess.Popen(
+        [sys.argv[1], "--port", "0", "--print-port"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        if not line.startswith("port "):
+            fail("no port line from daemon: %r" % line)
+        port = int(line.split()[1])
+
+        sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+        f = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+        def ask(obj_or_text):
+            text = (
+                obj_or_text
+                if isinstance(obj_or_text, str)
+                else json.dumps(obj_or_text)
+            )
+            f.write(text + "\n")
+            f.flush()
+            reply = f.readline()
+            if not reply:
+                fail("connection closed answering %r" % text)
+            return json.loads(reply)
+
+        g = {"n": 4, "edges": [[0, 1], [1, 2], [2, 3], [3, 0]]}
+
+        r = ask({"op": "run", "machine": "degree-parity", "graph": g})
+        if not r["ok"] or r["result"]["outputs"] != [0, 0, 0, 0]:
+            fail("run: %r" % r)
+
+        r = ask(
+            {
+                "op": "modelcheck",
+                "formula": "<*,*> T",
+                "model": {"graph": g, "variant": "--"},
+            }
+        )
+        if not r["ok"] or r["result"]["count"] != 4:
+            fail("modelcheck: %r" % r)
+
+        r = ask({"op": "canon", "kind": "graph", "graph": g})
+        if not r["ok"] or len(r["result"]["hash"]) != 16:
+            fail("canon: %r" % r)
+
+        r = ask(
+            {
+                "op": "classify",
+                "problem": "degree-parity",
+                "graph": {"n": 3, "edges": [[0, 1], [1, 2]]},
+            }
+        )
+        if not r["ok"] or len(r["result"]["classes"]) != 7:
+            fail("classify: %r" % r)
+
+        r = ask("{not json")
+        if r["ok"] or r["error"]["code"] != "parse_error":
+            fail("malformed line: %r" % r)
+
+        r = ask({"op": "stats"})
+        if not r["ok"] or r["result"]["cache"]["misses"] < 4:
+            fail("stats: %r" % r)
+
+        sock.close()
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=max(0.1, DEADLINE - (time.monotonic() - start)))
+        if rc != 0:
+            fail("daemon exited %d after SIGTERM" % rc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    print("serve_smoke: OK (%.1fs)" % (time.monotonic() - start))
+
+
+if __name__ == "__main__":
+    main()
