@@ -1,0 +1,134 @@
+// Streaming-census bench: the disk-backed store end to end.
+//
+// Runs the n=6 graph census (all + connected) through
+// store::run_census with a deliberately small spill threshold, so one
+// bench run exercises the whole machinery: batched dedup_stream scans,
+// front seals, segment compaction, checkpoint commits, and a
+// pause/resume sequence that must reproduce the uninterrupted totals
+// exactly. Class counts are pinned to OEIS (A000088(6) = 156,
+// A001349(6) = 112) — a store bug cannot hide behind a perf number.
+//
+// Determinism: batch size, checkpoint cadence and spill threshold are
+// fixed, and the store's merge step is sequential, so every stdout
+// line — classes, admissible, segments, generations — is byte-identical
+// at any --threads setting; the CI smoke loop diffs exactly that.
+// Throughput (masks/sec) goes to stderr and BENCH_census.json.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.hpp"
+#include "graph/enumerate.hpp"
+#include "store/census.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace wm;
+
+constexpr std::uint64_t kExpected[2] = {156, 112};  // A000088(6), A001349(6)
+
+store::CensusOptions base_options(const std::string& tag) {
+  store::CensusOptions opts;
+  opts.batch = 2048;
+  opts.checkpoint_every = 4;
+  opts.store.spill_threshold = 64;     // force seals mid-census
+  opts.store.compact_min_segments = 4; // ...and compactions
+  opts.checkpoint_path = "bench_census_state/" + tag + ".checkpoint";
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = benchutil::parse_threads(argc, argv);
+  ThreadPool pool(threads);
+  const benchutil::Timer total;
+
+  std::printf("=== Streaming census through the disk-backed store ===\n\n");
+  std::printf("n=6, batch=2048, checkpoint every 4 batches, spill at 64\n\n");
+  std::printf("%-16s %-8s %-12s %-9s %-10s %-8s\n", "family", "classes",
+              "admissible", "segments", "generation", "resumed");
+
+  std::filesystem::remove_all("bench_census_state");
+  std::filesystem::create_directories("bench_census_state");
+
+  std::uint64_t masks_scanned = 0;
+  double scan_ms = 0;
+  int family = 0;
+  for (const bool connected : {false, true}) {
+    EnumerateOptions eopts;
+    eopts.connected_only = connected;
+    const store::CensusSpace space = graph_census_space(6, eopts);
+    const std::string tag = connected ? "conn" : "all";
+
+    // Cold uninterrupted run.
+    const benchutil::Timer timer;
+    store::CensusOptions opts = base_options(tag);
+    const store::CensusResult cold =
+        store::run_census(space, "bench_census_state/store_" + tag, &pool,
+                          opts);
+    scan_ms += timer.ms();
+    masks_scanned += cold.scanned;
+    std::printf("%-16s %-8llu %-12llu %-9llu %-10llu %-8s\n",
+                space.kind.c_str(),
+                static_cast<unsigned long long>(cold.classes),
+                static_cast<unsigned long long>(cold.admissible),
+                static_cast<unsigned long long>(cold.store.segments),
+                static_cast<unsigned long long>(cold.store.generation),
+                cold.resumed ? "yes" : "no");
+    if (!cold.complete || cold.classes != kExpected[family]) {
+      std::printf("PIN MISMATCH: expected %llu classes\n",
+                  static_cast<unsigned long long>(kExpected[family]));
+      return 1;
+    }
+
+    // Warm resume of a complete census: no work, same totals.
+    opts.resume = true;
+    const store::CensusResult warm =
+        store::run_census(space, "bench_census_state/store_" + tag, &pool,
+                          opts);
+    if (!warm.resumed || warm.classes != cold.classes ||
+        warm.scanned != cold.scanned || warm.admissible != cold.admissible) {
+      std::printf("WARM RESUME MISMATCH on %s\n", space.kind.c_str());
+      return 1;
+    }
+
+    // Paused-and-resumed from scratch: totals must equal the cold run's.
+    store::CensusOptions chunked = base_options(tag + "_chunk");
+    chunked.max_batches = 3;
+    store::CensusResult chunk;
+    do {
+      chunk = store::run_census(space, "bench_census_state/store_" + tag +
+                                           "_chunk",
+                                &pool, chunked);
+      chunked.resume = true;
+    } while (!chunk.complete);
+    if (chunk.classes != cold.classes || chunk.scanned != cold.scanned ||
+        chunk.admissible != cold.admissible ||
+        chunk.batches != cold.batches) {
+      std::printf("PAUSE/RESUME MISMATCH on %s\n", space.kind.c_str());
+      return 1;
+    }
+    std::printf("%-16s pause/resume over %llu checkpoints: identical\n",
+                space.kind.c_str(),
+                static_cast<unsigned long long>(chunk.checkpoints));
+    ++family;
+  }
+
+  std::printf("\nShape checks: class counts pinned to A000088/A001349;\n");
+  std::printf("warm resume is a no-op; pause/resume totals match the\n");
+  std::printf("uninterrupted run exactly.\n");
+
+  benchutil::report_phase("census.scan", scan_ms,
+                          static_cast<std::size_t>(masks_scanned));
+  const double wall = total.ms();
+  benchutil::report_phase("total", wall);
+  benchutil::write_bench_json(
+      "census", 6, threads, wall,
+      scan_ms > 0 ? 1000.0 * static_cast<double>(masks_scanned) / scan_ms
+                  : 0);
+  std::filesystem::remove_all("bench_census_state");
+  return 0;
+}

@@ -160,6 +160,68 @@ std::size_t enumerate_graphs_modulo_iso_parallel(
       [](const Graph& g) { return canonical_certificate(g); }, fn);
 }
 
+std::string graph_census_kind(int n, const EnumerateOptions& opts) {
+  std::string kind = opts.connected_only ? "graph-conn-n" : "graph-all-n";
+  kind += std::to_string(n);
+  if (opts.min_degree > 0) kind += "-dmin" + std::to_string(opts.min_degree);
+  if (opts.max_degree >= 0) kind += "-dmax" + std::to_string(opts.max_degree);
+  return kind;
+}
+
+store::CensusSpace graph_census_space(int n, const EnumerateOptions& opts) {
+  store::CensusSpace space;
+  space.kind = graph_census_kind(n, opts);
+  const std::vector<Edge> all_edges = all_possible_edges(n);
+  space.count = 1ULL << all_edges.size();
+  space.classify = [n, opts, all_edges](std::uint64_t mask)
+      -> std::optional<std::string> {
+    const Graph g = graph_from_mask(n, all_edges, mask);
+    if (!admissible(g, opts)) return std::nullopt;
+    return canonical_certificate(g);
+  };
+  return space;
+}
+
+Graph graph_from_census_index(int n, std::uint64_t mask) {
+  return graph_from_mask(n, all_possible_edges(n), mask);
+}
+
+std::size_t enumerate_graphs_modulo_iso_stream(
+    int n, const EnumerateOptions& opts, ThreadPool* pool,
+    std::uint64_t batch,
+    const std::function<bool(const std::string&, std::uint64_t)>& sink,
+    const std::function<bool(const Graph&)>& fn) {
+  WM_TIME_SCOPE("enumerate.scan");
+  const std::vector<Edge> all_edges = all_possible_edges(n);
+  const std::size_t m = all_edges.size();
+  const std::uint64_t space = 1ULL << m;
+  if (batch == 0) batch = space;
+  obs::ProgressTask progress("enumerate.scan", space);
+  ParallelVisitor visitor(pool);
+  std::size_t streamed = 0;
+  bool stop = false;
+  for (std::uint64_t lo = 0; lo < space && !stop; lo += batch) {
+    const std::uint64_t hi = std::min(space, lo + batch);
+    visitor.dedup_stream<std::string>(
+        lo, hi,
+        [&](std::uint64_t mask, auto&& emit) {
+          progress.tick();
+          const Graph g = graph_from_mask(n, all_edges, mask);
+          if (!admissible(g, opts)) return;
+          WM_COUNT(enumerate.graphs);
+          emit(canonical_certificate(g));
+        },
+        [&](const std::string& key, std::uint64_t rep) {
+          if (!sink(key, rep)) return true;  // cross-batch duplicate
+          WM_COUNT(enumerate.emitted);
+          ++streamed;
+          if (!fn(graph_from_mask(n, all_edges, rep))) stop = true;
+          return !stop;
+        });
+  }
+  return streamed;
+}
+
 std::size_t enumerate_graphs_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
     const std::function<bool(const Graph&, int worker)>& fn) {

@@ -10,10 +10,13 @@
 // number of candidate edge sets.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "store/census.hpp"
 
 namespace wm {
 
@@ -87,6 +90,41 @@ std::size_t enumerate_graphs_modulo_iso(
 /// count; early stop halts the replay only.
 std::size_t enumerate_graphs_modulo_iso_parallel(
     int n, const EnumerateOptions& opts, ThreadPool& pool,
+    const std::function<bool(const Graph&)>& fn);
+
+/// The store/checkpoint kind tag for the census of (n, opts):
+/// "graph-all-n6", "graph-conn-n6", with "-dmin<k>"/"-dmax<k>" suffixes
+/// when degree bounds are set. Distinct option sets get distinct tags,
+/// so resuming a census with changed options is a structured error
+/// instead of a silently mixed store.
+std::string graph_census_kind(int n, const EnumerateOptions& opts);
+
+/// The edge-mask space of (n, opts) as a streaming census space for
+/// store::run_census: count = 2^(n choose 2), classify(mask) = the
+/// canonical certificate when the mask's graph is admissible, nullopt
+/// otherwise. classify is pure and thread-safe.
+store::CensusSpace graph_census_space(int n, const EnumerateOptions& opts);
+
+/// Materialises the graph a census representative index denotes (the
+/// inverse of graph_census_space's indexing).
+Graph graph_from_census_index(int n, std::uint64_t mask);
+
+/// Streaming sibling of enumerate_graphs_modulo_iso: scans the mask
+/// space in fixed `batch`-sized frontiers through dedup_stream, so peak
+/// memory is bounded by the batch's class count instead of the whole
+/// family's. Within-batch duplicates are dropped here; cross-batch dedup
+/// is delegated to `sink(cert, mask)`, which returns true iff the
+/// certificate is globally fresh (e.g. CertStore::insert_fresh, or an
+/// in-memory set in tests). Fresh representatives are materialised and
+/// streamed to `fn` in increasing mask order; fn returning false stops
+/// the whole scan at the next batch boundary. Returns the number of
+/// graphs passed to fn. With a set-backed sink this visits exactly the
+/// graphs enumerate_graphs_modulo_iso visits, in the same order, at any
+/// thread count and any batch size.
+std::size_t enumerate_graphs_modulo_iso_stream(
+    int n, const EnumerateOptions& opts, ThreadPool* pool,
+    std::uint64_t batch,
+    const std::function<bool(const std::string&, std::uint64_t)>& sink,
     const std::function<bool(const Graph&)>& fn);
 
 /// Colour-refinement (1-WL) signature: stable partition colours plus the

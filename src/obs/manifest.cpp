@@ -86,6 +86,8 @@ void mark_process_start() {
   std::call_once(g_start_once, [] { g_start = std::chrono::system_clock::now(); });
 }
 
+const char* build_git_describe() { return WM_GIT_DESCRIBE; }
+
 std::string manifest_json(int threads) {
   mark_process_start();  // fallback: start == first manifest touch
   std::string out = "{\"git\": ";

@@ -26,6 +26,12 @@ namespace wm::obs {
 /// falls back to its own first call if nothing did earlier.
 void mark_process_start();
 
+/// The `git describe` string baked in at configure time — the same value
+/// the manifest's "git" field carries. Exposed so other provenance
+/// carriers (the cert-store segment headers, census checkpoints) embed
+/// the identical string instead of shelling out at runtime.
+const char* build_git_describe();
+
 /// The manifest as a complete JSON object. `threads` is the worker
 /// count the run was configured with (the one knob the build cannot
 /// know); pass 0 for "unspecified" to omit honest guessing.

@@ -1,0 +1,95 @@
+// The streaming census driver: bounded-memory enumeration over an
+// indexed candidate space, deduplicated against the disk-backed
+// CertStore, checkpointed so a killed run resumes where it stopped.
+//
+// The space is abstract — `CensusSpace` carries a kind tag, a candidate
+// count, and a classify function mapping a candidate index to its
+// canonical certificate (nullopt = inadmissible). The graph / port
+// numbering / Kripke-model families are constructed by the callers
+// (tools/wm_census.cpp, src/graph/enumerate.cpp); this layer never sees
+// a Graph, so wm_store stays below wm_graph in the link order.
+//
+// The loop (DESIGN.md "Streaming census"):
+//
+//   for each batch [next, next+batch):
+//     ParallelVisitor::dedup_stream   — parallel scan, within-batch dedup
+//     store.insert_fresh per streamed (key, rep)
+//                                     — cross-batch dedup, sequential
+//     every `checkpoint_every` batches (and at the end / budget stop):
+//       store.seal(); store.compact_if_needed();
+//       write_checkpoint(frontier + cumulative totals + segment set);
+//       [WM_CRASH_AFTER test hook fires HERE — after commit, before purge]
+//       store.purge_unreferenced();
+//
+// Determinism: batches advance in index order with a fixed batch size,
+// dedup_stream replays (key, rep) pairs sorted by rep, and insert_fresh
+// is sequential — so classes, admissible, scanned and the store content
+// are pure functions of (space, batch size), never of thread count, and
+// an interrupted-then-resumed census equals an uninterrupted one
+// (cumulative totals ride in the checkpoint). The CI kill/resume gate
+// diffs exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "store/cert_store.hpp"
+#include "util/parallel.hpp"
+
+namespace wm::store {
+
+/// An indexed candidate space with a canonical-certificate classifier.
+struct CensusSpace {
+  std::string kind;          // e.g. "graph-all-n6" — store/checkpoint tag
+  std::uint64_t count = 0;   // candidate indices are [0, count)
+  /// Canonical certificate of candidate i, or nullopt if inadmissible.
+  /// Must be pure (same i → same bytes) and thread-safe.
+  std::function<std::optional<std::string>(std::uint64_t)> classify;
+};
+
+struct CensusOptions {
+  std::uint64_t batch = 1u << 16;   // frontier batch size (determinism knob)
+  std::uint64_t checkpoint_every = 4;  // batches per checkpoint commit
+  /// Stop (checkpoint + return complete=false) at the first batch
+  /// boundary past this wallclock budget. 0 = run to completion.
+  double budget_secs = 0.0;
+  /// Stop after this many batches *this run* (checkpointing first).
+  /// 0 = unlimited. For in-process pause/resume tests.
+  std::uint64_t max_batches = 0;
+  std::string checkpoint_path;  // required
+  /// Resume from checkpoint_path if it exists; otherwise (or when
+  /// false) wipe the store and start cold.
+  bool resume = false;
+  /// Test hook: SIGKILL this process immediately after the Nth
+  /// checkpoint commit of this run (1-based), *before* the purge —
+  /// the gnarliest crash window. 0 = disabled. Wired to the
+  /// WM_CRASH_AFTER env var by tools/wm_census.
+  std::uint64_t crash_after = 0;
+  StoreOptions store;
+};
+
+/// Cumulative census state — equal for interrupted-and-resumed vs
+/// uninterrupted runs of the same (space, batch).
+struct CensusResult {
+  std::string kind;
+  std::uint64_t space = 0;
+  std::uint64_t scanned = 0;     // candidates visited
+  std::uint64_t admissible = 0;  // candidates that produced a certificate
+  std::uint64_t classes = 0;     // distinct certificates (fresh inserts)
+  std::uint64_t batches = 0;     // batches committed
+  std::uint64_t checkpoints = 0; // checkpoint commits
+  bool complete = false;         // frontier reached the end of the space
+  bool resumed = false;          // this run started from a checkpoint
+  StoreStats store;              // store state at return
+};
+
+/// Runs (or resumes) the census of `space` against the store at
+/// `store_dir`, checkpointing to options.checkpoint_path. `pool` may be
+/// nullptr (inline scan). Throws StoreError on any store/checkpoint
+/// defect, std::invalid_argument on option misuse.
+CensusResult run_census(const CensusSpace& space, const std::string& store_dir,
+                        ThreadPool* pool, const CensusOptions& options);
+
+}  // namespace wm::store

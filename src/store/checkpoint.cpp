@@ -1,0 +1,125 @@
+#include "store/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace wm::store {
+
+namespace {
+constexpr const char* kMagic = "wm-census-checkpoint";
+}
+
+void write_checkpoint(const std::string& path, const Checkpoint& cp) {
+  std::string body;
+  body += kMagic;
+  body += " ";
+  body += std::to_string(Checkpoint::kVersion);
+  body += "\nkind ";
+  body += cp.kind;
+  body += "\nspace ";
+  body += std::to_string(cp.space);
+  body += "\nbatch ";
+  body += std::to_string(cp.batch);
+  body += "\nnext ";
+  body += std::to_string(cp.next);
+  body += "\nclasses ";
+  body += std::to_string(cp.classes);
+  body += "\nadmissible ";
+  body += std::to_string(cp.admissible);
+  body += "\nscanned ";
+  body += std::to_string(cp.scanned);
+  body += "\nbatches ";
+  body += std::to_string(cp.batches);
+  body += "\ncheckpoints ";
+  body += std::to_string(cp.checkpoints);
+  body += "\n";
+  for (const SegmentRef& ref : cp.store_segments) {
+    char crc_hex[16];
+    std::snprintf(crc_hex, sizeof crc_hex, "%08x", ref.crc);
+    body += "segment ";
+    body += ref.file;
+    body += " ";
+    body += std::to_string(ref.count);
+    body += " ";
+    body += crc_hex;
+    body += "\n";
+  }
+  // The manifest JSON is one line by construction (obs::manifest_json
+  // never emits raw newlines); keep it last so the grammar stays
+  // prefix-parseable.
+  body += "manifest ";
+  body += cp.manifest_json;
+  body += "\n";
+  write_crc_file(path, body);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  const std::string body = load_crc_file(path, "census checkpoint");
+  std::istringstream in(body);
+  std::string magic;
+  std::uint32_t version = 0;
+  if (!(in >> magic) || magic != kMagic) {
+    throw StoreError(StoreErrorCode::kBadMagic,
+                     path + ": not a census checkpoint");
+  }
+  if (!(in >> version) || version != Checkpoint::kVersion) {
+    throw StoreError(StoreErrorCode::kVersionSkew,
+                     path + ": checkpoint version " + std::to_string(version) +
+                         ", this build reads " +
+                         std::to_string(Checkpoint::kVersion));
+  }
+  Checkpoint cp;
+  std::string word;
+  bool saw_kind = false, saw_next = false;
+  while (in >> word) {
+    if (word == "kind") {
+      in >> cp.kind;
+      saw_kind = true;
+    } else if (word == "space") {
+      in >> cp.space;
+    } else if (word == "batch") {
+      in >> cp.batch;
+    } else if (word == "next") {
+      in >> cp.next;
+      saw_next = true;
+    } else if (word == "classes") {
+      in >> cp.classes;
+    } else if (word == "admissible") {
+      in >> cp.admissible;
+    } else if (word == "scanned") {
+      in >> cp.scanned;
+    } else if (word == "batches") {
+      in >> cp.batches;
+    } else if (word == "checkpoints") {
+      in >> cp.checkpoints;
+    } else if (word == "segment") {
+      SegmentRef ref;
+      std::string crc_hex;
+      if (!(in >> ref.file >> ref.count >> crc_hex)) {
+        throw StoreError(StoreErrorCode::kBadManifest,
+                         path + ": bad segment line");
+      }
+      ref.crc = static_cast<std::uint32_t>(std::stoul(crc_hex, nullptr, 16));
+      cp.store_segments.push_back(std::move(ref));
+    } else if (word == "manifest") {
+      std::getline(in, cp.manifest_json);
+      if (!cp.manifest_json.empty() && cp.manifest_json.front() == ' ') {
+        cp.manifest_json.erase(0, 1);
+      }
+    } else {
+      throw StoreError(StoreErrorCode::kBadManifest,
+                       path + ": unknown field " + word);
+    }
+  }
+  if (!saw_kind || !saw_next) {
+    throw StoreError(StoreErrorCode::kTruncated,
+                     path + ": missing required fields");
+  }
+  if (cp.next > cp.space) {
+    throw StoreError(StoreErrorCode::kBadManifest,
+                     path + ": frontier past the end of the space");
+  }
+  return cp;
+}
+
+}  // namespace wm::store

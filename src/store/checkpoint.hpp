@@ -1,0 +1,65 @@
+// Census checkpoints: the enumeration frontier + the exact store state
+// it depends on, committed atomically so a killed census resumes.
+//
+// A checkpoint is a CRC-sealed text file (same grammar helpers as the
+// store manifest) recording:
+//
+//  - which census this is (kind tag, total candidate space, batch size),
+//  - how far the scan got (`next` — first candidate index NOT yet
+//    covered by a committed batch) and the cumulative totals
+//    (representatives, admissible, scanned, batches, checkpoints) that
+//    make resumed counts equal uninterrupted ones,
+//  - the exact committed segment set of the CertStore (file, count,
+//    CRC per segment) — the store state this frontier was computed
+//    against,
+//  - the obs run manifest JSON of the writing process, embedded as one
+//    opaque provenance line.
+//
+// Commit order in the census loop is: seal store → (maybe) compact →
+// write checkpoint → purge unreferenced store files. Because the
+// checkpoint names segments by content (CRC), resume can verify it is
+// rewinding to exactly the state the checkpoint saw — a checkpoint
+// naming segments the store no longer has (or has with different bytes)
+// is a structured kCheckpointSkew, not a silently wrong census.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/cert_store.hpp"
+
+namespace wm::store {
+
+struct Checkpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::string kind;          // must match the store and the resuming run
+  std::uint64_t space = 0;   // total candidate count of the census
+  std::uint64_t batch = 0;   // batch size the frontier advanced by
+  std::uint64_t next = 0;    // first index not yet covered
+  // Cumulative results across all committed batches (this run and every
+  // run before it): these seed the resuming process so its final JSON
+  // equals an uninterrupted run's.
+  std::uint64_t classes = 0;     // representatives filed fresh
+  std::uint64_t admissible = 0;  // keys emitted (pre-dedup)
+  std::uint64_t scanned = 0;     // candidates visited
+  std::uint64_t batches = 0;     // batches committed
+  std::uint64_t checkpoints = 0; // checkpoint commits (this one included)
+  std::vector<SegmentRef> store_segments;
+  std::string manifest_json;  // writer's obs manifest, opaque provenance
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+/// Atomically writes `cp` to `path` (temp + fsync + rename, CRC-sealed).
+/// Throws StoreError(kIo) on filesystem failure.
+void write_checkpoint(const std::string& path, const Checkpoint& cp);
+
+/// Loads and validates a checkpoint. Throws StoreError with kBadMagic /
+/// kVersionSkew / kTruncated / kCrcMismatch / kBadManifest on a corrupt
+/// or incompatible file. Semantic fit against a store (segments present,
+/// kind match) is checked by CertStore::open_at / the census driver.
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace wm::store

@@ -42,6 +42,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -87,12 +88,18 @@ class LockfreeMinMap {
 
   /// Records `value` for `key`, keeping the smallest value per key.
   /// Lock-free: at most one allocation per *new* key, no mutex anywhere.
-  void insert_min(const Key& key, const Value& value) {
+  /// Returns true iff this call claimed a brand-new entry (the key was
+  /// absent from every segment this thread could see). Under concurrent
+  /// inserts of one key exactly one claimer sees true per segment the
+  /// key lands in; in sequential use it is an exact freshness test —
+  /// which is how the disk-backed cert store's memory front uses it.
+  bool insert_min(const Key& key, const Value& value) {
     inserts_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t h = hash_mix(static_cast<std::uint64_t>(Hash{}(key)));
     std::uint64_t probe_steps = 0;
     std::uint64_t cas_retries = 0;
     Entry* spare = nullptr;
+    bool fresh = false;
     Segment* seg = head_.load(std::memory_order_acquire);
     for (;;) {
       // 1) Existing entry anywhere in the chain (newest -> oldest)?
@@ -109,6 +116,7 @@ class LockfreeMinMap {
                                     probe_steps, cas_retries);
       if (claim == Claim::kInserted) {
         spare = nullptr;
+        fresh = true;
         break;
       }
       if (claim == Claim::kMerged) break;
@@ -119,6 +127,22 @@ class LockfreeMinMap {
     delete spare;
     WM_COUNT_INFO_ADD(dedup.probe_steps, probe_steps);
     if (cas_retries > 0) WM_COUNT_INFO_ADD(dedup.cas_retries, cas_retries);
+    return fresh;
+  }
+
+  /// The minimum recorded for `key` so far, or nullopt. Safe concurrently
+  /// with inserts (the returned snapshot may be stale); exact in
+  /// sequential use.
+  std::optional<Value> find(const Key& key) const {
+    const std::uint64_t h = hash_mix(static_cast<std::uint64_t>(Hash{}(key)));
+    std::uint64_t probe_steps = 0;
+    for (Segment* s = head_.load(std::memory_order_acquire); s != nullptr;
+         s = s->next) {
+      if (Entry* e = find_entry(*s, h, key, probe_steps)) {
+        return e->value.load(std::memory_order_relaxed);
+      }
+    }
+    return std::nullopt;
   }
 
   /// Number of insert_min calls so far (relaxed snapshot).
@@ -146,11 +170,13 @@ class LockfreeMinMap {
   }
 
   /// Like values(), but with the keys: (key, min value) pairs in
-  /// unspecified order. Sequential-only; emits the counters once.
-  std::vector<std::pair<Key, Value>> harvest() {
+  /// unspecified order. Sequential-only; emits the counters once unless
+  /// `emit_counters` is false (the cert store's memory front drains
+  /// through here and must not pollute the gated dedup.* totals).
+  std::vector<std::pair<Key, Value>> harvest(bool emit_counters = true) {
     std::vector<std::pair<Key, Value>> out;
     for_each_merged([&](const Key& k, Value v) { out.emplace_back(k, v); });
-    count_once(out.size());
+    if (emit_counters) count_once(out.size());
     return out;
   }
 

@@ -7,6 +7,9 @@
 //   dedup_scan   visit all candidates, keep one representative per
 //                equivalence class (lowest index), stream representatives
 //                in index order
+//   dedup_stream dedup_scan over a sub-range, streaming (key, rep) pairs
+//                so batched callers can dedup across batches (the
+//                streaming census of src/store)
 //   find_first   lowest index satisfying a predicate (early stop)
 //   for_each     independent per-index work into caller-owned slots
 //   reduce       chunk-ordered deterministic fold
@@ -114,6 +117,65 @@ class ParallelVisitor {
         if (!seen.insert(std::move(key)).second || stop) return;
         ++streamed;
         if (!consume(i)) stop = true;
+      });
+    }
+    WM_COUNT_ADD(dedup.fresh_keys, seen.size());
+    WM_COUNT_ADD(dedup.dedup_hits, inserts - seen.size());
+    return streamed;
+  }
+
+  /// Streaming sibling of dedup_scan for *batched* scans: deduplicates
+  /// the sub-range [begin, end) and streams (key, representative) pairs
+  /// — the representative is the lowest index of the key *within this
+  /// range* — to consume(key, rep) in increasing index order until
+  /// consume returns false. Returns the number of pairs streamed.
+  ///
+  /// Passing the key through lets a caller running consecutive batches
+  /// dedup across them against longer-lived state (the disk-backed
+  /// certificate store of src/store): within-batch duplicates never
+  /// leave this method, cross-batch duplicates are the caller's to
+  /// resolve. Because batches are scanned in increasing index order and
+  /// pairs replay sorted, the first batch to stream a key holds its
+  /// global minimum — the lowest-witness contract survives batching.
+  ///
+  /// Counter behaviour matches dedup_scan (dedup.fresh_keys /
+  /// dedup.dedup_hits per range scanned); totals are thread-count
+  /// invariant for a fixed batching, and the caller's batching must not
+  /// depend on thread count (every call site uses a fixed batch size).
+  template <typename Key, typename Hash = std::hash<Key>, typename Visit,
+            typename Consume>
+  std::size_t dedup_stream(std::uint64_t begin, std::uint64_t end,
+                           Visit&& visit, Consume&& consume,
+                           std::size_t expected_keys = 0) const {
+    if (pool_ != nullptr) {
+      LockfreeMinMap<Key, std::uint64_t, Hash> table(expected_keys);
+      pool_->parallel_chunks(begin, end, [&](std::uint64_t lo,
+                                             std::uint64_t hi, int) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          visit(i, [&](Key key) { table.insert_min(std::move(key), i); });
+        }
+      });
+      std::vector<std::pair<Key, std::uint64_t>> reps = table.harvest();
+      std::sort(reps.begin(), reps.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      std::size_t streamed = 0;
+      for (const auto& [key, rep] : reps) {
+        ++streamed;
+        if (!consume(key, rep)) break;
+      }
+      return streamed;
+    }
+    std::unordered_set<Key, Hash> seen;
+    std::uint64_t inserts = 0;
+    std::size_t streamed = 0;
+    bool stop = false;
+    for (std::uint64_t i = begin; i < end && !stop; ++i) {
+      visit(i, [&](Key key) {
+        ++inserts;
+        auto [it, fresh] = seen.insert(std::move(key));
+        if (!fresh || stop) return;
+        ++streamed;
+        if (!consume(*it, i)) stop = true;
       });
     }
     WM_COUNT_ADD(dedup.fresh_keys, seen.size());
