@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/window.hpp"
 #include "serve/json.hpp"
 #include "serve/memo_cache.hpp"
 #include "serve/protocol.hpp"
@@ -107,6 +108,11 @@ int main(int argc, char** argv) {
   serve::Service service;
   std::vector<std::string> replies(kTotal);
 
+  // Window captures bracketing the mix: the delta's work counters are
+  // exactly the mix's counters (work counters are thread-invariant), so
+  // the per-window section below is byte-identical at any --threads —
+  // part of the CI determinism smoke.
+  wm::obs::window().capture();
   benchutil::Timer total;
   std::vector<std::thread> clients;
   clients.reserve(static_cast<std::size_t>(threads));
@@ -121,6 +127,7 @@ int main(int argc, char** argv) {
   }
   for (auto& t : clients) t.join();
   const double wall = total.ms();
+  wm::obs::window().capture();
 
   // Every repeat of a key must be byte-identical to its first serving —
   // whether it came from the cache, a single-flight wait, or (for the
@@ -158,6 +165,28 @@ int main(int argc, char** argv) {
       st.hits != static_cast<std::uint64_t>(kTotal - kDistinct)) {
     std::printf("FAIL: single-flight closed form violated\n");
     return 1;
+  }
+
+  // The windowed view of the mix (deterministic: work-counter deltas
+  // between the two captures above). Rates go to stderr — wall-clock
+  // dependent values must stay off the thread-diffed stdout.
+  {
+    const obs::WindowDelta wd = obs::window().delta(3600.0);
+    std::printf("window serve deltas:");
+    for (const auto& [key, value] : wd.work) {
+      if (key.rfind("serve.requests.", 0) != 0 &&
+          key.rfind("serve.cache_", 0) != 0) {
+        continue;
+      }
+      std::printf(" %s=%llu", key.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+    std::printf("\n");
+    std::fprintf(stderr, "[bench_serve] window: %.3fs, %.0f req/s\n",
+                 wd.seconds, wd.rate("serve.requests.run") +
+                                 wd.rate("serve.requests.modelcheck") +
+                                 wd.rate("serve.requests.canon") +
+                                 wd.rate("serve.requests.classify"));
   }
 
   const double rps = wall > 0 ? 1000.0 * kTotal / wall : 0;

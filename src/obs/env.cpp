@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -20,6 +21,7 @@ void init_from_env() {
     mark_process_start();
     trace_init_from_env();
     progress_init_from_env();
+    log_init_from_env();
   });
 }
 

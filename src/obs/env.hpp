@@ -7,6 +7,8 @@
 //
 //   WM_TRACE=<file>     Chrome trace_event phase tracing, atexit flush
 //   WM_PROGRESS=<secs>  heartbeat thread for long searches, atexit stop
+//   WM_LOG=<file>       structured JSON-lines logging (obs/log.hpp),
+//                       with WM_LOG_LEVEL / WM_LOG_RATE / WM_SLOW_MS
 //
 // and records the process start wallclock for the run manifest.
 // Idempotent and cheap (a few getenv calls); safe with -DWM_OBS=OFF

@@ -18,54 +18,44 @@ int shard_for_current_thread() noexcept {
   return shard;
 }
 
+}  // namespace
+
 /// Upper bound of bucket i in microseconds: the largest duration the
 /// bucket can hold. Deterministic percentile representative.
 double bucket_upper_us(int i) noexcept {
-  if (i == 0) return 0.0;
+  if (i <= 0) return 0.0;
   if (i >= 64) i = 64;
   const double upper_ns = std::ldexp(1.0, i) - 1.0;  // 2^i - 1
   return upper_ns / 1000.0;
 }
 
-}  // namespace
-
-void Histogram::record(std::uint64_t nanos) noexcept {
-  const int bucket = std::bit_width(nanos);  // 0 for 0, else floor(log2)+1
-  shards_[static_cast<std::size_t>(shard_for_current_thread())]
-      .buckets[static_cast<std::size_t>(bucket)]
-      .fetch_add(1, std::memory_order_relaxed);
-  std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
-  while (nanos > cur && !max_ns_.compare_exchange_weak(
-                            cur, nanos, std::memory_order_relaxed)) {
-  }
-}
-
-HistogramSummary Histogram::summary() const noexcept {
-  std::array<std::uint64_t, kBuckets> merged{};
-  std::uint64_t count = 0;
-  for (const Shard& s : shards_) {
-    for (int i = 0; i < kBuckets; ++i) {
-      const std::uint64_t c = s.buckets[static_cast<std::size_t>(i)].load(
-          std::memory_order_relaxed);
-      merged[static_cast<std::size_t>(i)] += c;
-      count += c;
+HistogramSummary summary_from_buckets(const HistogramBuckets& b) noexcept {
+  HistogramSummary out;
+  const std::uint64_t count = b.total();
+  out.count = count;
+  if (count == 0) return out;
+  if (b.max_ns != 0) {
+    out.max_us = static_cast<double>(b.max_ns) / 1000.0;
+  } else {
+    // Window deltas cannot difference exact maxima; fall back to the
+    // upper bound of the highest non-empty bucket.
+    for (int i = 63; i >= 0; --i) {
+      if (b.counts[static_cast<std::size_t>(i)] != 0) {
+        out.max_us = bucket_upper_us(i);
+        break;
+      }
     }
   }
-  HistogramSummary out;
-  out.count = count;
-  out.max_us =
-      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1000.0;
-  if (count == 0) return out;
   const auto percentile = [&](double q) {
     // Rank of the percentile sample in the sorted multiset, 1-based.
     const auto rank = static_cast<std::uint64_t>(
         std::ceil(q / 100.0 * static_cast<double>(count)));
     std::uint64_t seen = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-      seen += merged[static_cast<std::size_t>(i)];
+    for (int i = 0; i < 64; ++i) {
+      seen += b.counts[static_cast<std::size_t>(i)];
       if (seen >= rank) return bucket_upper_us(i);
     }
-    return bucket_upper_us(kBuckets - 1);
+    return bucket_upper_us(63);
   };
   out.p50_us = percentile(50.0);
   out.p90_us = percentile(90.0);
@@ -73,9 +63,40 @@ HistogramSummary Histogram::summary() const noexcept {
   return out;
 }
 
+void Histogram::record(std::uint64_t nanos) noexcept {
+  const int bucket = std::bit_width(nanos);  // 0 for 0, else floor(log2)+1
+  Shard& shard = shards_[static_cast<std::size_t>(shard_for_current_thread())];
+  shard.buckets[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.sum_ns.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+  while (nanos > cur && !max_ns_.compare_exchange_weak(
+                            cur, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramBuckets Histogram::buckets() const noexcept {
+  HistogramBuckets out;
+  for (const Shard& s : shards_) {
+    for (int i = 0; i < kBuckets; ++i) {
+      out.counts[static_cast<std::size_t>(i)] +=
+          s.buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+    }
+    out.sum_ns += s.sum_ns.load(std::memory_order_relaxed);
+  }
+  out.max_ns = max_ns_.load(std::memory_order_relaxed);
+  return out;
+}
+
+HistogramSummary Histogram::summary() const noexcept {
+  return summary_from_buckets(buckets());
+}
+
 void Histogram::reset() noexcept {
   for (Shard& s : shards_) {
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum_ns.store(0, std::memory_order_relaxed);
   }
   max_ns_.store(0, std::memory_order_relaxed);
 }
@@ -100,6 +121,14 @@ std::map<std::string, HistogramSummary> HistogramRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, HistogramSummary> out;
   for (const auto& [name, h] : histograms_) out.emplace(name, h->summary());
+  return out;
+}
+
+std::map<std::string, HistogramBuckets> HistogramRegistry::bucket_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramBuckets> out;
+  for (const auto& [name, h] : histograms_) out.emplace(name, h->buckets());
   return out;
 }
 

@@ -39,6 +39,30 @@ struct HistogramSummary {
   double max_us = 0;  // exact, not bucketed
 };
 
+/// Raw merged view of one histogram: per-bucket counts plus the exact
+/// nanosecond sum and max. This is the window layer's snapshot unit —
+/// bucket counts are monotone cumulative tallies, so the difference of
+/// two snapshots is itself a valid histogram (the window's multiset).
+struct HistogramBuckets {
+  std::array<std::uint64_t, 64> counts{};
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const std::uint64_t c : counts) t += c;
+    return t;
+  }
+};
+
+/// Upper bound of log2 bucket `i` in microseconds (2^i - 1 ns; bucket 0
+/// holds exactly 0 ns). The deterministic percentile representative.
+double bucket_upper_us(int i) noexcept;
+
+/// Summary of an arbitrary bucket-count multiset (e.g. a window delta).
+/// max_us is b.max_ns when set, else the upper bound of the highest
+/// non-empty bucket — a window cannot difference exact maxima.
+HistogramSummary summary_from_buckets(const HistogramBuckets& b) noexcept;
+
 class Histogram {
  public:
   static constexpr int kBuckets = 64;  // bit_width of a uint64 duration
@@ -56,11 +80,16 @@ class Histogram {
   /// Merges every shard into one summary (see HistogramSummary).
   HistogramSummary summary() const noexcept;
 
+  /// Merges every shard into raw bucket counts + sum + max. This is the
+  /// form window snapshots difference.
+  HistogramBuckets buckets() const noexcept;
+
   void reset() noexcept;
 
  private:
   struct alignas(64) Shard {
     std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum_ns{0};
   };
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> max_ns_{0};
@@ -80,6 +109,10 @@ class HistogramRegistry {
   /// Name -> merged summary for every registered histogram, sorted by
   /// name. Histograms that never recorded are included (count 0).
   std::map<std::string, HistogramSummary> snapshot() const;
+
+  /// Name -> raw merged buckets, sorted by name — the window layer's
+  /// capture unit and the metrics endpoint's bucket source.
+  std::map<std::string, HistogramBuckets> bucket_snapshot() const;
 
   void reset();
 

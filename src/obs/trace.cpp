@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/log.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +21,7 @@ struct TraceEvent {
   std::int64_t begin_us;
   std::int64_t dur_us;
   std::uint32_t tid;
+  std::uint64_t rid;  // request id at emit time, 0 = none
 };
 
 struct TraceState {
@@ -119,6 +122,11 @@ bool trace_stop() {
     line += std::to_string(e.dur_us);
     line += ",\"pid\":1,\"tid\":";
     line += std::to_string(e.tid);
+    if (e.rid != 0) {
+      line += ",\"args\":{\"rid\":";
+      line += std::to_string(e.rid);
+      line += '}';
+    }
     line += '}';
     out << line;
   }
@@ -140,11 +148,15 @@ void trace_init_from_env() {
 
 void trace_emit(std::string_view name, std::int64_t begin_us,
                 std::int64_t dur_us) {
+  // The request-id context is read at emit time (scope exit), which is
+  // still inside the handler's RequestIdScope — so every span of a
+  // served request carries the same rid as its access-log line.
+  const std::uint64_t rid = current_request_id();
   TraceState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.active) return;  // trace stopped between scope entry and exit
   s.events.push_back(TraceEvent{std::string(name), begin_us, dur_us,
-                                tid_for_current_thread(s)});
+                                tid_for_current_thread(s), rid});
 }
 
 }  // namespace wm::obs

@@ -11,6 +11,10 @@
 // opt-in debugging tool, not a production hot path) and flushed on
 // trace_stop() or at process exit.
 //
+// Spans emitted inside a RequestIdScope (obs/log.hpp) carry the request
+// id as {"args": {"rid": N}}, so the Chrome-trace view of one served
+// request joins with its structured access-log line on that id.
+//
 // Configure with -DWM_OBS=OFF to compile WM_TRACE_SCOPE out entirely.
 #pragma once
 

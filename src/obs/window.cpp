@@ -1,0 +1,156 @@
+#include "obs/window.hpp"
+
+#include "obs/counters.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+/// Component-wise newer - older over counter maps. Keys only in the
+/// older snapshot are dropped (impossible for monotone registries but
+/// harmless); keys only in the newer snapshot count from 0.
+std::map<std::string, std::uint64_t> diff_counts(
+    const std::map<std::string, std::uint64_t>& newer,
+    const std::map<std::string, std::uint64_t>& older) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : newer) {
+    const auto it = older.find(name);
+    const std::uint64_t base = it == older.end() ? 0 : it->second;
+    out.emplace(name, value >= base ? value - base : 0);
+  }
+  return out;
+}
+
+std::map<std::string, HistogramBuckets> diff_timings(
+    const std::map<std::string, HistogramBuckets>& newer,
+    const std::map<std::string, HistogramBuckets>& older) {
+  std::map<std::string, HistogramBuckets> out;
+  for (const auto& [name, nb] : newer) {
+    HistogramBuckets d;
+    const auto it = older.find(name);
+    if (it == older.end()) {
+      d = nb;
+    } else {
+      const HistogramBuckets& ob = it->second;
+      for (std::size_t i = 0; i < d.counts.size(); ++i) {
+        d.counts[i] =
+            nb.counts[i] >= ob.counts[i] ? nb.counts[i] - ob.counts[i] : 0;
+      }
+      d.sum_ns = nb.sum_ns >= ob.sum_ns ? nb.sum_ns - ob.sum_ns : 0;
+    }
+    // The cumulative max cannot be differenced; leave max_ns 0 so
+    // summary_from_buckets falls back to the highest non-empty bucket.
+    d.max_ns = 0;
+    out.emplace(name, std::move(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+double WindowDelta::rate(const std::string& counter) const noexcept {
+  if (!valid || seconds <= 0) return 0;
+  const auto it = work.find(counter);
+  if (it == work.end()) return 0;
+  return static_cast<double>(it->second) / seconds;
+}
+
+void WindowRing::capture() {
+  auto snap = std::make_shared<Snapshot>();
+  snap->when = std::chrono::steady_clock::now();
+  snap->work = registry().snapshot(CounterKind::kWork);
+  snap->info = registry().snapshot(CounterKind::kInfo);
+  snap->timings = histograms().bucket_snapshot();
+  // Claim a slot, then publish: seq is 1-based so a loaded snapshot with
+  // seq 0 can never exist and readers can order slots by seq alone.
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  snap->seq = ticket + 1;
+  slots_[static_cast<std::size_t>(ticket % kSlots)].store(
+      std::move(snap), std::memory_order_release);
+}
+
+WindowDelta WindowRing::delta(double seconds) const {
+  WindowDelta out;
+  // Load every populated slot; the ring may be concurrently overwritten,
+  // but each loaded shared_ptr pins an immutable Snapshot.
+  std::shared_ptr<const Snapshot> newest;
+  std::array<std::shared_ptr<const Snapshot>, kSlots> loaded;
+  int n = 0;
+  for (const auto& slot : slots_) {
+    auto s = slot.load(std::memory_order_acquire);
+    if (!s) continue;
+    if (!newest || s->seq > newest->seq) newest = s;
+    loaded[static_cast<std::size_t>(n++)] = std::move(s);
+  }
+  if (!newest || n < 2) return out;
+  // Pick the youngest snapshot at least `seconds` older than the
+  // newest; when none is that old, the oldest available.
+  std::shared_ptr<const Snapshot> base;
+  std::shared_ptr<const Snapshot> oldest;
+  const auto cutoff =
+      newest->when - std::chrono::duration_cast<std::chrono::steady_clock::
+                                                    duration>(
+                         std::chrono::duration<double>(seconds < 0 ? 0
+                                                                   : seconds));
+  for (int i = 0; i < n; ++i) {
+    const auto& s = loaded[static_cast<std::size_t>(i)];
+    if (s->seq == newest->seq) continue;
+    if (!oldest || s->seq < oldest->seq) oldest = s;
+    if (s->when <= cutoff && (!base || s->seq > base->seq)) base = s;
+  }
+  if (!base) base = oldest;
+  if (!base) return out;
+  out.valid = true;
+  out.seconds =
+      std::chrono::duration<double>(newest->when - base->when).count();
+  out.work = diff_counts(newest->work, base->work);
+  out.info = diff_counts(newest->info, base->info);
+  out.timings = diff_timings(newest->timings, base->timings);
+  return out;
+}
+
+std::uint64_t WindowRing::captures() const noexcept {
+  return next_.load(std::memory_order_relaxed);
+}
+
+WindowRing& window() {
+  // Leaked like the registries: delta() may run from atexit paths.
+  static WindowRing* ring = new WindowRing();
+  return *ring;
+}
+
+WindowSampler::WindowSampler(std::chrono::milliseconds period)
+    : period_(period) {}
+
+WindowSampler::~WindowSampler() { stop(); }
+
+void WindowSampler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] {
+    window().capture();  // t=0 baseline so early deltas are valid
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!cv_.wait_for(lk, period_, [this] { return stopping_; })) {
+      lk.unlock();
+      window().capture();
+      lk.lock();
+    }
+  });
+}
+
+void WindowSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_ = std::thread();
+  }
+}
+
+}  // namespace wm::obs

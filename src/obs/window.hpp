@@ -1,0 +1,129 @@
+// Rolling time-windowed views over the counter and histogram
+// registries.
+//
+// The cumulative registries (counters.hpp, histogram.hpp) only ever
+// grow, which is exactly right for bench JSONs and regression gates but
+// useless for watching a live daemon: "4 billion rounds since boot"
+// says nothing about the last minute. The window layer fixes that
+// without touching the hot path. A WindowRing holds a ring of
+// *snapshots* — immutable copies of every counter value and every
+// histogram's bucket counts, stamped with a steady-clock time. Because
+// both registries are monotone (counters only add, bucket tallies only
+// add), the component-wise difference of any two snapshots is itself a
+// valid measurement: the work done and the duration multiset recorded
+// between the two capture instants. delta(seconds) picks the newest
+// snapshot and the best snapshot at least `seconds` older and returns
+// that difference, from which req/s rates and windowed p50/p90/p99
+// (via summary_from_buckets) fall out.
+//
+// Concurrency contract: capture() may be called from any thread (the
+// server's 1 Hz sampler, a stats handler, a bench) and readers never
+// block writers. Each ring slot is a std::atomic<std::shared_ptr<const
+// Snapshot>>; capture claims a slot index with one fetch_add and
+// publishes with an atomic store, delta() loads slots with acquire
+// semantics and works on the immutable Snapshots it got. The recording
+// hot path is untouched — still one relaxed fetch_add per event.
+//
+// Window statistics are *info-kind telemetry* in the sense of
+// counters.hpp: they depend on wall-clock timing and capture cadence,
+// so they are reported (the stats "window" section, the metrics
+// endpoint, wm_top) but must never enter a CI gate.
+//
+// This header intentionally compiles the same under -DWM_OBS=OFF: the
+// registries it reads are empty there, so snapshots and deltas
+// degenerate to zero-cost empties without a second code path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/histogram.hpp"
+
+namespace wm::obs {
+
+/// One immutable capture of both registries. Shared (never mutated)
+/// between the ring and any reader that loaded it.
+struct Snapshot {
+  std::chrono::steady_clock::time_point when;
+  std::uint64_t seq = 0;  // capture order, monotone from 1
+  std::map<std::string, std::uint64_t> work;
+  std::map<std::string, std::uint64_t> info;
+  std::map<std::string, HistogramBuckets> timings;
+};
+
+/// The difference of two snapshots: everything that happened in between.
+/// `seconds` is the actual elapsed span (may differ from the requested
+/// window when captures are sparse). Counters absent from the older
+/// snapshot are treated as 0 there (they were registered inside the
+/// window). `valid` is false when fewer than two captures exist; all
+/// maps are then empty and `seconds` is 0.
+struct WindowDelta {
+  double seconds = 0;
+  bool valid = false;
+  std::map<std::string, std::uint64_t> work;
+  std::map<std::string, std::uint64_t> info;
+  std::map<std::string, HistogramBuckets> timings;
+
+  /// delta-count / seconds for one counter, 0 when absent or span is 0.
+  double rate(const std::string& counter) const noexcept;
+};
+
+/// Lock-free ring of snapshots. Capacity bounds history: at the default
+/// 1 Hz sampling cadence, 128 slots cover a two-minute lookback.
+class WindowRing {
+ public:
+  static constexpr int kSlots = 128;
+
+  WindowRing() = default;
+  WindowRing(const WindowRing&) = delete;
+  WindowRing& operator=(const WindowRing&) = delete;
+
+  /// Snapshots both registries into the next ring slot. Any thread.
+  void capture();
+
+  /// Difference between the newest snapshot and the oldest snapshot
+  /// that is still within `seconds` of it — i.e. the youngest snapshot
+  /// at least `seconds` old, or the oldest available when none is that
+  /// old. Any thread.
+  WindowDelta delta(double seconds) const;
+
+  /// Total captures since construction.
+  std::uint64_t captures() const noexcept;
+
+ private:
+  std::array<std::atomic<std::shared_ptr<const Snapshot>>, kSlots> slots_{};
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// The process-wide ring used by the serve layer and benches.
+WindowRing& window();
+
+/// Background thread calling window().capture() at a fixed period.
+/// start/stop are idempotent; stop joins. The serve layer owns one.
+class WindowSampler {
+ public:
+  explicit WindowSampler(
+      std::chrono::milliseconds period = std::chrono::milliseconds(1000));
+  ~WindowSampler();
+  WindowSampler(const WindowSampler&) = delete;
+  WindowSampler& operator=(const WindowSampler&) = delete;
+
+  void start();
+  void stop();
+
+ private:
+  std::chrono::milliseconds period_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace wm::obs

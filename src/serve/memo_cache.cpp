@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "obs/counters.hpp"
+#include "obs/log.hpp"
 
 namespace wm::serve {
 
@@ -96,6 +97,10 @@ bool MemoCache::evict_one(Shard& s) {
     --s.live;
     evictions_.fetch_add(1, std::memory_order_relaxed);
     WM_COUNT_INFO(serve.cache.evictions);
+    if (obs::log_enabled(obs::LogLevel::kDebug)) {
+      obs::LogEvent(obs::LogLevel::kDebug, "cache_evict")
+          .num_u("live", s.live);
+    }
     return true;
   }
   return false;
@@ -166,6 +171,9 @@ MemoCache::Result MemoCache::get_or_compute(
     bypasses_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
     WM_COUNT_INFO(serve.cache.bypasses);
+    if (obs::log_enabled(obs::LogLevel::kDebug)) {
+      obs::LogEvent(obs::LogLevel::kDebug, "cache_bypass");
+    }
     return Result{compute(), /*hit=*/false};
   }
 

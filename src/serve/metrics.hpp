@@ -1,0 +1,42 @@
+// Prometheus-style text exposition for the serve layer.
+//
+// metrics_exposition() renders the observability registries plus the
+// memo-cache stats as Prometheus text format 0.0.4: every line is
+// `# HELP name help`, `# TYPE name type`, or `name{labels} value`. The
+// serve `metrics` endpoint carries the text as a JSON string field
+// (`result.text`) over the ndjson protocol — an HTTP front-end can dump
+// it verbatim, and tools/wm_top.cpp renders it as a dashboard.
+//
+// Families:
+//   serve_requests_total{endpoint=}        work counter serve.requests.*
+//   serve_cache_hits_total{endpoint=}      work counter serve.cache_hits.*
+//   serve_cache_misses_total{endpoint=}    work counter serve.cache_misses.*
+//   serve_cache_entries / _capacity        memo-cache gauges
+//   serve_cache_evictions_total / _bypasses_total
+//   serve_request_duration_seconds         histogram serve.* (cumulative
+//     _bucket{endpoint=,le=} / _sum / _count, log2-ns bucket bounds)
+//   wm_work_total{counter=}                every work counter
+//   wm_info_total{counter=}                every info counter (pool etc.)
+//   wm_window_seconds                      actual span of the window
+//   wm_window_requests_per_second{endpoint=}
+//   wm_window_request_duration_seconds{endpoint=,quantile=}
+//
+// Cumulative families reconcile exactly with the JSON `stats` reply
+// taken in the same quiesced state (same registries, same snapshot
+// functions). Window families are info-kind telemetry — they depend on
+// capture cadence and wall clock, and must never enter a CI gate.
+#pragma once
+
+#include <string>
+
+#include "serve/memo_cache.hpp"
+
+namespace wm::serve {
+
+/// Renders the exposition text (trailing newline included). Reads the
+/// counter/histogram registries and the process window ring directly;
+/// `window_secs` is the requested lookback for the wm_window_* families.
+std::string metrics_exposition(const MemoCache::Stats& cache_stats,
+                               double window_secs);
+
+}  // namespace wm::serve

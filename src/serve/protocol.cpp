@@ -17,10 +17,13 @@
 #include "logic/parser.hpp"
 #include "obs/counters.hpp"
 #include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
+#include "obs/window.hpp"
 #include "problems/catalogue.hpp"
 #include "runtime/engine.hpp"
 #include "serve/json.hpp"
+#include "serve/metrics.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 
@@ -43,6 +46,15 @@ constexpr int kMaxTimeoutMs = 3600 * 1000;
 struct RequestError {
   std::string code;
   std::string message;
+};
+
+/// Per-request facts the handlers report back for the access-log line:
+/// cache outcome, cache-key digest, deadline state. Plain strings so the
+/// whole struct is a no-op to fill when logging is disarmed.
+struct RequestObs {
+  const char* cache = "none";     // none | hit | miss
+  std::string key;                // 16-hex digest of the cache key
+  const char* deadline = "none";  // none | ok | expired
 };
 
 #if !defined(WM_OBS_DISABLED)
@@ -415,6 +427,8 @@ void parse_request(const Json& j, const ServiceConfig& cfg, Request& req) {
     req.payload = std::move(r);
   } else if (req.op == "stats") {
     req.payload = StatsRequest{};
+  } else if (req.op == "metrics") {
+    req.payload = MetricsRequest{};
   } else {
     throw RequestError{"unknown_op", "unknown op \"" + req.op + "\""};
   }
@@ -427,14 +441,15 @@ void parse_request(const Json& j, const ServiceConfig& cfg, Request& req) {
 // carry the full certificate (not merely its 64-bit hash), so hash
 // collisions degrade to probe steps, never to wrong answers.
 
-void count_cache_outcome(const char* op, bool hit) {
+void count_cache_outcome(const char* op, bool hit, RequestObs& robs) {
   std::string name = hit ? "serve.cache_hits." : "serve.cache_misses.";
   name += op;
   bump_work(name);
+  robs.cache = hit ? "hit" : "miss";
 }
 
 std::string handle_classify(MemoCache& cache, const ClassifyRequest& r,
-                            const CancelToken* cancel) {
+                            const CancelToken* cancel, RequestObs& robs) {
   WM_TIME_SCOPE("serve.classify");
   bump_work("serve.requests.classify");
   const Graph& g = r.numbering.graph();
@@ -445,6 +460,7 @@ std::string handle_classify(MemoCache& cache, const ClassifyRequest& r,
   std::string key = "classify\x1f" + r.problem + "\x1f" +
                     std::to_string(r.max_rounds) + "\x1f" +
                     canonical_certificate(r.numbering);
+  robs.key = hash_hex(certificate_hash(key));
   const MemoCache::Result res = cache.get_or_compute(key, [&] {
     poll_cancel(cancel);
     const ProblemPtr problem = problem_by_name(r.problem);
@@ -472,12 +488,12 @@ std::string handle_classify(MemoCache& cache, const ClassifyRequest& r,
     body += "]}";
     return body;
   });
-  count_cache_outcome("classify", res.hit);
+  count_cache_outcome("classify", res.hit, robs);
   return res.value;
 }
 
 std::string handle_modelcheck(MemoCache& cache, const ModelcheckRequest& r,
-                              const CancelToken* cancel) {
+                              const CancelToken* cancel, RequestObs& robs) {
   WM_TIME_SCOPE("serve.modelcheck");
   bump_work("serve.requests.modelcheck");
   const int n = r.model.num_states();
@@ -490,6 +506,7 @@ std::string handle_modelcheck(MemoCache& cache, const ModelcheckRequest& r,
   const CanonicalForm cf = canonical_form(r.model);
   std::string key =
       "modelcheck\x1f" + r.formula.to_string() + "\x1f" + cf.certificate;
+  robs.key = hash_hex(certificate_hash(key));
   const MemoCache::Result res = cache.get_or_compute(key, [&] {
     poll_cancel(cancel);
     const Bitset bits = model_check_bits(r.model, r.formula);
@@ -501,7 +518,7 @@ std::string handle_modelcheck(MemoCache& cache, const ModelcheckRequest& r,
     }
     return blob;
   });
-  count_cache_outcome("modelcheck", res.hit);
+  count_cache_outcome("modelcheck", res.hit, robs);
   std::vector<int> holds(static_cast<std::size_t>(n), 0);
   int count = 0;
   for (int v = 0; v < n; ++v) {
@@ -517,7 +534,7 @@ std::string handle_modelcheck(MemoCache& cache, const ModelcheckRequest& r,
 }
 
 std::string handle_run(MemoCache& cache, const RunRequest& r,
-                       const CancelToken* cancel) {
+                       const CancelToken* cancel, RequestObs& robs) {
   WM_TIME_SCOPE("serve.run");
   bump_work("serve.requests.run");
   const Graph& g = r.numbering.graph();
@@ -530,6 +547,7 @@ std::string handle_run(MemoCache& cache, const RunRequest& r,
   const CanonicalForm cf = canonical_form(r.numbering);
   std::string key = "run\x1f" + r.machine + "\x1f" +
                     std::to_string(r.max_rounds) + "\x1f" + cf.certificate;
+  robs.key = hash_hex(certificate_hash(key));
   const MemoCache::Result res = cache.get_or_compute(key, [&] {
     poll_cancel(cancel);
     const auto machine = machine_by_name(r.machine, std::max(1, g.max_degree()));
@@ -557,7 +575,7 @@ std::string handle_run(MemoCache& cache, const RunRequest& r,
     }
     return blob;
   });
-  count_cache_outcome("run", res.hit);
+  count_cache_outcome("run", res.hit, robs);
 
   // Decode the blob and transport outputs back through this request's
   // own canonical labelling.
@@ -601,7 +619,7 @@ std::string handle_run(MemoCache& cache, const RunRequest& r,
 }
 
 std::string handle_canon(MemoCache& cache, const CanonRequest& r,
-                         const CancelToken* cancel) {
+                         const CancelToken* cancel, RequestObs& robs) {
   WM_TIME_SCOPE("serve.canon");
   bump_work("serve.requests.canon");
   // Computing the certificate IS the work here, so the key is the
@@ -609,6 +627,7 @@ std::string handle_canon(MemoCache& cache, const CanonRequest& r,
   // result body — including the labelling, which is well-defined
   // because the key pins the input representation exactly.
   std::string key = "canon\x1f" + r.kind + "\x1f" + r.input_encoding;
+  robs.key = hash_hex(certificate_hash(key));
   const MemoCache::Result res = cache.get_or_compute(key, [&] {
     poll_cancel(cancel);
     CanonicalForm cf;
@@ -630,8 +649,43 @@ std::string handle_canon(MemoCache& cache, const CanonRequest& r,
            std::to_string(cf.certificate.size()) +
            ", \"labelling\": " + ints_json(cf.labelling) + "}";
   });
-  count_cache_outcome("canon", res.hit);
+  count_cache_outcome("canon", res.hit, robs);
   return res.value;
+}
+
+/// The stats "window" section: what happened between the previous
+/// window capture and this stats call. Every stats poll captures, so two
+/// polls bracketing a request batch report the batch's exact work-counter
+/// deltas (work counters are deterministic; rates and latency quantiles
+/// remain info-kind telemetry).
+std::string window_json(double window_secs) {
+  obs::window().capture();
+  const obs::WindowDelta wd = obs::window().delta(window_secs);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", wd.valid ? wd.seconds : 0.0);
+  std::string out = "{\"seconds\": ";
+  out += buf;
+  out += ", \"captures\": " + std::to_string(obs::window().captures());
+  std::uint64_t requests = 0;
+  std::string work = "{";
+  bool first = true;
+  for (const auto& [key, value] : wd.work) {
+    if (key.rfind("serve.", 0) != 0) continue;
+    if (key.rfind("serve.requests.", 0) == 0) requests += value;
+    if (!first) work += ", ";
+    first = false;
+    work += json_quoted(key) + ": " + std::to_string(value);
+  }
+  work += "}";
+  out += ", \"requests\": " + std::to_string(requests);
+  const double rps = wd.valid && wd.seconds > 0
+                         ? static_cast<double>(requests) / wd.seconds
+                         : 0.0;
+  std::snprintf(buf, sizeof buf, "%.3f", rps);
+  out += ", \"requests_per_sec\": ";
+  out += buf;
+  out += ", \"work\": " + work + "}";
+  return out;
 }
 
 std::string handle_stats(const MemoCache& cache, const ServiceConfig& cfg) {
@@ -648,7 +702,20 @@ std::string handle_stats(const MemoCache& cache, const ServiceConfig& cfg) {
          ", \"misses\": " + std::to_string(cs.misses) +
          ", \"evictions\": " + std::to_string(cs.evictions) +
          ", \"bypasses\": " + std::to_string(cs.bypasses) +
-         "}, \"manifest\": " + obs::manifest_json(cfg.threads) + "}";
+         "}, \"window\": " + window_json(cfg.window_secs) +
+         ", \"manifest\": " + obs::manifest_json(cfg.threads) + "}";
+}
+
+std::string handle_metrics(const MemoCache& cache, const ServiceConfig& cfg) {
+  WM_TIME_SCOPE("serve.metrics");
+  // Bump before rendering so the exposition's serve_requests_total
+  // includes this very request — scrape totals then match requests sent.
+  bump_work("serve.requests.metrics");
+  obs::window().capture();
+  const std::string text =
+      metrics_exposition(cache.stats(), cfg.window_secs);
+  return "{\"format\": \"prometheus-0.0.4\", \"text\": " + json_quoted(text) +
+         "}";
 }
 
 }  // namespace
@@ -658,52 +725,113 @@ Service::Service(const ServiceConfig& cfg)
 
 std::string Service::handle_line(std::string_view line) {
   WM_TIME_SCOPE("serve.request");
-  if (line.size() > cfg_.max_request_bytes) {
-    return error_reply("", "", "oversized",
-                       "request exceeds " +
-                           std::to_string(cfg_.max_request_bytes) + " bytes");
-  }
+  // Request-id context: one monotone id per line, bound to this thread
+  // for the whole handling frame so log lines and WM_TRACE spans emitted
+  // underneath (engine, solvability, memo-cache) all carry it.
+  const std::uint64_t rid = obs::next_request_id();
+  obs::RequestIdScope rid_scope(rid);
+  const auto begin = std::chrono::steady_clock::now();
+  RequestObs robs;
   Request req;
-  try {
-    const Json j = parse_json(line);
-    parse_request(j, cfg_, req);
-    // The deadline token lives on this frame; drivers poll it at their
-    // natural boundaries (util/cancel.hpp).
-    std::unique_ptr<CancelToken> deadline;
-    if (req.timeout_ms > 0) {
-      deadline = std::make_unique<CancelToken>(
-          std::chrono::steady_clock::now() +
-          std::chrono::milliseconds(req.timeout_ms));
+  const char* status = "ok";
+  std::string error_code;
+  std::string reply;
+  if (line.size() > cfg_.max_request_bytes) {
+    status = "error";
+    error_code = "oversized";
+    reply = error_reply("", "", "oversized",
+                        "request exceeds " +
+                            std::to_string(cfg_.max_request_bytes) +
+                            " bytes");
+  } else {
+    try {
+      const Json j = parse_json(line);
+      parse_request(j, cfg_, req);
+      // The deadline token lives on this frame; drivers poll it at their
+      // natural boundaries (util/cancel.hpp).
+      std::unique_ptr<CancelToken> deadline;
+      if (req.timeout_ms > 0) {
+        deadline = std::make_unique<CancelToken>(
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(req.timeout_ms));
+        robs.deadline = "ok";
+      }
+      const CancelToken* cancel = deadline.get();
+      std::string body;
+      if (const auto* r = std::get_if<ClassifyRequest>(&req.payload)) {
+        body = handle_classify(cache_, *r, cancel, robs);
+      } else if (const auto* r =
+                     std::get_if<ModelcheckRequest>(&req.payload)) {
+        body = handle_modelcheck(cache_, *r, cancel, robs);
+      } else if (const auto* r = std::get_if<RunRequest>(&req.payload)) {
+        body = handle_run(cache_, *r, cancel, robs);
+      } else if (const auto* r = std::get_if<CanonRequest>(&req.payload)) {
+        body = handle_canon(cache_, *r, cancel, robs);
+      } else if (std::get_if<MetricsRequest>(&req.payload) != nullptr) {
+        body = handle_metrics(cache_, cfg_);
+      } else {
+        body = handle_stats(cache_, cfg_);
+      }
+      reply = ok_reply(req.op, req.id_echo, body);
+    } catch (const RequestError& e) {
+      status = "error";
+      error_code = e.code;
+      reply = error_reply(req.op, req.id_echo, e.code, e.message);
+    } catch (const JsonError& e) {
+      status = "error";
+      error_code = "parse_error";
+      reply = error_reply(req.op, req.id_echo, "parse_error", e.what());
+    } catch (const ParseError& e) {
+      status = "error";
+      error_code = "bad_formula";
+      reply = error_reply(req.op, req.id_echo, "bad_formula", e.what());
+    } catch (const CancelledError& e) {
+      status = "error";
+      error_code = "deadline";
+      robs.deadline = "expired";
+      reply = error_reply(req.op, req.id_echo, "deadline", e.what());
+    } catch (const std::invalid_argument& e) {
+      // instance_for's "no unique solution" family and kin: the request
+      // was well-formed but asks for something the endpoint cannot do.
+      status = "error";
+      error_code = "unsupported";
+      reply = error_reply(req.op, req.id_echo, "unsupported", e.what());
+    } catch (const std::exception& e) {
+      status = "error";
+      error_code = "internal";
+      reply = error_reply(req.op, req.id_echo, "internal", e.what());
     }
-    const CancelToken* cancel = deadline.get();
-    std::string body;
-    if (const auto* r = std::get_if<ClassifyRequest>(&req.payload)) {
-      body = handle_classify(cache_, *r, cancel);
-    } else if (const auto* r = std::get_if<ModelcheckRequest>(&req.payload)) {
-      body = handle_modelcheck(cache_, *r, cancel);
-    } else if (const auto* r = std::get_if<RunRequest>(&req.payload)) {
-      body = handle_run(cache_, *r, cancel);
-    } else if (const auto* r = std::get_if<CanonRequest>(&req.payload)) {
-      body = handle_canon(cache_, *r, cancel);
-    } else {
-      body = handle_stats(cache_, cfg_);
-    }
-    return ok_reply(req.op, req.id_echo, body);
-  } catch (const RequestError& e) {
-    return error_reply(req.op, req.id_echo, e.code, e.message);
-  } catch (const JsonError& e) {
-    return error_reply(req.op, req.id_echo, "parse_error", e.what());
-  } catch (const ParseError& e) {
-    return error_reply(req.op, req.id_echo, "bad_formula", e.what());
-  } catch (const CancelledError& e) {
-    return error_reply(req.op, req.id_echo, "deadline", e.what());
-  } catch (const std::invalid_argument& e) {
-    // instance_for's "no unique solution" family and kin: the request
-    // was well-formed but asks for something the endpoint cannot do.
-    return error_reply(req.op, req.id_echo, "unsupported", e.what());
-  } catch (const std::exception& e) {
-    return error_reply(req.op, req.id_echo, "internal", e.what());
   }
+  // Access log: one structured line per request when WM_LOG is armed,
+  // plus a warning above the WM_SLOW_MS threshold. Everything below is
+  // a relaxed load and an early return when logging is off.
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - begin)
+          .count();
+  if (obs::log_enabled(obs::LogLevel::kInfo)) {
+    obs::LogEvent(obs::LogLevel::kInfo, "request")
+        .str("op", req.op.empty() ? "?" : req.op)
+        .str("cache", robs.cache)
+        .str("key", robs.key.empty() ? "-" : robs.key)
+        .str("deadline", robs.deadline)
+        .str("status", status)
+        .str("code", error_code.empty() ? "-" : error_code)
+        .num("bytes_in", static_cast<std::int64_t>(line.size()))
+        .num("bytes_out", static_cast<std::int64_t>(reply.size()))
+        .dbl("ms", ms);
+  }
+  const double slow_ms = obs::slow_threshold_ms();
+  if (slow_ms > 0 && ms >= slow_ms &&
+      obs::log_enabled(obs::LogLevel::kWarn)) {
+    obs::LogEvent(obs::LogLevel::kWarn, "slow_request")
+        .str("op", req.op.empty() ? "?" : req.op)
+        .str("cache", robs.cache)
+        .str("status", status)
+        .dbl("ms", ms)
+        .dbl("threshold_ms", slow_ms);
+  }
+  return reply;
 }
 
 }  // namespace wm::serve

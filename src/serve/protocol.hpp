@@ -29,8 +29,17 @@
 //               rounds, message stats
 //   canon       graph / pn / kripke -> canonical certificate hash +
 //               canonical labelling
-//   stats       -> counters + latency histograms + cache stats + run
-//               manifest
+//   stats       -> counters + latency histograms + cache stats + a
+//               rolling window section + run manifest
+//   metrics     -> Prometheus text exposition 0.0.4 as result.text
+//               (serve/metrics.hpp lists the families)
+//
+// Observability: handle_line assigns every request a monotonically
+// increasing request id and binds it to the handling thread
+// (obs::RequestIdScope), so engine trace spans carry it; when WM_LOG is
+// armed, one structured access-log line per request records endpoint,
+// cache-key digest, cache hit/miss, deadline state, status and duration,
+// plus a "slow_request" warning above WM_SLOW_MS.
 //
 // Results are answered through the canonical-certificate memo-cache;
 // DESIGN.md "Serving and the memo-cache" gives the soundness argument
@@ -83,13 +92,15 @@ struct CanonRequest {
 
 struct StatsRequest {};
 
+struct MetricsRequest {};
+
 struct Request {
   std::string op;
   /// The "id" field re-serialised for echoing ("" = absent).
   std::string id_echo;
   int timeout_ms = 0;  // 0 = no deadline
   std::variant<std::monostate, ClassifyRequest, ModelcheckRequest, RunRequest,
-               CanonRequest, StatsRequest>
+               CanonRequest, StatsRequest, MetricsRequest>
       payload;
 };
 
@@ -106,6 +117,9 @@ struct ServiceConfig {
   int default_timeout_ms = 0;
   /// Executor count reported by the stats endpoint's manifest.
   int threads = 1;
+  /// Lookback of the stats "window" section and the wm_window_* metric
+  /// families (actual span depends on available window captures).
+  double window_secs = 60.0;
 };
 
 /// The transport-independent core of wm_serve: one request line in, one

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "obs/counters.hpp"
+#include "obs/log.hpp"
 #include "util/parallel.hpp"
 
 namespace wm::serve {
@@ -85,6 +86,7 @@ Server::~Server() {
 }
 
 void Server::start() {
+  sampler_.start();
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -108,6 +110,7 @@ void Server::wait() {
   for (std::thread& t : conns) {
     if (t.joinable()) t.join();
   }
+  sampler_.stop();
 }
 
 void Server::accept_loop() {
@@ -123,6 +126,9 @@ void Server::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     WM_COUNT_INFO(serve.connections);
+    if (obs::log_enabled(obs::LogLevel::kDebug)) {
+      obs::LogEvent(obs::LogLevel::kDebug, "connection_open").num("fd", fd);
+    }
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(fd);
@@ -210,6 +216,9 @@ void Server::connection_loop(int fd) {
     }
   }
   ::close(fd);
+  if (obs::log_enabled(obs::LogLevel::kDebug)) {
+    obs::LogEvent(obs::LogLevel::kDebug, "connection_close").num("fd", fd);
+  }
 }
 
 }  // namespace wm::serve

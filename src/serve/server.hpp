@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/window.hpp"
 #include "serve/protocol.hpp"
 
 namespace wm {
@@ -81,6 +82,9 @@ class Server {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::unique_ptr<ThreadPool> pool_;  // nullptr when service.threads <= 1
+  // 1 Hz window captures while the daemon runs, so stats/metrics always
+  // have a fresh baseline to difference against (obs/window.hpp).
+  obs::WindowSampler sampler_;
   std::thread accept_thread_;
   std::mutex conn_mu_;
   std::vector<std::thread> conn_threads_;  // guarded by conn_mu_

@@ -6,12 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bisim/quotient.hpp"
@@ -21,9 +23,12 @@
 #include "logic/kripke.hpp"
 #include "obs/env.hpp"
 #include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
+#include "serve/json.hpp"
 #include "port/port_numbering.hpp"
 #include "problems/catalogue.hpp"
 #include "util/parallel.hpp"
@@ -516,6 +521,267 @@ TEST(ObsInit, RepeatedProgressStartLaunchesExactlyOnce) {
   const std::uint64_t after = obs::progress_heartbeat_launches();
   EXPECT_EQ(after - before, 1u);
   obs::progress_stop();
+#endif
+}
+
+// --- Structured logging ----------------------------------------------------
+
+#if !defined(WM_OBS_DISABLED)
+namespace {
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+}  // namespace
+#endif
+
+TEST(ObsLog, LevelNamesAreStable) {
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kDebug), "debug");
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kInfo), "info");
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kWarn), "warn");
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kError), "error");
+}
+
+TEST(ObsLog, EventsAreParsableJsonLinesWithHeadFieldsFirst) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  const std::string path = ::testing::TempDir() + "wm_obs_log_lines.jsonl";
+  obs::log_open(path);
+  obs::log_set_level(obs::LogLevel::kDebug);
+  obs::log_set_rate(0);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kDebug));
+  {
+    obs::LogEvent(obs::LogLevel::kInfo, "unit \"quoted\"\n")
+        .str("who", "tab\there")
+        .num("neg", -3)
+        .num_u("big", 1ull << 40)
+        .dbl("ms", 1.5)
+        .boolean("flag", true);
+  }
+  {
+    obs::RequestIdScope rid(99);
+    obs::LogEvent(obs::LogLevel::kWarn, "with_rid");
+  }
+  obs::log_close();
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kError));
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  const serve::Json first = serve::parse_json(lines[0]);
+  ASSERT_TRUE(first.is_object());
+  // Head fields lead in fixed order so the lines grep well.
+  EXPECT_EQ(first.members()[0].first, "ts");
+  EXPECT_EQ(first.members()[1].first, "level");
+  EXPECT_EQ(first.members()[2].first, "event");
+  EXPECT_EQ(first.find("level")->as_string(), "info");
+  EXPECT_EQ(first.find("event")->as_string(), "unit \"quoted\"\n");
+  EXPECT_EQ(first.find("who")->as_string(), "tab\there");
+  EXPECT_EQ(first.find("neg")->as_int(), -3);
+  EXPECT_EQ(first.find("big")->as_int(), 1ll << 40);
+  EXPECT_DOUBLE_EQ(first.find("ms")->as_double(), 1.5);
+  EXPECT_TRUE(first.find("flag")->as_bool());
+  EXPECT_EQ(first.find("rid"), nullptr);  // no request context
+  const serve::Json second = serve::parse_json(lines[1]);
+  EXPECT_EQ(second.find("level")->as_string(), "warn");
+  ASSERT_NE(second.find("rid"), nullptr);
+  EXPECT_EQ(second.find("rid")->as_int(), 99);
+#endif
+}
+
+TEST(ObsLog, LevelThresholdFiltersEvents) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  const std::string path = ::testing::TempDir() + "wm_obs_log_level.jsonl";
+  obs::log_open(path);
+  obs::log_set_level(obs::LogLevel::kWarn);
+  obs::log_set_rate(0);
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::kWarn));
+  obs::LogEvent(obs::LogLevel::kDebug, "dropped_debug");
+  obs::LogEvent(obs::LogLevel::kInfo, "dropped_info");
+  obs::LogEvent(obs::LogLevel::kError, "kept_error");
+  obs::log_set_level(obs::LogLevel::kInfo);  // restore the default
+  obs::log_close();
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("kept_error"), std::string::npos);
+#endif
+}
+
+TEST(ObsLog, RateLimitDropsAndCounts) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  const std::string path = ::testing::TempDir() + "wm_obs_log_rate.jsonl";
+  obs::log_open(path);
+  obs::log_set_rate(3);
+  const std::uint64_t written0 = obs::log_lines_written();
+  const std::uint64_t dropped0 = obs::log_lines_dropped();
+  for (int i = 0; i < 50; ++i) {
+    obs::LogEvent(obs::LogLevel::kInfo, "flood").num("i", i);
+  }
+  const std::uint64_t written = obs::log_lines_written() - written0;
+  const std::uint64_t dropped = obs::log_lines_dropped() - dropped0;
+  // 3 admissions per steady-clock second; the burst may straddle one
+  // second boundary, so allow two windows' worth plus a notice line.
+  EXPECT_LE(written, 8u);
+  EXPECT_GE(dropped, 42u);
+  // Every event either wrote or dropped; written may also include
+  // rollover notice lines, so the sum is at least the event count.
+  EXPECT_GE(written + dropped, 50u);
+  obs::log_set_rate(2000);
+  obs::log_close();
+#endif
+}
+
+TEST(ObsLog, RequestIdScopesNestAndRestore) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  EXPECT_EQ(obs::current_request_id(), 0u);
+  const std::uint64_t a = obs::next_request_id();
+  const std::uint64_t b = obs::next_request_id();
+  EXPECT_GT(b, a);  // monotone, process-wide
+  {
+    obs::RequestIdScope outer(a);
+    EXPECT_EQ(obs::current_request_id(), a);
+    {
+      obs::RequestIdScope inner(b);
+      EXPECT_EQ(obs::current_request_id(), b);
+    }
+    EXPECT_EQ(obs::current_request_id(), a);
+  }
+  EXPECT_EQ(obs::current_request_id(), 0u);
+#endif
+}
+
+TEST(ObsTrace, SpansCarryTheRequestIdAsArgs) {
+#ifdef WM_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (-DWM_OBS=OFF)";
+#else
+  const std::string path = ::testing::TempDir() + "wm_obs_trace_rid.json";
+  obs::trace_start(path);
+  {
+    obs::RequestIdScope rid(4242);
+    WM_TRACE_SCOPE("obstest.rid.inner");
+  }
+  { WM_TRACE_SCOPE("obstest.noctx.span"); }
+  ASSERT_TRUE(obs::trace_stop());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string trace = ss.str();
+  // The span inside the scope carries the id; the one outside must not.
+  const std::size_t inner = trace.find("obstest.rid.inner");
+  ASSERT_NE(inner, std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"rid\":4242}", inner), std::string::npos)
+      << trace;
+  const std::size_t outside = trace.find("obstest.noctx.span");
+  ASSERT_NE(outside, std::string::npos);
+  const std::size_t line_end = trace.find('\n', outside);
+  EXPECT_EQ(trace.substr(outside, line_end - outside).find("rid"),
+            std::string::npos);
+#endif
+}
+
+// --- Windowed views --------------------------------------------------------
+
+TEST(ObsWindow, DeltaNeedsTwoCaptures) {
+  obs::WindowRing ring;
+  EXPECT_FALSE(ring.delta(60).valid);
+  ring.capture();
+  EXPECT_FALSE(ring.delta(60).valid);
+  ring.capture();
+  EXPECT_TRUE(ring.delta(60).valid);
+  EXPECT_EQ(ring.captures(), 2u);
+}
+
+TEST(ObsWindow, BracketedWorkDeltaIsExact) {
+  obs::Counter& c =
+      obs::registry().counter("obstest.window.alpha", CounterKind::kWork);
+  obs::window().capture();
+  for (int i = 0; i < 7; ++i) c.add();
+  obs::window().capture();
+  // The global ring is monotone and this counter is bumped only here, so
+  // however old the base snapshot is, the delta is exactly our 7.
+  const obs::WindowDelta wd = obs::window().delta(3600.0);
+  ASSERT_TRUE(wd.valid);
+  ASSERT_TRUE(wd.work.count("obstest.window.alpha"));
+  EXPECT_EQ(wd.work.at("obstest.window.alpha"), 7u);
+  EXPECT_GT(wd.rate("obstest.window.alpha"), 0.0);
+  EXPECT_EQ(wd.rate("obstest.window.no_such_counter"), 0.0);
+}
+
+TEST(ObsWindow, TimingDeltasSummariseLikeAFreshHistogram) {
+  obs::Histogram& h = obs::histograms().histogram("obstest.window.hist");
+  obs::window().capture();
+  h.record(1000);  // bucket 10 (513..1023 ns? no: bit_width(1000)=10)
+  h.record(1000);
+  h.record(4000);  // bucket 12
+  obs::window().capture();
+  const obs::WindowDelta wd = obs::window().delta(3600.0);
+  ASSERT_TRUE(wd.valid);
+  ASSERT_TRUE(wd.timings.count("obstest.window.hist"));
+  const obs::HistogramBuckets& b = wd.timings.at("obstest.window.hist");
+  EXPECT_EQ(b.total(), 3u);
+  EXPECT_EQ(b.sum_ns, 6000u);
+  const obs::HistogramSummary s = obs::summary_from_buckets(b);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.p50_us, obs::bucket_upper_us(10));
+  EXPECT_DOUBLE_EQ(s.p99_us, obs::bucket_upper_us(12));
+  // max_ns cannot be differenced; the summary falls back to the highest
+  // non-empty bucket's upper bound.
+  EXPECT_DOUBLE_EQ(s.max_us, obs::bucket_upper_us(12));
+}
+
+TEST(ObsWindow, SummaryFromBucketsMatchesHistogramSummary) {
+  obs::Histogram& h = obs::histograms().histogram("obstest.window.match");
+  h.record(0);
+  h.record(100);
+  h.record(100000);
+  const obs::HistogramSummary direct = h.summary();
+  const obs::HistogramSummary via = obs::summary_from_buckets(h.buckets());
+  EXPECT_EQ(direct.count, via.count);
+  EXPECT_DOUBLE_EQ(direct.p50_us, via.p50_us);
+  EXPECT_DOUBLE_EQ(direct.p90_us, via.p90_us);
+  EXPECT_DOUBLE_EQ(direct.p99_us, via.p99_us);
+  EXPECT_DOUBLE_EQ(direct.max_us, via.max_us);  // buckets() keeps max_ns
+}
+
+TEST(ObsWindow, SamplerCapturesPeriodicallyAndStopsCleanly) {
+  const std::uint64_t before = obs::window().captures();
+  obs::WindowSampler sampler(std::chrono::milliseconds(10));
+  sampler.start();
+  sampler.start();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  sampler.stop();
+  sampler.stop();  // idempotent
+  const std::uint64_t after = obs::window().captures();
+  EXPECT_GE(after - before, 2u);
+}
+
+TEST(ObsLog, ObsOffHooksAreNoOps) {
+#ifdef WM_OBS_DISABLED
+  // The whole point of -DWM_OBS=OFF: hooks exist, cost nothing, do
+  // nothing. This block only compiles (and must pass) in that build.
+  obs::log_open("/nonexistent/should-not-open");
+  obs::LogEvent(obs::LogLevel::kError, "never").num("x", 1).str("k", "v");
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::kError));
+  EXPECT_EQ(obs::next_request_id(), 0u);
+  EXPECT_EQ(obs::current_request_id(), 0u);
+  EXPECT_EQ(obs::log_lines_written(), 0u);
+  EXPECT_EQ(obs::log_lines_dropped(), 0u);
+  EXPECT_EQ(obs::slow_threshold_ms(), 0.0);
+  obs::set_slow_threshold_ms(100.0);  // must not stick — it's a no-op
+  EXPECT_EQ(obs::slow_threshold_ms(), 0.0);
+  obs::log_close();
+#else
+  GTEST_SKIP() << "meaningful only under -DWM_OBS=OFF";
 #endif
 }
 

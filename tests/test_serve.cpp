@@ -14,7 +14,10 @@
 //     per-node data if the labelling algebra were wrong.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -27,6 +30,9 @@
 #include "logic/model_checker.hpp"
 #include "logic/parser.hpp"
 #include "logic/random_formula.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "port/port_numbering.hpp"
 #include "problems/catalogue.hpp"
 #include "runtime/engine.hpp"
@@ -462,6 +468,301 @@ TEST(ServeDifferential, ClassifyMatchesDirectAnalysis) {
     }
     EXPECT_EQ(classes[c].find("blocks")->as_int(), direct.blocks);
   }
+}
+
+// --- 4. Observability: metrics exposition, window deltas, access log --------
+
+/// The exposition text out of a metrics reply.
+std::string exposition_of(const std::string& reply) {
+  const Json j = parse_json(reply);
+  EXPECT_TRUE(j.find("ok")->as_bool()) << reply;
+  EXPECT_EQ(j.find("result")->find("format")->as_string(),
+            "prometheus-0.0.4");
+  return j.find("result")->find("text")->as_string();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Looks up one sample value by its exact `name{labels}` prefix.
+/// Returns "" when the series is absent (distinguishable from "0").
+std::string sample_value(const std::string& text, const std::string& series) {
+  for (const std::string& line : split_lines(text)) {
+    if (line.size() > series.size() && line[series.size()] == ' ' &&
+        line.compare(0, series.size(), series) == 0) {
+      return line.substr(series.size() + 1);
+    }
+  }
+  return "";
+}
+
+/// Text-format 0.0.4 grammar: a line is `# HELP`, `# TYPE`, or
+/// `name[{label="value",...}] value` with a strtod-parsable (or +Inf)
+/// value. Anything else is a scrape break.
+bool valid_exposition_line(const std::string& line) {
+  if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+    return true;
+  }
+  std::size_t pos = 0;
+  auto name_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+  };
+  while (pos < line.size() && name_char(line[pos])) ++pos;
+  if (pos == 0) return false;
+  if (pos < line.size() && line[pos] == '{') {
+    const std::size_t close = line.find('}', pos);
+    if (close == std::string::npos) return false;
+    std::string inside = line.substr(pos + 1, close - pos - 1);
+    std::size_t p = 0;
+    while (p < inside.size()) {
+      const std::size_t eq = inside.find("=\"", p);
+      if (eq == std::string::npos) return false;
+      const std::size_t endq = inside.find('"', eq + 2);
+      if (endq == std::string::npos) return false;
+      p = endq + 1;
+      if (p < inside.size()) {
+        if (inside[p] != ',') return false;
+        ++p;
+      }
+    }
+    pos = close + 1;
+  }
+  if (pos >= line.size() || line[pos] != ' ') return false;
+  const std::string v = line.substr(pos + 1);
+  if (v == "+Inf") return true;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  (void)parsed;
+  return end == v.c_str() + v.size() && !v.empty();
+}
+
+TEST(ServeMetrics, ExpositionGoldenAtOneShard) {
+#if defined(WM_OBS_DISABLED)
+  GTEST_SKIP() << "observability compiled out";
+#else
+  // Counters and histograms are process-global; reset both so the
+  // serve_* families below are byte-pinnable. shards=1 and a
+  // single-threaded request sequence make every tally closed-form.
+  obs::registry().reset();
+  obs::histograms().reset();
+  ServiceConfig cfg;
+  cfg.cache_shards = 1;
+  Service service(cfg);
+
+  const std::string req_a =
+      R"({"op": "run", "machine": "degree-parity", )"
+      R"("graph": {"n": 3, "edges": [[0, 1], [1, 2]]}})";
+  const std::string req_b =
+      R"({"op": "run", "machine": "odd-odd", )"
+      R"("graph": {"n": 2, "edges": [[0, 1]]}})";
+  ASSERT_TRUE(parse_json(service.handle_line(req_a)).find("ok")->as_bool());
+  ASSERT_TRUE(parse_json(service.handle_line(req_b)).find("ok")->as_bool());
+  ASSERT_TRUE(parse_json(service.handle_line(req_a)).find("ok")->as_bool());
+
+  const std::string text =
+      exposition_of(service.handle_line(R"({"op": "metrics"})"));
+
+  // 3 run requests (2 misses + 1 hit) and the metrics request itself —
+  // which is counted *before* rendering so the scrape includes it.
+  EXPECT_EQ(sample_value(text, R"(serve_requests_total{endpoint="run"})"),
+            "3");
+  EXPECT_EQ(sample_value(text, R"(serve_requests_total{endpoint="metrics"})"),
+            "1");
+  EXPECT_EQ(sample_value(text, R"(serve_cache_hits_total{endpoint="run"})"),
+            "1");
+  EXPECT_EQ(sample_value(text, R"(serve_cache_misses_total{endpoint="run"})"),
+            "2");
+  EXPECT_EQ(sample_value(text, "serve_cache_entries"), "2");
+  EXPECT_EQ(sample_value(text, "serve_cache_capacity"), "4096");
+  EXPECT_EQ(sample_value(text, "serve_cache_evictions_total"), "0");
+  EXPECT_EQ(sample_value(text, "serve_cache_bypasses_total"), "0");
+  EXPECT_EQ(
+      sample_value(text,
+                   R"(serve_request_duration_seconds_bucket{endpoint="run",le="+Inf"})"),
+      "3");
+  EXPECT_EQ(sample_value(
+                text, R"(serve_request_duration_seconds_count{endpoint="run"})"),
+            "3");
+  EXPECT_EQ(sample_value(text, R"(wm_work_total{counter="serve.requests.run"})"),
+            "3");
+  EXPECT_NE(sample_value(text, "wm_window_seconds"), "");
+
+  // Every line must clear the scrape grammar, and the run-endpoint
+  // cumulative buckets must be monotone up to the +Inf total.
+  std::uint64_t prev_bucket = 0;
+  for (const std::string& line : split_lines(text)) {
+    EXPECT_TRUE(valid_exposition_line(line)) << line;
+    const std::string prefix =
+        R"(serve_request_duration_seconds_bucket{endpoint="run",le=)";
+    if (line.compare(0, prefix.size(), prefix) == 0) {
+      const std::uint64_t cum = std::strtoull(
+          line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+      EXPECT_GE(cum, prev_bucket) << line;
+      EXPECT_LE(cum, 3u) << line;
+      prev_bucket = cum;
+    }
+  }
+  EXPECT_EQ(prev_bucket, 3u);  // the +Inf bucket equals _count
+#endif
+}
+
+TEST(ServeMetrics, StatsWindowBracketsRequestBatchExactly) {
+#if defined(WM_OBS_DISABLED)
+  GTEST_SKIP() << "observability compiled out";
+#else
+  // Two stats polls bracket a known batch: each poll captures a window
+  // snapshot, and since work counters are monotone, the difference of
+  // the two polls' per-window run-request deltas is *exactly* the batch
+  // size — regardless of wall clock or what ran before in this process.
+  // The huge lookback pins both polls to the same base snapshot.
+  ServiceConfig cfg;
+  cfg.window_secs = 86400.0;
+  Service service(cfg);
+
+  auto run_delta = [&]() -> std::int64_t {
+    const Json j = parse_json(service.handle_line(R"({"op": "stats"})"));
+    EXPECT_TRUE(j.find("ok")->as_bool());
+    const Json* window = j.find("result")->find("window");
+    EXPECT_NE(window, nullptr);
+    EXPECT_GE(window->find("captures")->as_int(), 1);
+    const Json* work = window->find("work");
+    EXPECT_NE(work, nullptr);
+    const Json* runs = work->find("serve.requests.run");
+    return runs != nullptr ? runs->as_int() : 0;
+  };
+
+  const std::int64_t before = run_delta();
+  constexpr int kBatch = 5;
+  for (int n = 2; n < 2 + kBatch; ++n) {
+    std::string edges = "[";
+    for (int v = 0; v + 1 < n; ++v) {
+      if (v > 0) edges += ", ";
+      edges += "[" + std::to_string(v) + ", " + std::to_string(v + 1) + "]";
+    }
+    edges += "]";
+    const std::string req =
+        R"({"op": "run", "machine": "degree-parity", "graph": {"n": )" +
+        std::to_string(n) + R"(, "edges": )" + edges + "}}";
+    ASSERT_TRUE(parse_json(service.handle_line(req)).find("ok")->as_bool());
+  }
+  const std::int64_t after = run_delta();
+  EXPECT_EQ(after - before, kBatch);
+#endif
+}
+
+TEST(ServeMetrics, ExpositionReconcilesWithStatsJson) {
+#if defined(WM_OBS_DISABLED)
+  GTEST_SKIP() << "observability compiled out";
+#else
+  // Quiesced state: no request of the compute endpoints lands between
+  // the metrics scrape and the stats poll, so the exposition and the
+  // JSON reply must agree exactly — same registries, same snapshots.
+  Service service;
+  for (const char* req :
+       {R"({"op": "run", "machine": "odd-odd", )"
+        R"("graph": {"n": 3, "edges": [[0, 1], [1, 2], [2, 0]]}})",
+        R"({"op": "modelcheck", "formula": "<*,*> T", "model": )"
+        R"({"variant": "--", "graph": {"n": 2, "edges": [[0, 1]]}}})",
+        R"({"op": "canon", "kind": "graph", )"
+        R"("graph": {"n": 2, "edges": [[0, 1]]}})",
+        R"({"op": "classify", "problem": "degree-parity", )"
+        R"("graph": {"n": 2, "edges": [[0, 1]]}})"}) {
+    ASSERT_TRUE(parse_json(service.handle_line(req)).find("ok")->as_bool())
+        << req;
+  }
+  const std::string text =
+      exposition_of(service.handle_line(R"({"op": "metrics"})"));
+  const Json stats =
+      parse_json(service.handle_line(R"({"op": "stats"})"));
+  const Json* result = stats.find("result");
+  ASSERT_NE(result, nullptr);
+  const Json* work = result->find("counters")->find("work");
+  ASSERT_NE(work, nullptr);
+  for (const char* ep : {"run", "modelcheck", "canon", "classify"}) {
+    const Json* counter =
+        work->find(std::string("serve.requests.") + ep);
+    ASSERT_NE(counter, nullptr) << ep;
+    EXPECT_EQ(sample_value(text, std::string("serve_requests_total{endpoint=\"") +
+                                     ep + "\"}"),
+              std::to_string(counter->as_int()))
+        << ep;
+  }
+  const Json* cache = result->find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(sample_value(text, "serve_cache_entries"),
+            std::to_string(cache->find("entries")->as_int()));
+  EXPECT_EQ(sample_value(text, "serve_cache_capacity"),
+            std::to_string(cache->find("capacity")->as_int()));
+  EXPECT_EQ(sample_value(text, "serve_cache_evictions_total"),
+            std::to_string(cache->find("evictions")->as_int()));
+  EXPECT_EQ(sample_value(text, "serve_cache_bypasses_total"),
+            std::to_string(cache->find("bypasses")->as_int()));
+#endif
+}
+
+TEST(ServeObsLog, AccessLogLinesCarryRequestContext) {
+#if defined(WM_OBS_DISABLED)
+  GTEST_SKIP() << "observability compiled out";
+#else
+  const char* path = "serve_access_log_test.jsonl";
+  obs::log_open(path);
+  Service service;
+  const std::string req =
+      R"({"op": "run", "machine": "odd-odd", )"
+      R"("graph": {"n": 4, "edges": [[0, 1], [1, 2], [2, 3]]}})";
+  service.handle_line(req);       // miss
+  service.handle_line(req);       // hit
+  service.handle_line("not json");
+  obs::set_slow_threshold_ms(1e-6);  // everything is slow
+  service.handle_line(R"({"op": "stats"})");
+  obs::set_slow_threshold_ms(0);
+  obs::log_close();
+
+  std::vector<Json> requests;
+  bool saw_slow = false;
+  {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    while (std::getline(in, line)) {
+      const Json j = parse_json(line);  // every log line is one object
+      const std::string event = j.find("event")->as_string();
+      if (event == "request") requests.push_back(parse_json(line));
+      if (event == "slow_request") saw_slow = true;
+    }
+  }
+  std::remove(path);
+
+  ASSERT_EQ(requests.size(), 4u);
+  std::int64_t prev_rid = 0;
+  for (const Json& r : requests) {
+    ASSERT_NE(r.find("rid"), nullptr);
+    EXPECT_GT(r.find("rid")->as_int(), prev_rid);  // monotone per thread
+    prev_rid = r.find("rid")->as_int();
+    EXPECT_GE(r.find("ms")->as_double(), 0.0);
+    EXPECT_GT(r.find("bytes_out")->as_int(), 0);
+  }
+  EXPECT_EQ(requests[0].find("op")->as_string(), "run");
+  EXPECT_EQ(requests[0].find("cache")->as_string(), "miss");
+  EXPECT_EQ(requests[0].find("status")->as_string(), "ok");
+  EXPECT_NE(requests[0].find("key")->as_string(), "-");
+  EXPECT_EQ(requests[1].find("cache")->as_string(), "hit");
+  EXPECT_EQ(requests[1].find("key")->as_string(),
+            requests[0].find("key")->as_string());
+  EXPECT_EQ(requests[2].find("status")->as_string(), "error");
+  EXPECT_EQ(requests[2].find("code")->as_string(), "parse_error");
+  EXPECT_TRUE(saw_slow);
+#endif
 }
 
 }  // namespace

@@ -61,7 +61,11 @@ And per bench file present only in CURRENT_DIR:
 
 The json's "manifest" (provenance) and "timings" (duration histograms)
 objects are timing/environment-dependent by design and are ignored by
-every rule above — only metrics.work is ever gated.
+every rule above — only metrics.work is ever gated. As with "dedup.*",
+a large latency move is still worth a line in the CI log: a p99 shift
+of at least 2x either way (both sets having recorded samples) is
+surfaced as an informational note, and can never fail the gate -- not
+even under --exact.
 """
 
 import argparse
@@ -161,6 +165,29 @@ def diff_sets(baseline, current, threshold, exact, allow_new=False):
             cval = cinfo.get(key, "absent")
             notes.append(
                 f"{name}: info '{key}' {bval} -> {cval} (informational)")
+        # Latency p99 shifts: duration histograms are environment-
+        # dependent, so they can never gate -- but an order-of-magnitude
+        # p99 move is worth a CI-log line. Noted when both sets recorded
+        # samples for the phase and the shift is at least 2x either way.
+        btim = base.get("timings") or {}
+        ctim = cur.get("timings") or {}
+        for key in sorted(set(btim) & set(ctim)):
+            bt, ct = btim[key], ctim[key]
+            if not (isinstance(bt, dict) and isinstance(ct, dict)):
+                continue
+            bp99, cp99 = bt.get("p99_us"), ct.get("p99_us")
+            if not (isinstance(bp99, (int, float))
+                    and isinstance(cp99, (int, float))):
+                continue
+            if bt.get("count", 0) <= 0 or ct.get("count", 0) <= 0 \
+                    or bp99 <= 0:
+                continue
+            ratio = cp99 / bp99
+            if ratio >= 2.0 or ratio <= 0.5:
+                notes.append(
+                    f"{name}: timing '{key}' p99 {bp99:.1f}µs -> "
+                    f"{cp99:.1f}µs ({ratio:.2f}x, informational -- "
+                    f"latency never gates)")
     for fname in sorted(set(current) - set(baseline)):
         name = current[fname].get("name", fname)
         if allow_new:
@@ -289,6 +316,47 @@ def self_test():
         checks.append(("manifest/timings drift ignored under --exact",
                        run_diff(a) == 0))
         a.exact = False
+        # That 2.047µs -> 1000µs p99 move (both sets sampled the phase)
+        # must be *noted* without gating; a phase present in only one
+        # set must not produce a p99 note.
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = run_diff(a)
+        checks.append(("p99 shift >=2x is noted but never gates",
+                       rc == 0
+                       and "timing 'engine.execute' p99" in buf.getvalue()
+                       and "bench.extra.phase" not in buf.getvalue()))
+        a.exact = True
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = run_diff(a)
+        checks.append(("p99 shift never gates under --exact",
+                       rc == 0
+                       and "timing 'engine.execute' p99" in buf.getvalue()))
+        a.exact = False
+        # A sub-2x shift, or a shift on a phase with no recorded samples,
+        # stays silent: the note is for order-of-magnitude drift only.
+        a.baseline = write_set(
+            tmp, "pbase", work,
+            timings={"quiet.phase": {"count": 5, "p50_us": 8.0,
+                                     "p90_us": 9.0, "p99_us": 10.0,
+                                     "max_us": 11.0},
+                     "empty.phase": {"count": 0, "p50_us": 0.0,
+                                     "p90_us": 0.0, "p99_us": 1.0,
+                                     "max_us": 0.0}})
+        a.current = write_set(
+            tmp, "pcur", work,
+            timings={"quiet.phase": {"count": 5, "p50_us": 9.0,
+                                     "p90_us": 14.0, "p99_us": 15.0,
+                                     "max_us": 16.0},
+                     "empty.phase": {"count": 0, "p50_us": 0.0,
+                                     "p90_us": 0.0, "p99_us": 999.0,
+                                     "max_us": 0.0}})
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = run_diff(a)
+        checks.append(("sub-2x and zero-count p99 shifts stay silent",
+                       rc == 0 and "p99" not in buf.getvalue()))
         # Dedup-table telemetry drifts wildly between the sets: it must be
         # *reported* (a note naming the counter) yet never gate, not even
         # under --exact -- probe lengths and CAS retries are race outcomes,

@@ -15,10 +15,12 @@ environment-dependent by design (that is why bench_diff.py ignores the
 "manifest" and "timings" objects). The table is a lab notebook, not a
 regression test.
 
-The "headline timing" column is the timings entry with the largest
-sample count — the phase the bench spent the most recorded events in —
-shown as `name p50/p99 (µs)`. Benches predating the timings field get a
-`-` (the column is best-effort so old artefacts keep folding).
+The "headline" column names the timings entry with the largest sample
+count — the phase the bench spent the most recorded events in — and the
+"p50_µs" / "p99_µs" columns carry that entry's percentiles, so nightly
+latency drift is visible next to wall time. Benches predating the
+timings field get `-` (the columns are best-effort so old artefacts
+keep folding).
 
 Usage:
   bench_trend.py [--output FILE] DIR [DIR ...]
@@ -37,7 +39,7 @@ import tempfile
 
 
 COLUMNS = ["bench", "n", "threads", "wall_ms", "graphs/s",
-           "headline timing", "git", "start"]
+           "headline", "p50_µs", "p99_µs", "git", "start"]
 
 
 def load_rows(dirs):
@@ -54,20 +56,20 @@ def load_rows(dirs):
 
 
 def headline_timing(timings):
-    """`name p50/p99` of the entry with the most recorded samples."""
+    """(name, p50, p99) of the entry with the most recorded samples."""
     if not isinstance(timings, dict) or not timings:
-        return "-"
+        return ("-", "-", "-")
     best_name, best = max(
         ((k, v) for k, v in timings.items() if isinstance(v, dict)),
         key=lambda kv: (kv[1].get("count", 0), kv[0]),
         default=(None, None))
     if best_name is None:
-        return "-"
+        return ("-", "-", "-")
     p50 = best.get("p50_us")
     p99 = best.get("p99_us")
     if not isinstance(p50, (int, float)) or not isinstance(p99, (int, float)):
-        return "-"
-    return f"{best_name} {p50:.1f}/{p99:.1f}µs"
+        return (best_name, "-", "-")
+    return (best_name, f"{p50:.1f}", f"{p99:.1f}")
 
 
 def row_for(data, path):
@@ -76,6 +78,7 @@ def row_for(data, path):
         manifest = {}
     wall = data.get("wall_ms")
     gps = data.get("graphs_per_sec")
+    headline, p50, p99 = headline_timing(data.get("timings"))
     return {
         "bench": str(data.get("name", os.path.basename(path))),
         "n": str(data.get("n", "-")),
@@ -83,7 +86,9 @@ def row_for(data, path):
         "wall_ms": f"{wall:.1f}" if isinstance(wall, (int, float)) else "-",
         "graphs/s": f"{gps:.0f}" if isinstance(gps, (int, float)) and gps > 0
                     else "-",
-        "headline timing": headline_timing(data.get("timings")),
+        "headline": headline,
+        "p50_µs": p50,
+        "p99_µs": p99,
         "git": str(manifest.get("git", "-") or "-"),
         "start": str(manifest.get("start", "-") or "-"),
     }
@@ -159,7 +164,13 @@ def self_test():
         checks.append(("wall_ms formatted", "123.5" in table))
         checks.append(("throughput formatted", "790" in table))
         checks.append(("headline is max-count entry",
-                       "bench.quotient.row 512.0/1023.9µs" in table))
+                       "bench.quotient.row" in table
+                       and "iso.find" not in table))
+        checks.append(("p50/p99 columns carry the headline percentiles",
+                       " 512.0" in table and " 1023.9" in table))
+        checks.append(("timings-less row dashes the percentile columns",
+                       any(l.count(" - ") >= 3 for l in lines
+                           if " old " in l)))
         checks.append(("git + start folded in",
                        "v1-g1111111" in table
                        and "2026-08-01T10:00:00Z" in table))

@@ -2,12 +2,14 @@
 """Ten-second end-to-end smoke for the wm_serve daemon (CI step).
 
 Starts the daemon on an ephemeral port, sends one request per endpoint
-plus a malformed line, checks the replies, then SIGTERMs and verifies
-the drain exits cleanly within the deadline.
+plus a malformed line, checks the replies, scrapes the metrics endpoint
+(grammar + exact request-count reconciliation), then SIGTERMs and
+verifies the drain exits cleanly within the deadline.
 
 usage: serve_smoke.py path/to/wm_serve
 """
 import json
+import re
 import signal
 import socket
 import subprocess
@@ -91,6 +93,37 @@ def main():
         r = ask({"op": "stats"})
         if not r["ok"] or r["result"]["cache"]["misses"] < 4:
             fail("stats: %r" % r)
+        if "window" not in r["result"]:
+            fail("stats reply lacks the window section: %r" % r)
+
+        # Metrics scrape: every line must clear the text-format grammar,
+        # and the per-endpoint request totals must add up to exactly the
+        # requests this script sent (the malformed line never reaches a
+        # handler; the metrics request counts itself before rendering).
+        r = ask({"op": "metrics"})
+        if not r["ok"] or r["result"]["format"] != "prometheus-0.0.4":
+            fail("metrics: %r" % r)
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+            r" (\+Inf|-?[0-9.eE+-]+)$"
+        )
+        requests_total = 0
+        saw_help = 0
+        for line in r["result"]["text"].splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                saw_help += 1
+                continue
+            if not sample_re.match(line):
+                fail("metrics line fails the exposition grammar: %r" % line)
+            if line.startswith("serve_requests_total{"):
+                requests_total += int(line.rsplit(" ", 1)[1])
+        if saw_help == 0:
+            fail("metrics exposition carries no HELP/TYPE headers")
+        # run + modelcheck + canon + classify + stats + metrics = 6.
+        if requests_total != 6:
+            fail("serve_requests_total sums to %d, want 6" % requests_total)
 
         sock.close()
         proc.send_signal(signal.SIGTERM)

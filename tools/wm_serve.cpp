@@ -1,11 +1,17 @@
 // wm_serve: the resident query daemon. Binds 127.0.0.1:<port> and
 // answers newline-delimited JSON requests (classify / modelcheck / run /
-// canon / stats) through the canonical-certificate memo-cache — see
-// src/serve/protocol.hpp for the wire format and README.md "Serving"
-// for client examples.
+// canon / stats / metrics) through the canonical-certificate memo-cache
+// — see src/serve/protocol.hpp for the wire format and README.md
+// "Serving" for client examples.
 //
 //   wm_serve [--port P] [--threads N] [--cache-capacity C]
-//            [--timeout-ms T] [--print-port]
+//            [--timeout-ms T] [--window-secs S] [--print-port]
+//
+// Observability: WM_LOG=<file|stderr> arms one structured access-log
+// line per request (WM_SLOW_MS adds slow-request warnings), the
+// `metrics` endpoint serves Prometheus text exposition for tools/wm_top
+// or a scraper, and --window-secs sets the lookback of the windowed
+// rate/latency families (default 60).
 //
 // SIGTERM/SIGINT drain: stop accepting, finish every request whose
 // bytes have arrived, reply, exit 0. --print-port writes the bound port
@@ -34,7 +40,7 @@ void on_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--threads N] [--cache-capacity C] "
-               "[--timeout-ms T] [--print-port]\n",
+               "[--timeout-ms T] [--window-secs S] [--print-port]\n",
                argv0);
   return 2;
 }
@@ -62,6 +68,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(next_int(1, 1 << 24));
     } else if (a == "--timeout-ms") {
       cfg.service.default_timeout_ms = static_cast<int>(next_int(0, 3600000));
+    } else if (a == "--window-secs") {
+      cfg.service.window_secs = static_cast<double>(next_int(1, 86400));
     } else if (a == "--print-port") {
       print_port = true;
     } else {

@@ -1,0 +1,254 @@
+// wm_top: a polling terminal dashboard for a running wm_serve daemon.
+//
+//   wm_top [--host H] [--port P] [--interval S] [--once]
+//
+// Each poll opens a TCP connection, sends {"op": "metrics"}, and renders
+// the Prometheus exposition from result.text: per-endpoint request
+// totals, windowed request rates, cache hit ratios, and windowed latency
+// quantiles, plus the memo-cache gauges. --once polls a single time,
+// prints one frame without clearing the screen, and exits non-zero on
+// any failure — that is the CI mode (ci.yml runs it against the smoke
+// daemon). Loop mode redraws every --interval seconds until ^C.
+//
+// The dashboard deliberately consumes the *exposition text* rather than
+// the JSON stats reply: every release exercises the scrape format the
+// way an external Prometheus would read it.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--interval S] [--once]\n",
+               argv0);
+  return 2;
+}
+
+/// One metric sample: family name + sorted label pairs -> value.
+using Labels = std::map<std::string, std::string>;
+struct Sample {
+  std::string name;
+  Labels labels;
+  double value = 0;
+};
+
+/// Parses one `name{labels} value` line (comments return false). The
+/// exposition writes plain token label values, so no escape handling.
+bool parse_sample(const std::string& line, Sample& out) {
+  if (line.empty() || line[0] == '#') return false;
+  std::size_t name_end = line.find_first_of("{ ");
+  if (name_end == std::string::npos) return false;
+  out.name = line.substr(0, name_end);
+  out.labels.clear();
+  std::size_t pos = name_end;
+  if (line[pos] == '{') {
+    const std::size_t close = line.find('}', pos);
+    if (close == std::string::npos) return false;
+    std::string inside = line.substr(pos + 1, close - pos - 1);
+    std::size_t p = 0;
+    while (p < inside.size()) {
+      const std::size_t eq = inside.find("=\"", p);
+      if (eq == std::string::npos) return false;
+      const std::size_t endq = inside.find('"', eq + 2);
+      if (endq == std::string::npos) return false;
+      out.labels[inside.substr(p, eq - p)] =
+          inside.substr(eq + 2, endq - eq - 2);
+      p = endq + 1;
+      if (p < inside.size() && inside[p] == ',') ++p;
+    }
+    pos = close + 1;
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+  const std::string v = line.substr(pos);
+  if (v == "+Inf") {
+    out.value = 1e308;
+    return true;
+  }
+  char* end = nullptr;
+  out.value = std::strtod(v.c_str(), &end);
+  return end != v.c_str();
+}
+
+/// Sends one request line and reads one newline-terminated reply.
+bool request_reply(const std::string& host, int port,
+                   const std::string& request, std::string& reply) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string line = request + "\n";
+  const char* data = line.data();
+  std::size_t len = line.size();
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  reply.clear();
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    reply.append(chunk, static_cast<std::size_t>(n));
+    if (reply.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  const std::size_t nl = reply.find('\n');
+  if (nl == std::string::npos) return false;
+  reply.resize(nl);
+  return true;
+}
+
+double find_value(const std::vector<Sample>& samples, const std::string& name,
+                  const Labels& labels) {
+  for (const Sample& s : samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  return 0;
+}
+
+/// One dashboard frame from the exposition text. False when the text
+/// contains no parsable sample at all (daemon gone / wrong endpoint).
+bool render(const std::string& host, int port, const std::string& text) {
+  std::vector<Sample> samples;
+  std::set<std::string> endpoints;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    Sample s;
+    if (parse_sample(text.substr(start, nl - start), s)) {
+      const auto ep = s.labels.find("endpoint");
+      if (ep != s.labels.end() && s.name == "serve_requests_total") {
+        endpoints.insert(ep->second);
+      }
+      samples.push_back(std::move(s));
+    }
+    start = nl + 1;
+  }
+  if (samples.empty()) return false;
+
+  const double win = find_value(samples, "wm_window_seconds", {});
+  std::printf("wm_top — %s:%d — window %.1fs\n", host.c_str(), port, win);
+  std::printf("%-12s %10s %10s %8s %10s %10s\n", "endpoint", "total", "req/s",
+              "hit%", "p50_ms", "p99_ms");
+  for (const std::string& ep : endpoints) {
+    const Labels l{{"endpoint", ep}};
+    const double total = find_value(samples, "serve_requests_total", l);
+    const double rps =
+        find_value(samples, "wm_window_requests_per_second", l);
+    const double hits = find_value(samples, "serve_cache_hits_total", l);
+    const double misses = find_value(samples, "serve_cache_misses_total", l);
+    const double hit_pct =
+        hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0;
+    const double p50 =
+        find_value(samples, "wm_window_request_duration_seconds",
+                   {{"endpoint", ep}, {"quantile", "0.5"}}) *
+        1000.0;
+    const double p99 =
+        find_value(samples, "wm_window_request_duration_seconds",
+                   {{"endpoint", ep}, {"quantile", "0.99"}}) *
+        1000.0;
+    std::printf("%-12s %10.0f %10.2f %7.1f%% %10.3f %10.3f\n", ep.c_str(),
+                total, rps, hit_pct, p50, p99);
+  }
+  std::printf("cache: entries %.0f/%.0f  evictions %.0f  bypasses %.0f\n",
+              find_value(samples, "serve_cache_entries", {}),
+              find_value(samples, "serve_cache_capacity", {}),
+              find_value(samples, "serve_cache_evictions_total", {}),
+              find_value(samples, "serve_cache_bypasses_total", {}));
+  std::fflush(stdout);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7414;
+  double interval = 2.0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next_arg = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(usage(argv[0]));
+      return argv[++i];
+    };
+    if (a == "--host") {
+      host = next_arg();
+    } else if (a == "--port") {
+      port = std::atoi(next_arg());
+    } else if (a == "--interval") {
+      interval = std::atof(next_arg());
+      if (interval <= 0) return usage(argv[0]);
+    } else if (a == "--once") {
+      once = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (port <= 0 || port > 65535) return usage(argv[0]);
+
+  for (;;) {
+    std::string reply;
+    if (!request_reply(host, port, "{\"op\": \"metrics\"}", reply)) {
+      std::fprintf(stderr, "wm_top: cannot reach %s:%d\n", host.c_str(),
+                   port);
+      if (once) return 1;
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+      continue;
+    }
+    std::string text;
+    try {
+      const wm::serve::Json j = wm::serve::parse_json(reply);
+      const wm::serve::Json* ok = j.find("ok");
+      const wm::serve::Json* result = j.find("result");
+      const wm::serve::Json* t =
+          result != nullptr ? result->find("text") : nullptr;
+      if (ok == nullptr || !ok->is_bool() || !ok->as_bool() || t == nullptr ||
+          !t->is_string()) {
+        throw wm::serve::JsonError("metrics reply lacks result.text");
+      }
+      text = t->as_string();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "wm_top: bad metrics reply: %s\n", e.what());
+      if (once) return 1;
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+      continue;
+    }
+    if (!once) std::printf("\x1b[2J\x1b[H");  // clear, home
+    if (!render(host, port, text)) {
+      std::fprintf(stderr, "wm_top: exposition contained no samples\n");
+      if (once) return 1;
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+}
